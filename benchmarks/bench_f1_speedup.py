@@ -1,0 +1,60 @@
+"""F1 — Strong-scaling speedup vs processor count (replicated data).
+
+Reproduces the headline scaling figure on a Paragon-class machine model
+calibrated with measured host phase timings (see DESIGN.md substitution
+table).  Expected shape:
+
+* with the *replicated* eigensolver, speedup saturates at the Amdahl
+  ceiling set by the serial diagonalisation fraction — brutal for TBMD;
+* with the *distributed* block-Jacobi solver, speedup keeps climbing and
+  crosses the replicated curve at moderate P;
+* larger systems scale better (more parallel work per byte moved).
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.parallel import amdahl_speedup, strong_scaling
+from repro.parallel.scaling import serial_fraction_estimate
+
+PROCS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+SIZES = (64, 216, 512)
+
+
+def test_f1_speedup_curves(paragon_model, benchmark):
+    all_rows = []
+    speedups = {}
+    for n in SIZES:
+        rows = strong_scaling(paragon_model, n, PROCS, diag="replicated")
+        rows_d = strong_scaling(paragon_model, n, PROCS, diag="distributed")
+        speedups[n] = ([r["speedup"] for r in rows],
+                       [r["speedup"] for r in rows_d])
+        for r, rd in zip(rows, rows_d):
+            all_rows.append([n, r["nproc"], r["time"], r["speedup"],
+                             rd["time"], rd["speedup"]])
+
+    print_table(
+        "F1: strong scaling, Paragon-class model "
+        "(rep = replicated LAPACK diag, dist = distributed Jacobi)",
+        ["N", "P", "t_rep (s)", "S_rep", "t_dist (s)", "S_dist"],
+        all_rows, float_fmt="{:.4g}")
+
+    s_frac = serial_fraction_estimate(paragon_model, 216)
+    print(f"\nAmdahl serial fraction (N=216): {s_frac:.3f} "
+          f"→ ceiling {1.0 / s_frac:.2f}")
+
+    # --- shape assertions -------------------------------------------------
+    s_rep, s_dist = speedups[216]
+    # replicated saturates at the Amdahl ceiling
+    assert s_rep[-1] <= 1.0 / s_frac * 1.05
+    assert s_rep[-1] - s_rep[-2] < 0.05 * s_rep[-1]
+    # distributed overtakes replicated at scale
+    assert s_dist[-1] > s_rep[-1]
+    # but loses at P=1 (Jacobi flop penalty)
+    assert s_dist[0] < 1.0
+    # larger N scales at least as well at max P (distributed arm)
+    assert speedups[512][1][-1] >= speedups[64][1][-1]
+
+    benchmark.pedantic(
+        lambda: strong_scaling(paragon_model, 216, PROCS), rounds=3,
+        iterations=1)

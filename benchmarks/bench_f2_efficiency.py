@@ -1,0 +1,52 @@
+"""F2 — Parallel efficiency and weak scaling.
+
+Two panels of the canonical figure:
+
+* strong-scaling efficiency S/P vs P — decays with P, slower for
+  larger N;
+* weak scaling (atoms/processor fixed): even perfect parallelisation of
+  an O(N³) method degrades as P² — the quantitative argument for O(N)
+  methods that closes every 1990s TBMD paper.
+"""
+
+from repro.bench import print_table
+from repro.parallel import strong_scaling, weak_scaling
+
+PROCS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def test_f2_efficiency_and_weak_scaling(paragon_model, benchmark):
+    rows_64 = strong_scaling(paragon_model, 64, PROCS, diag="distributed")
+    rows_512 = strong_scaling(paragon_model, 512, PROCS, diag="distributed")
+    print_table(
+        "F2a: strong-scaling efficiency (distributed diag)",
+        ["P", "eff(N=64)", "eff(N=512)", "comm_frac(N=64)"],
+        [[p, a["efficiency"], b["efficiency"], a["comm_fraction"]]
+         for p, a, b in zip(PROCS, rows_64, rows_512)],
+        float_fmt="{:.3f}")
+
+    weak = weak_scaling(paragon_model, 32, PROCS, diag="distributed")
+    print_table(
+        "F2b: weak scaling, 32 atoms/processor",
+        ["P", "N", "t (s)", "efficiency"],
+        [[r["nproc"], r["natoms"], r["time"], r["efficiency"]] for r in weak],
+        float_fmt="{:.4g}")
+
+    # --- shape assertions -------------------------------------------------
+    eff_64 = [r["efficiency"] for r in rows_64]
+    eff_512 = [r["efficiency"] for r in rows_512]
+    assert all(b <= a + 1e-9 for a, b in zip(eff_64, eff_64[1:]))
+    # at scale (P ≥ 32) the larger system is the more efficient one —
+    # below that the Jacobi flop penalty (worse for diag-dominated large
+    # N) and the latency penalty (worse for small N) trade places
+    for p, e64, e512 in zip(PROCS, eff_64, eff_512):
+        if p >= 32:
+            assert e512 >= e64, f"large system must win at P={p}"
+
+    weak_eff = [r["efficiency"] for r in weak]
+    assert all(b < a for a, b in zip(weak_eff, weak_eff[1:]))
+    # O(N³): doubling P (hence N) should cost ≫ 2× — check super-linear decay
+    assert weak_eff[3] < 0.5 * weak_eff[0]
+
+    benchmark.pedantic(lambda: weak_scaling(paragon_model, 32, PROCS),
+                       rounds=3, iterations=1)

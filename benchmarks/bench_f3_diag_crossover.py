@@ -1,0 +1,63 @@
+"""F3 — Replicated-LAPACK vs distributed-Jacobi diagonalisation crossover.
+
+The diagonalisation-strategy figure: the distributed Jacobi solver pays a
+~10× flop penalty (sweeps × 12n³ vs 10n³ once) but divides by P; the
+replicated solver is flop-optimal but serial.  Expected shape: a
+crossover processor count P* above which distribution wins, with P*
+dropping as the matrix grows; plus the *executable* round-robin Jacobi
+validating the sweep count the model charges.
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.parallel import MachineSpec
+from repro.parallel.jacobi import distributed_jacobi_model, round_robin_jacobi
+from repro.tb.eigensolvers import solve_eigh
+
+SIZES = (256, 864, 2048)       # orbitals (64 / 216 / 512 Si atoms)
+PROCS = (1, 4, 16, 64, 256)
+
+
+def replicated_time(n, machine):
+    return 10.0 * n**3 / machine.flops
+
+
+def test_f3_crossover(benchmark):
+    machine = MachineSpec.paragon()
+
+    # sweep count measured from the executable round-robin algorithm
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(96, 96))
+    H = 0.5 * (a + a.T)
+    eps, _, sweeps = round_robin_jacobi(H, n_blocks=8)
+    ref, _ = solve_eigh(H)
+    np.testing.assert_allclose(eps, ref, atol=1e-8)
+    print(f"\nround-robin Jacobi (n=96, 8 blocks): {sweeps} sweeps, "
+          f"max eigenvalue error {np.max(np.abs(eps - ref)):.2e}")
+
+    rows = []
+    crossover = {}
+    for n in SIZES:
+        t_rep = replicated_time(n, machine)
+        ts = [distributed_jacobi_model(n, p, machine, sweeps=sweeps)["time"]
+              for p in PROCS]
+        rows.append([n, t_rep] + ts)
+        cross = next((p for p, t in zip(PROCS, ts) if t < t_rep), None)
+        crossover[n] = cross
+
+    print_table(
+        f"F3: diagonalisation time (s), replicated vs distributed Jacobi "
+        f"({sweeps} sweeps)",
+        ["n_orb", "replicated"] + [f"dist P={p}" for p in PROCS],
+        rows, float_fmt="{:.4g}")
+    print("crossover P*:", crossover)
+
+    # --- shape assertions -------------------------------------------------
+    assert crossover[2048] is not None, "large matrices must cross over"
+    assert crossover[2048] <= 64
+    if crossover[256] is not None:
+        assert crossover[256] >= crossover[2048]
+
+    benchmark.pedantic(lambda: round_robin_jacobi(H, n_blocks=8),
+                       rounds=2, iterations=1)

@@ -1,0 +1,53 @@
+"""F4 — NVE energy conservation vs time step.
+
+The trust-establishing figure every TBMD paper shows: total-energy drift
+of microcanonical dynamics over a trajectory.  Expected shape: drift
+< 1 part in 10⁴ at dt = 1 fs (the era's quoted standard), with the
+velocity-Verlet O(dt²) scaling visible across the dt sweep.
+"""
+
+import numpy as np
+
+from repro.bench import print_table, silicon_supercell
+from repro.md import MDDriver, ThermoLog, VelocityVerlet, maxwell_boltzmann_velocities
+from repro.tb import GSPSilicon, TBCalculator
+
+DTS = (0.5, 1.0, 2.0)
+SIM_TIME_FS = 120.0
+TEMP = 1000.0
+
+
+def drift_for(dt: float) -> tuple[float, ThermoLog]:
+    at = silicon_supercell(2)
+    maxwell_boltzmann_velocities(at, TEMP, seed=42)
+    log = ThermoLog()
+    md = MDDriver(at, TBCalculator(GSPSilicon()), VelocityVerlet(dt=dt),
+                  observers=[log])
+    md.run(int(SIM_TIME_FS / dt))
+    return log.conserved_drift(), log
+
+
+def test_f4_energy_conservation(benchmark):
+    results = {dt: drift_for(dt) for dt in DTS}
+    print_table(
+        f"F4: NVE conserved-energy drift, Si64 at {TEMP:.0f} K, "
+        f"{SIM_TIME_FS:.0f} fs",
+        ["dt (fs)", "max |ΔE/E₀|", "⟨T⟩ (K)"],
+        [[dt, results[dt][0], float(np.mean(results[dt][1].temperature))]
+         for dt in DTS],
+        float_fmt="{:.3e}")
+
+    # --- shape assertions -------------------------------------------------
+    assert results[1.0][0] < 1e-4, "the era's 1-in-10⁴ standard at dt=1 fs"
+    drifts = [results[dt][0] for dt in DTS]
+    assert drifts[0] < drifts[2], "smaller dt must conserve better"
+    # O(dt²): the 4× step should cost ≳ 4× the drift (generous bound)
+    assert drifts[2] / max(drifts[0], 1e-16) > 3.0
+
+    def short_nve():
+        at = silicon_supercell(2)
+        maxwell_boltzmann_velocities(at, TEMP, seed=1)
+        MDDriver(at, TBCalculator(GSPSilicon()), VelocityVerlet(dt=1.0)
+                 ).run(10)
+
+    benchmark.pedantic(short_nve, rounds=2, iterations=1)

@@ -1,0 +1,52 @@
+"""F5 — Canonical sampling: Nosé–Hoover temperature trace and the
+extended-system conserved quantity.
+
+Reproduces the NVT validation panel: the instantaneous temperature
+fluctuates around the setpoint with the canonical variance
+Var(T) = 2T²/3N, while the extended-system energy stays flat (< 1e-3
+relative) — the correctness monitor the era's papers describe.
+"""
+
+import numpy as np
+
+from repro.bench import print_table, silicon_supercell
+from repro.md import MDDriver, NoseHooverChain, ThermoLog, maxwell_boltzmann_velocities
+from repro.tb import GSPSilicon, TBCalculator
+
+TARGET = 1000.0
+
+
+def test_f5_nvt_temperature_control(benchmark):
+    at = silicon_supercell(2)
+    maxwell_boltzmann_velocities(at, TARGET, seed=5)
+    log = ThermoLog()
+    nhc = NoseHooverChain(dt=1.0, temperature=TARGET, tau=50.0)
+    md = MDDriver(at, TBCalculator(GSPSilicon()), nhc, observers=[log])
+    md.run(400)
+
+    t = np.asarray(log.temperature[100:])
+    t_mean = float(t.mean())
+    t_std = float(t.std())
+    n_free = len(at)
+    sigma_canonical = TARGET * np.sqrt(2.0 / (3.0 * n_free))
+    drift = log.conserved_drift()
+
+    print_table(
+        "F5: Nosé–Hoover chain canonical sampling, Si64",
+        ["quantity", "value"],
+        [["target T (K)", TARGET],
+         ["⟨T⟩ (K)", t_mean],
+         ["σ(T) measured (K)", t_std],
+         ["σ(T) canonical (K)", sigma_canonical],
+         ["conserved drift", drift]],
+        float_fmt="{:.4g}")
+
+    # --- shape assertions -------------------------------------------------
+    assert t_mean == pytest.approx(TARGET, rel=0.12)
+    assert 0.3 * sigma_canonical < t_std < 3.0 * sigma_canonical
+    assert drift < 2e-3
+
+    benchmark.pedantic(lambda: md.run(10), rounds=2, iterations=1)
+
+
+import pytest  # noqa: E402  (used in assertions above)

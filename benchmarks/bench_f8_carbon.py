@@ -1,0 +1,85 @@
+"""F8 — Carbon TB validation and the nanotube application workload.
+
+Two panels:
+
+* bulk validation of the XWCH carbon model: relaxed graphene and diamond
+  bond lengths and the graphene/diamond energy near-degeneracy — the
+  published model's signature results;
+* application-class workload: CG relaxation of a finite open (10,0)
+  zig-zag nanotube (frozen base ring) — the starting configuration of
+  the classic tube-closure MD studies — checking the tube stays intact,
+  hexagonal and at graphene-like bond lengths.
+"""
+
+import numpy as np
+
+from repro.analysis import bond_statistics, ring_statistics
+from repro.bench import print_table
+from repro.geometry import diamond_cubic, graphene_sheet, nanotube
+from repro.neighbors import neighbor_list
+from repro.relax import conjugate_gradient
+from repro.tb import TBCalculator, XuCarbon
+
+ATOM_REF = 2 * (-2.99) + 2 * 3.71 + (-2.5909765118191)   # band ref + f(0)
+
+
+def relaxed_bond_length(atoms, r_cut):
+    calc = TBCalculator(XuCarbon())
+    res = conjugate_gradient(atoms, calc, fmax=0.03, max_steps=400)
+    assert res.converged, res
+    nl = neighbor_list(atoms, r_cut)
+    return float(nl.distances.mean()), res.energy / len(atoms)
+
+
+def test_f8_carbon_validation_and_nanotube(benchmark):
+    # --- bulk panel ---------------------------------------------------------
+    gra = graphene_sheet(2, 2, cc=1.44)       # start off-equilibrium
+    cc_gra, _ = relaxed_bond_length(gra, 1.7)
+    dia = diamond_cubic("C")
+    cc_dia, _ = relaxed_bond_length(dia, 1.75)
+
+    e_gra = TBCalculator(XuCarbon(), kpts=(4, 4, 1), kT=0.1
+                         ).get_potential_energy(graphene_sheet(2, 2)) / 16
+    e_dia = TBCalculator(XuCarbon(), kpts=4, kT=0.1
+                         ).get_potential_energy(diamond_cubic("C")) / 8
+
+    # --- nanotube panel -------------------------------------------------------
+    tube = nanotube(10, 0, cells=3, periodic=False)
+    z = tube.positions[:, 2]
+    tube.fixed[z < z.min() + 0.4] = True
+    hex_before = ring_statistics(tube, 1.65).get(6, 0)
+    res = conjugate_gradient(tube, TBCalculator(XuCarbon()), fmax=0.05,
+                             max_steps=600)
+    stats = bond_statistics(tube, 1.7)
+    rings = ring_statistics(tube, 1.7)
+
+    print_table(
+        "F8: XWCH carbon validation + (10,0) nanotube workload",
+        ["quantity", "value", "reference"],
+        [["graphene bond (Å)", cc_gra, "1.42 (expt 1.421)"],
+         ["diamond bond (Å)", cc_dia, "1.544 (expt 1.545)"],
+         ["E(graphene) − E(diamond) (eV/at)", e_gra - e_dia,
+          "≈ −0.03 (near-degenerate)"],
+         ["E_coh graphene (eV/at)", e_gra - ATOM_REF, "≈ −7.4"],
+         ["tube atoms", len(tube), "120 + frozen ring"],
+         ["tube relax converged", res.converged, "True"],
+         ["tube hexagons", rings.get(6, 0), f">= {hex_before - 2}"],
+         ["tube mean bond (Å)", stats["mean_bond_length"], "≈ 1.42"]],
+        float_fmt="{:.4g}")
+
+    # --- shape assertions -------------------------------------------------
+    assert cc_gra == pytest.approx(1.42, abs=0.03)
+    assert cc_dia == pytest.approx(1.544, abs=0.04)
+    assert abs(e_gra - e_dia) < 0.12, "graphene/diamond near-degeneracy"
+    assert e_gra - ATOM_REF == pytest.approx(-7.4, abs=0.4)
+    assert res.converged
+    assert rings.get(6, 0) >= hex_before - 2
+    assert stats["mean_bond_length"] == pytest.approx(1.42, abs=0.05)
+    assert stats["max_coordination"] == 3
+
+    benchmark.pedantic(
+        lambda: TBCalculator(XuCarbon()).get_forces(tube),
+        rounds=2, iterations=1)
+
+
+import pytest  # noqa: E402

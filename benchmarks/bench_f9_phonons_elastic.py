@@ -1,0 +1,90 @@
+"""F9 — Vibrational and elastic validation: dynamical matrix vs VACF,
+cubic elastic constants.
+
+The mechanical-properties panel of a TBMD validation section:
+
+* Γ phonons of the Si64 supercell from the finite-difference dynamical
+  matrix, cross-checked against the VACF spectrum of an MD run — two
+  independent routes through the same force field must agree on the
+  spectral range (silicon optical phonon: 15.5 THz experimentally; GSP
+  runs a little stiff);
+* cubic elastic constants C11/C12/C44 with internal relaxation for C44
+  (the Kleinman term), Born stability, and the B = (C11+2C12)/3 identity
+  against the EOS calibration.
+"""
+
+import numpy as np
+
+from repro.analysis.elastic import born_stability_cubic, cubic_elastic_constants
+from repro.analysis.phonons import gamma_frequencies, phonon_dos_from_frequencies
+from repro.analysis.vacf import phonon_dos
+from repro.bench import print_table, silicon_supercell
+from repro.classical import StillingerWeber
+from repro.md import (
+    MDDriver, TrajectoryRecorder, VelocityVerlet, maxwell_boltzmann_velocities,
+)
+from repro.tb import GSPSilicon, TBCalculator
+
+
+def test_f9_phonons_and_elastic(benchmark):
+    # --- phonons: dynamical matrix route ------------------------------------
+    at = silicon_supercell(2)
+    nu, _ = gamma_frequencies(at, TBCalculator(GSPSilicon()),
+                              displacement=0.02)
+    nu_max = float(nu.max())
+    f_dm, dos_dm = phonon_dos_from_frequencies(nu)
+
+    # --- phonons: VACF route ----------------------------------------------------
+    md_at = silicon_supercell(2)
+    maxwell_boltzmann_velocities(md_at, 300.0, seed=19)
+    rec = TrajectoryRecorder()
+    MDDriver(md_at, TBCalculator(GSPSilicon()), VelocityVerlet(dt=1.0),
+             observers=[rec]).run(800)
+    freq, dos = phonon_dos(rec.trajectory.velocities(), dt_fs=1.0,
+                           max_lag=300)
+    # a single short trajectory leaves a flat noise floor at high
+    # frequency, so compare the *dominant spectral peak* (robust) rather
+    # than a percentile of the weight
+    vacf_peak = float(freq[np.argmax(dos)])
+
+    # --- elastic constants ----------------------------------------------------------
+    ec_tb = cubic_elastic_constants(silicon_supercell(2),
+                                    lambda: TBCalculator(GSPSilicon()))
+    ec_sw = cubic_elastic_constants(silicon_supercell(1), StillingerWeber)
+
+    print_table(
+        "F9a: Si vibrational spectrum, two routes (THz)",
+        ["quantity", "dynamical matrix", "VACF"],
+        [["spectral top / dominant peak", nu_max, vacf_peak],
+         ["acoustic zeros (|ν|max of 3)", float(np.abs(nu[:3]).max()), "-"]],
+        float_fmt="{:.2f}")
+
+    print_table(
+        "F9b: cubic elastic constants (GPa)",
+        ["model", "C11", "C12", "C44", "C44 unrelaxed", "B=(C11+2C12)/3"],
+        [["GSP TB (Si64)", ec_tb["c11_gpa"], ec_tb["c12_gpa"],
+          ec_tb["c44_gpa"], ec_tb["c44_unrelaxed_gpa"],
+          ec_tb["bulk_modulus_gpa"]],
+         ["SW classical", ec_sw["c11_gpa"], ec_sw["c12_gpa"],
+          ec_sw["c44_gpa"], ec_sw["c44_unrelaxed_gpa"],
+          ec_sw["bulk_modulus_gpa"]],
+         ["experiment", 165.8, 63.9, 79.6, "-", 97.9]],
+        float_fmt="{:.1f}")
+
+    # --- shape assertions -------------------------------------------------
+    assert np.abs(nu[:3]).max() < 0.05            # acoustic sum rule
+    assert 13.0 < nu_max < 21.0                   # optical-phonon scale
+    # the VACF's dominant peak sits inside (and near the top of) the
+    # dynamical-matrix band
+    assert 0.5 * nu_max < vacf_peak < 1.2 * nu_max
+    for ec in (ec_tb, ec_sw):
+        assert born_stability_cubic(ec["c11"], ec["c12"], ec["c44"])
+        assert ec["c11_gpa"] > ec["c12_gpa"] > 0
+        assert ec["c44_unrelaxed_gpa"] > ec["c44_gpa"]
+    assert abs(ec_tb["bulk_modulus_gpa"] - 98.0) < 15.0
+    assert abs(ec_sw["c11_gpa"] - 161.6) / 161.6 < 0.10
+
+    benchmark.pedantic(
+        lambda: gamma_frequencies(silicon_supercell(1),
+                                  TBCalculator(GSPSilicon())),
+        rounds=2, iterations=1)

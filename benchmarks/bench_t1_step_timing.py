@@ -1,0 +1,58 @@
+"""T1 — Time per MD step vs system size, with per-phase breakdown.
+
+Reproduces the canonical SC'94 table: wall-clock seconds per TBMD step on
+one node for diamond-Si supercells, split into neighbour search /
+Hamiltonian build / diagonalisation / force evaluation.  Expected shape:
+the diagonalisation column grows as N³ and dominates beyond ~100 atoms.
+"""
+
+import numpy as np
+
+from repro.bench import print_table, silicon_supercell
+from repro.geometry import rattle
+from repro.tb import GSPSilicon, TBCalculator
+
+PHASES = ("neighbors", "hamiltonian", "diagonalize", "forces", "repulsive")
+MULTIPLIERS = (1, 2, 3)          # 8, 64, 216 atoms
+
+
+def measure_step(natoms_multiplier: int, repeats: int = 2) -> dict:
+    at = silicon_supercell(natoms_multiplier, rattle_amp=0.05, seed=1)
+    calc = TBCalculator(GSPSilicon())
+    calc.compute(at, forces=True)            # warm-up
+    calc.timer.reset()
+    for rep in range(repeats):
+        calc.compute(rattle(at, 0.03, seed=rep + 2), forces=True)
+    row = {ph: calc.timer.elapsed(ph) / repeats for ph in PHASES}
+    row["natoms"] = len(at)
+    row["total"] = sum(row[ph] for ph in PHASES)
+    return row
+
+
+def test_t1_step_timing_table(benchmark):
+    rows = [measure_step(m) for m in MULTIPLIERS]
+
+    table_rows = [[r["natoms"]] + [r[ph] for ph in PHASES] + [r["total"]]
+                  for r in rows]
+    print_table(
+        "T1: seconds per MD step by phase (measured, this host)",
+        ["N", *PHASES, "total"], table_rows, float_fmt="{:.3e}")
+
+    # shape assertions: diag grows superlinearly, dominates at 216 atoms
+    t_diag = [r["diagonalize"] for r in rows]
+    n = [r["natoms"] for r in rows]
+    growth = (t_diag[-1] / max(t_diag[0], 1e-12)) / (n[-1] / n[0])
+    assert growth > 5.0, "diagonalisation must scale superlinearly"
+    assert t_diag[-1] / rows[-1]["total"] > 0.3
+
+    # benchmark a steady-state 64-atom step (the classic per-step number)
+    at = silicon_supercell(2, rattle_amp=0.05, seed=3)
+    calc = TBCalculator(GSPSilicon())
+    calc.compute(at, forces=True)
+    state = {"k": 0}
+
+    def one_step():
+        state["k"] += 1
+        calc.compute(rattle(at, 0.02, seed=state["k"]), forces=True)
+
+    benchmark.pedantic(one_step, rounds=3, iterations=1)

@@ -1,0 +1,50 @@
+"""T2 — Phase-fraction crossover: the O(N³) diagonalisation wall.
+
+Reproduces the fraction-of-step-time table that motivates parallel TBMD:
+as N grows, the diagonalisation share marches toward 100 % while the
+O(N) phases (neighbours, H build, pair forces) fade.  Expected shape:
+monotone growth of the diag share with N.
+"""
+
+from repro.bench import print_table, silicon_supercell
+from repro.geometry import rattle
+from repro.tb import GSPSilicon, TBCalculator
+
+MULTIPLIERS = (1, 2, 3)
+PHASES = ("neighbors", "hamiltonian", "diagonalize", "forces", "repulsive")
+
+
+def fractions_for(multiplier: int) -> dict:
+    at = silicon_supercell(multiplier, rattle_amp=0.05, seed=1)
+    calc = TBCalculator(GSPSilicon())
+    calc.compute(at, forces=True)
+    calc.timer.reset()
+    for rep in range(2):
+        calc.compute(rattle(at, 0.03, seed=rep + 7), forces=True)
+    total = sum(calc.timer.elapsed(p) for p in PHASES) or 1.0
+    out = {p: calc.timer.elapsed(p) / total for p in PHASES}
+    out["natoms"] = len(at)
+    return out
+
+
+def test_t2_diagonalisation_share_grows(benchmark):
+    rows = [fractions_for(m) for m in MULTIPLIERS]
+    print_table(
+        "T2: fraction of step time by phase",
+        ["N", *PHASES],
+        [[r["natoms"]] + [r[p] for p in PHASES] for r in rows],
+        float_fmt="{:.3f}")
+
+    shares = [r["diagonalize"] for r in rows]
+    assert shares == sorted(shares), "diag share must grow with N"
+    assert shares[-1] > 0.3
+
+    # benchmark the diagonalisation kernel itself at 216 atoms
+    from repro.neighbors import neighbor_list
+    from repro.tb.eigensolvers import solve_eigh
+    from repro.tb.hamiltonian import build_hamiltonian
+
+    at = silicon_supercell(3, rattle_amp=0.05, seed=2)
+    model = GSPSilicon()
+    H, _ = build_hamiltonian(at, model, neighbor_list(at, model.cutoff))
+    benchmark.pedantic(lambda: solve_eigh(H), rounds=3, iterations=1)

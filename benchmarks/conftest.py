@@ -1,0 +1,29 @@
+"""Shared benchmark fixtures.
+
+The calibration (measured per-phase flop coefficients) is computed once
+per session and shared by every parallel-model benchmark, mirroring how
+the paper's model parameters were measured once on the target machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel import MachineSpec, ReplicatedDataModel, calibrate_step
+from repro.tb import GSPSilicon
+
+
+@pytest.fixture(scope="session")
+def calibration():
+    """Measured host calibration on 8→64-atom diamond Si."""
+    return calibrate_step(GSPSilicon(), sizes=(1, 2), repeats=2)
+
+
+@pytest.fixture(scope="session")
+def paragon_model(calibration):
+    return ReplicatedDataModel(calibration, MachineSpec.paragon())
+
+
+@pytest.fixture(scope="session")
+def modern_model(calibration):
+    return ReplicatedDataModel(calibration, MachineSpec.modern())

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Electronic structure: silicon bands and the graphene Dirac point.
+
+Demonstrates the k-resolved layer of the TB engine:
+
+* diamond-silicon band structure along L–Γ–X with the GSP model
+  (indirect-gap semiconductor),
+* graphene bands through the folded K point with the XWCH carbon model
+  (the Dirac crossing).
+
+Run:  python examples/band_structure.py
+"""
+
+import numpy as np
+
+from repro.geometry import bulk_silicon, graphene_sheet
+from repro.tb import GSPSilicon, XuCarbon
+from repro.tb.bands import band_gap_along_path, band_structure
+from repro.tb.kpoints import FCC_POINTS, kpath
+from repro.utils.tables import sparkline
+
+
+def silicon_bands():
+    at = bulk_silicon()
+    kpts, dist, ticks = kpath(FCC_POINTS, ["L", "G", "X"], n_per_segment=16)
+    bands = band_structure(at, GSPSilicon(), kpts)
+    info = band_gap_along_path(bands, n_electrons=32.0)
+
+    print("=== GSP silicon, L–Γ–X ===")
+    print(f"valence-band max : {info['vbm']:8.3f} eV")
+    print(f"conduction min   : {info['cbm']:8.3f} eV")
+    print(f"indirect gap     : {info['indirect_gap']:8.3f} eV "
+          "(GSP: ~1.2; expt: 1.17)")
+    print(f"direct gap       : {info['direct_gap']:8.3f} eV")
+    n_occ = 16
+    print("top valence band :", sparkline(bands[:, n_occ - 1]))
+    print("bottom conduction:", sparkline(bands[:, n_occ]))
+
+
+def graphene_bands():
+    g = graphene_sheet(1, 1)
+    # Γ → folded K (0, 1/3) → zone edge, in the rectangular 4-atom cell
+    ky = np.sort(np.append(np.linspace(0.0, 0.5, 41), 1.0 / 3.0))
+    kpts = np.stack([np.zeros_like(ky), ky, np.zeros_like(ky)], axis=1)
+    bands = band_structure(g, XuCarbon(), kpts)
+    n_occ = 8
+    gap = bands[:, n_occ] - bands[:, n_occ - 1]
+
+    print("\n=== XWCH graphene, Γ → Y (through the folded K point) ===")
+    print(f"minimum π-π* separation: {gap.min():.4f} eV "
+          f"at k_y = {ky[np.argmin(gap)]:.3f} (Dirac point at 1/3)")
+    print("π  band:", sparkline(bands[:, n_occ - 1]))
+    print("π* band:", sparkline(bands[:, n_occ]))
+    assert gap.min() < 0.05
+
+
+if __name__ == "__main__":
+    silicon_bands()
+    graphene_bands()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Application workload: relax and anneal an open carbon nanotube.
+
+The workload class the TBMD engine was built for (and that the
+boron-nanotube literature later ran at scale): a finite open-ended
+(10,0) zig-zag tube with a frozen base ring, described by the
+Xu–Wang–Chan–Ho carbon model.
+
+1. build the tube and freeze the bottom ring (the "held" end),
+2. CG-relax the open edge,
+3. anneal at increasing temperatures with the 0.5 K/fs ramp protocol,
+4. track the pentagon/hexagon/heptagon census — the edge-reconstruction
+   diagnostic of the tube-closure studies.
+
+Run:  python examples/carbon_nanotube.py          (~3-4 min)
+      python examples/carbon_nanotube.py --fast
+"""
+
+import argparse
+
+from repro.analysis import bond_statistics, ring_statistics
+from repro.analysis.coordination import undercoordinated_atoms
+from repro.analysis.rings import count_polygons
+from repro.geometry import nanotube
+from repro.md import MDDriver, NoseHooverChain, maxwell_boltzmann_velocities
+from repro.md.ramps import anneal_protocol
+from repro.relax import conjugate_gradient
+from repro.tb import TBCalculator, XuCarbon
+
+
+def census(tube, label):
+    p5, p6, p7 = count_polygons(tube, 1.75)
+    stats = bond_statistics(tube, 1.75)
+    dangling = len(undercoordinated_atoms(tube, 1.75, target=3))
+    print(f"{label:<28} pentagons={p5:2d} hexagons={p6:3d} heptagons={p7:2d} "
+          f"under-coordinated={dangling:3d} "
+          f"<bond>={stats['mean_bond_length']:.3f} Å")
+
+
+def main(fast: bool = False):
+    cells = 2 if fast else 3
+    hold = 120 if fast else 400
+    temps = [1000.0, 2000.0] if fast else [1000.0, 2000.0, 2500.0]
+
+    tube = nanotube(10, 0, cells=cells, periodic=False)
+    z = tube.positions[:, 2]
+    tube.fixed[z < z.min() + 0.4] = True
+    print(f"(10,0) zig-zag tube: {len(tube)} C atoms, "
+          f"{int(tube.fixed.sum())} frozen base atoms\n")
+    census(tube, "as built")
+
+    calc = TBCalculator(XuCarbon())
+    res = conjugate_gradient(tube, calc, fmax=0.05, max_steps=500)
+    print(f"\nCG relaxation: {res}")
+    census(tube, "relaxed")
+
+    maxwell_boltzmann_velocities(tube, temps[0], seed=3)
+    nhc = NoseHooverChain(dt=1.0, temperature=temps[0], tau=40.0)
+    md = MDDriver(tube, calc, nhc)
+
+    print(f"\nannealing ladder {temps} K "
+          f"(0.5 K/fs ramps, {hold} fs holds)...")
+    def report(stage, t, data):
+        if stage == "sampled":
+            census(tube, f"after {hold} fs at {t:.0f} K")
+
+    anneal_protocol(md, temperatures=temps, hold_steps=hold,
+                    equilibrate_steps=hold // 4, rate=0.5,
+                    stage_callback=report)
+
+    print("\nInterpretation: at 1000 K the hexagonal network is static; "
+          "edge rings begin to break/reconstruct (pentagons, chains) only "
+          "above ~2000 K — the onset sequence of the classic tube-closure "
+          "simulations.")
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fast", action="store_true")
+    main(**vars(ap.parse_args()))

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Parallel TBMD scaling study — the paper's headline evaluation.
+
+Calibrates the replicated-data cost model with measured per-phase step
+timings on this host, then projects strong/weak scaling onto 1994-class
+machine models (Intel Paragon / Delta / CM-5 presets) and a modern node:
+
+* the Amdahl wall of the replicated eigensolver,
+* the distributed block-Jacobi crossover,
+* weak scaling and the O(N³) argument.
+
+Run:  python examples/parallel_scaling.py
+"""
+
+import numpy as np
+
+from repro.bench import print_table
+from repro.parallel import (
+    MachineSpec, ReplicatedDataModel, calibrate_step, strong_scaling,
+    weak_scaling,
+)
+from repro.parallel.scaling import serial_fraction_estimate
+from repro.tb import GSPSilicon
+
+PROCS = (1, 2, 4, 8, 16, 32, 64, 128, 256)
+
+
+def main():
+    print("calibrating per-phase cost coefficients on this host...")
+    cal = calibrate_step(GSPSilicon(), sizes=(1, 2), repeats=2)
+    print(f"  effective host rate : {cal.host_flops:.3g} flop/s")
+    print(f"  pairs per atom      : {cal.pairs_per_atom:.1f}")
+
+    for machine in (MachineSpec.paragon(), MachineSpec.modern()):
+        model = ReplicatedDataModel(cal, machine)
+        n = 216
+        s_frac = serial_fraction_estimate(model, n)
+        rows_rep = strong_scaling(model, n, PROCS, diag="replicated")
+        rows_dist = strong_scaling(model, n, PROCS, diag="distributed")
+        print_table(
+            f"strong scaling on {machine.name!r}, N = {n} Si atoms "
+            f"(serial diag fraction {s_frac:.2f})",
+            ["P", "t_rep (s)", "S_rep", "t_dist (s)", "S_dist"],
+            [[p, a["time"], a["speedup"], b["time"], b["speedup"]]
+             for p, a, b in zip(PROCS, rows_rep, rows_dist)],
+            float_fmt="{:.4g}")
+
+    model = ReplicatedDataModel(cal, MachineSpec.paragon())
+    weak = weak_scaling(model, 32, PROCS[:7], diag="distributed")
+    print_table(
+        "weak scaling on 'paragon', 32 atoms/processor (distributed diag)",
+        ["P", "N", "t (s)", "efficiency"],
+        [[r["nproc"], r["natoms"], r["time"], r["efficiency"]] for r in weak],
+        float_fmt="{:.4g}")
+
+    print("\nReading the tables: replicated diagonalisation caps the "
+          "speedup at 1/serial-fraction (Amdahl); the distributed Jacobi "
+          "pays ~10× flops but divides by P, overtaking at moderate P. "
+          "Weak-scaling efficiency decays ~P² — the O(N³) wall that "
+          "motivated the linear-scaling methods of the later 1990s.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Melt-and-analyse: liquid silicon with NVT tight-binding MD.
+
+The classic liquid-Si workflow of 1990s TBMD papers:
+
+1. superheat a diamond-Si supercell with a Nosé–Hoover chain thermostat
+   (Fermi smearing on — liquid silicon is a metal),
+2. cool to the sampling temperature and equilibrate,
+3. measure g(r), bond angles, coordination and the diffusion constant.
+
+Run:  python examples/silicon_melt.py          (~2-3 min on one core)
+      python examples/silicon_melt.py --fast   (shorter, noisier)
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.analysis import (
+    angle_distribution, mean_squared_displacement, radial_distribution,
+)
+from repro.analysis.msd import diffusion_coefficient
+from repro.analysis.rdf import coordination_from_rdf, first_peak
+from repro.geometry import bulk_silicon, rattle, supercell
+from repro.md import (
+    MDDriver, NoseHooverChain, ThermoLog, TrajectoryRecorder,
+    maxwell_boltzmann_velocities,
+)
+from repro.tb import GSPSilicon, TBCalculator
+from repro.units import KB
+from repro.utils.tables import sparkline
+
+
+def main(fast: bool = False):
+    melt_steps = 150 if fast else 300
+    prod_steps = 200 if fast else 400
+    t_melt, t_sample = 5500.0, 3500.0
+
+    atoms = rattle(supercell(bulk_silicon(), 2), 0.3, seed=7)
+    maxwell_boltzmann_velocities(atoms, t_melt, seed=7)
+    calc = TBCalculator(GSPSilicon(), kT=KB * t_sample)
+
+    log = ThermoLog()
+    md = MDDriver(atoms, calc,
+                  NoseHooverChain(dt=1.0, temperature=t_melt, tau=40.0),
+                  observers=[log])
+    print(f"melting {len(atoms)} Si atoms at {t_melt:.0f} K "
+          f"({melt_steps} fs)...")
+    md.run(melt_steps)
+
+    print(f"cooling to {t_sample:.0f} K and equilibrating...")
+    md.integrator.target_temperature = t_sample
+    md.run(melt_steps // 2)
+
+    rec = TrajectoryRecorder()
+    md.add_observer(rec, interval=10)
+    print(f"production run ({prod_steps} fs)...")
+    md.run(prod_steps)
+    print(f"temperature trace: {sparkline(log.temperature)}")
+
+    # --- structural analysis -------------------------------------------------
+    frames = [rec.trajectory.atoms_at(i) for i in range(len(rec.trajectory))]
+    r, g = radial_distribution(frames[3:], r_max=5.5, nbins=110)
+    peak = first_peak(r, g, r_window=(2.0, 3.0))
+    density = len(atoms) / atoms.cell.volume
+    coord = coordination_from_rdf(r, g, density, r_min=3.1)
+    ang, adf = angle_distribution(frames[-1], r_cut=3.1, nbins=60)
+
+    pos = rec.trajectory.positions()
+    msd = mean_squared_displacement(pos, origins=4)
+    times = rec.trajectory.times() - rec.trajectory.times()[0]
+    d_coeff = diffusion_coefficient(times, msd, fit_fraction=(0.3, 0.9))
+
+    print("\n--- liquid structure ---")
+    print(f"g(r) first peak     : {peak:.2f} Å   (liquid Si: 2.4-2.5)")
+    print(f"coordination (<3.1Å): {coord:.2f}     (crystal: 4, liquid: >4)")
+    print(f"g(r):  {sparkline(g)}")
+    print(f"ADF :  {sparkline(adf)}  (flat-ish = liquid; crystal peaks at 109°)")
+    print(f"D ≈ {d_coeff * 0.1:.2e} cm²/s  (ab-initio l-Si: ~1e-4)")
+
+
+if __name__ == "__main__":
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--fast", action="store_true")
+    main(**vars(ap.parse_args()))

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Vibrational analysis: phonon DOS of crystalline silicon from the VACF.
+
+Runs a low-temperature NVE trajectory of a Si supercell and Fourier-
+transforms the velocity autocorrelation function — the cheap phonon
+spectrum MD codes report.  Crystalline silicon's spectrum spans up to
+~16 THz (the optical phonon), with acoustic weight at low frequency.
+
+Run:  python examples/vibrational_analysis.py      (~1-2 min)
+"""
+
+import numpy as np
+
+from repro.analysis import phonon_dos, velocity_autocorrelation
+from repro.analysis.vacf import dos_cutoff
+from repro.geometry import bulk_silicon, supercell
+from repro.md import (
+    MDDriver, TrajectoryRecorder, VelocityVerlet, maxwell_boltzmann_velocities,
+)
+from repro.tb import GSPSilicon, TBCalculator
+from repro.utils.tables import sparkline
+
+
+def main():
+    atoms = supercell(bulk_silicon(), 2)
+    maxwell_boltzmann_velocities(atoms, 300.0, seed=11)
+    calc = TBCalculator(GSPSilicon())
+
+    rec = TrajectoryRecorder()
+    md = MDDriver(atoms, calc, VelocityVerlet(dt=1.0), observers=[rec])
+    print(f"running {len(atoms)}-atom NVE trajectory (1200 fs)...")
+    md.run(1200)
+
+    vel = rec.trajectory.velocities()
+    vacf = velocity_autocorrelation(vel, max_lag=400)
+    freq, dos = phonon_dos(vel, dt_fs=1.0, max_lag=400)
+
+    keep = freq < 25.0
+    # the short-trajectory noise floor pollutes a global cutoff; report the
+    # band top within the physical window at a robust threshold
+    cutoff = dos_cutoff(freq[keep], dos[keep], threshold=0.3)
+    print(f"\nVACF   : {sparkline(vacf)}")
+    print(f"DOS    : {sparkline(dos[keep])}   (0 → 25 THz)")
+    print(f"band top (30% threshold): {cutoff:.1f} THz "
+          "(silicon optical phonon: ~15.5; GSP runs stiff)")
+    peak = freq[keep][np.argmax(dos[keep])]
+    print(f"dominant peak   : {peak:.1f} THz")
+
+
+if __name__ == "__main__":
+    main()

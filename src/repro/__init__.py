@@ -1,0 +1,44 @@
+"""pytbmd — a parallel tight-binding molecular dynamics library.
+
+Reproduction of *"Tight binding molecular dynamics"* (Proceedings of
+Supercomputing 1994): a complete TBMD engine — Slater–Koster sp models,
+exact diagonalisation, Hellmann–Feynman forces, NVE/NVT dynamics,
+structural relaxation — together with the replicated-data / distributed
+parallelisation layer and its scaling evaluation.  See DESIGN.md for the
+system inventory and EXPERIMENTS.md for the reproduced evaluation.
+
+Quick start::
+
+    from repro.geometry import bulk_silicon, supercell
+    from repro.tb import TBCalculator, GSPSilicon
+    from repro.md import MDDriver, VelocityVerlet, maxwell_boltzmann_velocities
+
+    atoms = supercell(bulk_silicon(), 2)          # 64 Si atoms
+    calc = TBCalculator(GSPSilicon())
+    maxwell_boltzmann_velocities(atoms, 300.0, seed=42)
+    md = MDDriver(atoms, calc, VelocityVerlet(dt=1.0))
+    md.run(100)
+"""
+
+__version__ = "1.0.0"
+
+from repro import analysis, classical, geometry, md, neighbors, parallel, relax, tb, units
+from repro.geometry import Atoms, Cell
+from repro.tb import TBCalculator, get_model
+
+__all__ = [
+    "__version__",
+    "analysis",
+    "classical",
+    "geometry",
+    "md",
+    "neighbors",
+    "parallel",
+    "relax",
+    "tb",
+    "units",
+    "Atoms",
+    "Cell",
+    "TBCalculator",
+    "get_model",
+]

@@ -1,0 +1,39 @@
+"""Structural and dynamical analysis: RDF, rings, MSD, VACF, EOS, bands."""
+
+from repro.analysis.rdf import radial_distribution
+from repro.analysis.adf import angle_distribution
+from repro.analysis.coordination import bond_statistics, coordination_numbers
+from repro.analysis.rings import ring_statistics, bond_graph
+from repro.analysis.msd import mean_squared_displacement, diffusion_coefficient
+from repro.analysis.vacf import velocity_autocorrelation, phonon_dos
+from repro.analysis.eos import birch_murnaghan_fit, murnaghan_fit, EOSFit
+from repro.analysis.timeseries import block_average, running_mean
+from repro.analysis.phonons import (
+    acoustic_sum_rule_violation,
+    dynamical_matrix,
+    gamma_frequencies,
+)
+from repro.analysis.elastic import born_stability_cubic, cubic_elastic_constants
+
+__all__ = [
+    "radial_distribution",
+    "angle_distribution",
+    "coordination_numbers",
+    "bond_statistics",
+    "ring_statistics",
+    "bond_graph",
+    "mean_squared_displacement",
+    "diffusion_coefficient",
+    "velocity_autocorrelation",
+    "phonon_dos",
+    "birch_murnaghan_fit",
+    "murnaghan_fit",
+    "EOSFit",
+    "block_average",
+    "running_mean",
+    "dynamical_matrix",
+    "gamma_frequencies",
+    "acoustic_sum_rule_violation",
+    "cubic_elastic_constants",
+    "born_stability_cubic",
+]

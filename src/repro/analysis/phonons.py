@@ -1,0 +1,95 @@
+"""Lattice dynamics: finite-difference dynamical matrix and Γ phonons.
+
+The direct (frozen-phonon) route to vibrational frequencies: displace
+every atom along every Cartesian direction, build the mass-weighted
+Hessian from the force differences, diagonalise.  Complements the VACF
+route in :mod:`repro.analysis.vacf` — the two spectra are compared in the
+F9 benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.units import FORCE_TO_ACC
+
+
+def dynamical_matrix(atoms, calc, displacement: float = 0.01,
+                     symmetrize: bool = True) -> np.ndarray:
+    """Mass-weighted Hessian D (3N × 3N) at Γ by central differences.
+
+    ``D[3i+a, 3j+b] = −∂F_{jb}/∂r_{ia} / √(m_i m_j)`` in eV/Å²/amu.
+    Costs 6N force evaluations.
+    """
+    if displacement <= 0:
+        raise GeometryError("displacement must be > 0")
+    n = len(atoms)
+    d = np.zeros((3 * n, 3 * n))
+    inv_sqrt_m = 1.0 / np.sqrt(atoms.masses)
+    for i in range(n):
+        for a in range(3):
+            plus = atoms.copy()
+            plus.positions[i, a] += displacement
+            f_plus = calc.compute(plus, forces=True)["forces"]
+            minus = atoms.copy()
+            minus.positions[i, a] -= displacement
+            f_minus = calc.compute(minus, forces=True)["forces"]
+            dfdx = (f_plus - f_minus) / (2.0 * displacement)   # (N, 3)
+            row = -(dfdx * inv_sqrt_m[:, None]).reshape(-1) * inv_sqrt_m[i]
+            d[3 * i + a, :] = row
+    if symmetrize:
+        d = 0.5 * (d + d.T)
+    return d
+
+
+def gamma_frequencies(atoms, calc, displacement: float = 0.01
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """Γ-point phonon frequencies (THz) and mass-weighted eigenvectors.
+
+    Negative eigenvalues (imaginary modes) are returned as negative
+    frequencies, the standard convention for instability reporting.
+    Internal-unit bookkeeping: ``ω² = λ · FORCE_TO_ACC`` gives ω in
+    rad/fs; ``ν[THz] = ω/(2π) × 10³``.
+    """
+    d = dynamical_matrix(atoms, calc, displacement=displacement)
+    evals, evecs = np.linalg.eigh(d)
+    omega2 = evals * FORCE_TO_ACC                 # rad²/fs²
+    nu = np.sign(omega2) * np.sqrt(np.abs(omega2)) / (2.0 * np.pi) * 1.0e3
+    return nu, evecs
+
+
+def acoustic_sum_rule_violation(d: np.ndarray, masses: np.ndarray) -> float:
+    """Max |Σ_j √(m_j) D[ia, jb]·?| — translational-invariance residual.
+
+    For an exact Hessian, rigid translations are null modes:
+    ``Σ_j D[3i+a, 3j+b] √(m_j) = 0`` for all (i, a, b).  Returns the
+    worst-case violation (eV/Å²/√amu) — a force-consistency diagnostic.
+    """
+    n = len(masses)
+    sqrt_m = np.sqrt(masses)
+    worst = 0.0
+    for b in range(3):
+        # translation vector along b in mass-weighted coordinates
+        t = np.zeros(3 * n)
+        t[b::3] = sqrt_m
+        resid = np.abs(d @ t).max()
+        worst = max(worst, float(resid))
+    return worst
+
+
+def phonon_dos_from_frequencies(frequencies: np.ndarray, nbins: int = 60,
+                                f_max: float | None = None
+                                ) -> tuple[np.ndarray, np.ndarray]:
+    """Histogram DOS from a Γ (or supercell-folded) frequency list."""
+    nu = np.asarray(frequencies, dtype=float)
+    nu = nu[nu > 0.1]             # drop acoustic zeros / numerical noise
+    if len(nu) == 0:
+        raise GeometryError("no positive frequencies")
+    if f_max is None:
+        f_max = float(nu.max()) * 1.05
+    hist, edges = np.histogram(nu, bins=nbins, range=(0.0, f_max))
+    centers = 0.5 * (edges[1:] + edges[:-1])
+    area = np.trapezoid(hist.astype(float), centers)
+    dos = hist / area if area > 0 else hist.astype(float)
+    return centers, dos

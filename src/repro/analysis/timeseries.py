@@ -1,0 +1,48 @@
+"""Time-series statistics for MD observables."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+def running_mean(x, window: int) -> np.ndarray:
+    """Centered-ish running mean with a leading ramp (same length as x)."""
+    x = np.asarray(x, dtype=float)
+    if window < 1:
+        raise GeometryError("window must be >= 1")
+    window = min(window, len(x))
+    c = np.cumsum(np.concatenate([[0.0], x]))
+    out = np.empty_like(x)
+    for i in range(len(x)):
+        lo = max(0, i - window + 1)
+        out[i] = (c[i + 1] - c[lo]) / (i + 1 - lo)
+    return out
+
+
+def block_average(x, nblocks: int = 10) -> tuple[float, float]:
+    """Mean and block-standard-error of a correlated series.
+
+    Splits the series into *nblocks* contiguous blocks; the standard error
+    of the block means is the usual defensible error bar for MD averages.
+    """
+    x = np.asarray(x, dtype=float)
+    if nblocks < 2:
+        raise GeometryError("need at least 2 blocks")
+    if len(x) < nblocks:
+        raise GeometryError(f"series of {len(x)} too short for {nblocks} blocks")
+    usable = (len(x) // nblocks) * nblocks
+    blocks = x[:usable].reshape(nblocks, -1).mean(axis=1)
+    mean = float(blocks.mean())
+    sem = float(blocks.std(ddof=1) / np.sqrt(nblocks))
+    return mean, sem
+
+
+def drift_per_step(x) -> float:
+    """Least-squares slope of a series (e.g. conserved-energy drift)."""
+    x = np.asarray(x, dtype=float)
+    if len(x) < 2:
+        return 0.0
+    t = np.arange(len(x), dtype=float)
+    return float(np.polyfit(t, x, 1)[0])

@@ -1,0 +1,78 @@
+"""Velocity autocorrelation function and phonon density of states.
+
+The VACF Fourier transform is the classic cheap phonon DOS of MD codes —
+crystalline silicon shows its acoustic/optical structure with a cutoff
+near 16 THz, a standard TB validation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+
+
+def velocity_autocorrelation(velocities: np.ndarray,
+                             max_lag: int | None = None) -> np.ndarray:
+    """Normalised VACF ⟨v(0)·v(τ)⟩/⟨v²⟩ from a (T, N, 3) velocity stack.
+
+    Uses FFT-based correlation over all time origins.
+    """
+    v = np.asarray(velocities, dtype=float)
+    if v.ndim != 3 or v.shape[2] != 3:
+        raise GeometryError(f"velocities must be (T, N, 3), got {v.shape}")
+    nt = v.shape[0]
+    if max_lag is None:
+        max_lag = nt // 2
+    max_lag = min(max_lag, nt - 1)
+
+    # correlate each scalar component with zero-padded FFT
+    nfft = 1
+    while nfft < 2 * nt:
+        nfft *= 2
+    flat = v.reshape(nt, -1)
+    spec = np.fft.rfft(flat, n=nfft, axis=0)
+    corr = np.fft.irfft(spec * np.conj(spec), n=nfft, axis=0)[:max_lag + 1]
+    # unbiased normalisation by the overlap count
+    counts = (nt - np.arange(max_lag + 1)).astype(float)
+    corr = corr.sum(axis=1) / counts
+    if corr[0] <= 0:
+        raise GeometryError("zero kinetic energy; VACF undefined")
+    return corr / corr[0]
+
+
+def phonon_dos(velocities: np.ndarray, dt_fs: float,
+               max_lag: int | None = None,
+               window: str = "hann") -> tuple[np.ndarray, np.ndarray]:
+    """Phonon DOS as the cosine transform of the VACF.
+
+    Returns ``(frequencies_THz, dos)`` with the DOS normalised to unit
+    integral.
+    """
+    if dt_fs <= 0:
+        raise GeometryError("dt_fs must be > 0")
+    vacf = velocity_autocorrelation(velocities, max_lag=max_lag)
+    n = len(vacf)
+    if window == "hann":
+        w = np.hanning(2 * n)[n:]
+    elif window == "none":
+        w = np.ones(n)
+    else:
+        raise GeometryError(f"unknown window {window!r}")
+    spec = np.abs(np.fft.rfft(vacf * w, n=4 * n))
+    freq_per_fs = np.fft.rfftfreq(4 * n, d=dt_fs)   # cycles/fs
+    freq_thz = freq_per_fs * 1.0e3                  # 1 cycle/fs = 1000 THz
+    area = np.trapezoid(spec, freq_thz)
+    if area > 0:
+        spec = spec / area
+    return freq_thz, spec
+
+
+def dos_cutoff(freq_thz: np.ndarray, dos: np.ndarray,
+               threshold: float = 0.02) -> float:
+    """Highest frequency with DOS above *threshold* × max (band top)."""
+    dos = np.asarray(dos)
+    mask = dos > threshold * dos.max()
+    if not mask.any():
+        return 0.0
+    return float(np.asarray(freq_thz)[mask].max())

@@ -1,0 +1,18 @@
+"""Benchmark support: workload generators and reporting."""
+
+from repro.bench.workloads import (
+    liquid_silicon_workload,
+    nanotube_workload,
+    silicon_supercell,
+    sizes_table,
+)
+from repro.bench.reporting import print_table, series_rows
+
+__all__ = [
+    "silicon_supercell",
+    "liquid_silicon_workload",
+    "nanotube_workload",
+    "sizes_table",
+    "print_table",
+    "series_rows",
+]

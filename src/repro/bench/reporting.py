@@ -1,0 +1,23 @@
+"""Benchmark output helpers: consistent table/series printing."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.utils.tables import Table
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[Any]], float_fmt="{:.4g}") -> str:
+    """Render and print a benchmark table; returns the rendered string."""
+    t = Table(headers, title=f"== {title} ==", float_fmt=float_fmt)
+    for row in rows:
+        t.add_row(row)
+    text = t.render()
+    print("\n" + text)
+    return text
+
+
+def series_rows(xs, ys) -> list[list]:
+    """Zip two sequences into table rows."""
+    return [[x, y] for x, y in zip(xs, ys)]

@@ -1,0 +1,6 @@
+"""Classical interatomic potentials — the speed baseline TBMD is judged
+against (the era's papers quote "TB costs 10²–10³× classical MD")."""
+
+from repro.classical.stillinger_weber import StillingerWeber
+
+__all__ = ["StillingerWeber"]

@@ -1,0 +1,168 @@
+"""Command-line interface: energy, relaxation and MD from XYZ files.
+
+A thin operational wrapper so downstream users can drive the engine
+without writing Python::
+
+    python -m repro.cli models
+    python -m repro.cli energy  structure.xyz --model gsp-si
+    python -m repro.cli relax   structure.xyz --model xu-c --fmax 0.02 -o out.xyz
+    python -m repro.cli md      structure.xyz --steps 500 --temperature 1000 \
+                                --thermostat nose-hoover --traj run.xyz
+
+Models: ``gsp-si``, ``xu-c``, ``harrison``, ``nonortho-si`` (tight
+binding) and ``sw-si`` (classical Stillinger–Weber baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+
+
+def _make_calculator(name: str, kT: float):
+    if name == "sw-si":
+        from repro.classical import StillingerWeber
+
+        return StillingerWeber()
+    from repro.tb import TBCalculator, get_model
+
+    return TBCalculator(get_model(name), kT=kT)
+
+
+def cmd_models(_args) -> int:
+    print("tight-binding models: gsp-si, xu-c, harrison, nonortho-si")
+    print("classical baselines : sw-si (Stillinger-Weber)")
+    return 0
+
+
+def cmd_energy(args) -> int:
+    from repro.geometry import read_xyz
+
+    atoms = read_xyz(args.structure)
+    calc = _make_calculator(args.model, args.kt)
+    res = calc.compute(atoms, forces=True)
+    print(f"atoms            : {len(atoms)}")
+    print(f"energy           : {res['energy']:.6f} eV "
+          f"({res['energy'] / len(atoms):.6f} eV/atom)")
+    if "gap" in res:
+        print(f"HOMO-LUMO gap    : {res['gap']:.4f} eV")
+    import numpy as np
+
+    print(f"max |force|      : {np.abs(res['forces']).max():.6f} eV/Å")
+    if "pressure_gpa" in res:
+        print(f"pressure         : {res['pressure_gpa']:.4f} GPa")
+    return 0
+
+
+def cmd_relax(args) -> int:
+    from repro.geometry import read_xyz, write_xyz
+    from repro.relax import conjugate_gradient, fire_relax, steepest_descent
+
+    atoms = read_xyz(args.structure)
+    calc = _make_calculator(args.model, args.kt)
+    relaxer = {"cg": conjugate_gradient, "fire": fire_relax,
+               "sd": steepest_descent}[args.method]
+    res = relaxer(atoms, calc, fmax=args.fmax, max_steps=args.max_steps)
+    print(res)
+    if args.output:
+        write_xyz(args.output, atoms,
+                  comment=f"relaxed E={res.energy:.6f} fmax={res.fmax:.2e}")
+        print(f"wrote {args.output}")
+    return 0 if res.converged else 2
+
+
+def cmd_md(args) -> int:
+    from repro.geometry import read_xyz
+    from repro.md import (
+        LangevinDynamics, MDDriver, NoseHoover, NoseHooverChain, ThermoLog,
+        VelocityVerlet, maxwell_boltzmann_velocities,
+    )
+    from repro.md.observers import ProgressPrinter, XYZWriter
+
+    atoms = read_xyz(args.structure)
+    calc = _make_calculator(args.model, args.kt)
+    if args.temperature > 0:
+        maxwell_boltzmann_velocities(atoms, args.temperature, seed=args.seed)
+    if args.thermostat == "none":
+        integ = VelocityVerlet(dt=args.dt)
+    elif args.thermostat == "nose-hoover":
+        integ = NoseHoover(dt=args.dt, temperature=args.temperature)
+    elif args.thermostat == "nose-hoover-chain":
+        integ = NoseHooverChain(dt=args.dt, temperature=args.temperature)
+    elif args.thermostat == "langevin":
+        integ = LangevinDynamics(dt=args.dt, temperature=args.temperature,
+                                 seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown thermostat {args.thermostat}")
+
+    log = ThermoLog()
+    observers: list = [log, (ProgressPrinter(), max(1, args.steps // 20))]
+    if args.traj:
+        observers.append((XYZWriter(args.traj), args.traj_interval))
+    md = MDDriver(atoms, calc, integ, observers=observers)
+    md.run(args.steps)
+    print(f"\nconserved-quantity drift: {log.conserved_drift():.3e}")
+    if args.traj:
+        print(f"trajectory written to {args.traj}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="parallel tight-binding molecular dynamics (pytbmd)")
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list available models")
+
+    def add_common(sp):
+        sp.add_argument("structure", help="input (extended-)XYZ file")
+        sp.add_argument("--model", default="gsp-si",
+                        choices=["gsp-si", "xu-c", "harrison", "nonortho-si",
+                                 "sw-si"])
+        sp.add_argument("--kt", type=float, default=0.0,
+                        help="electronic temperature (eV)")
+
+    pe = sub.add_parser("energy", help="single-point energy and forces")
+    add_common(pe)
+
+    pr = sub.add_parser("relax", help="structural relaxation")
+    add_common(pr)
+    pr.add_argument("--method", default="cg", choices=["cg", "fire", "sd"])
+    pr.add_argument("--fmax", type=float, default=0.05)
+    pr.add_argument("--max-steps", type=int, default=500)
+    pr.add_argument("-o", "--output", help="write relaxed structure here")
+
+    pm = sub.add_parser("md", help="molecular dynamics")
+    add_common(pm)
+    pm.add_argument("--steps", type=int, default=100)
+    pm.add_argument("--dt", type=float, default=1.0)
+    pm.add_argument("--temperature", type=float, default=300.0)
+    pm.add_argument("--thermostat", default="none",
+                    choices=["none", "nose-hoover", "nose-hoover-chain",
+                             "langevin"])
+    pm.add_argument("--seed", type=int, default=42)
+    pm.add_argument("--traj", help="write trajectory XYZ here")
+    pm.add_argument("--traj-interval", type=int, default=10)
+    return p
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "models": cmd_models,
+        "energy": cmd_energy,
+        "relax": cmd_relax,
+        "md": cmd_md,
+    }[args.command]
+    try:
+        return handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""Exception hierarchy for pytbmd.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything originating here with one ``except`` clause while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all pytbmd errors."""
+
+
+class GeometryError(ReproError):
+    """Invalid cell, atoms container, or structure-builder input."""
+
+
+class NeighborError(ReproError):
+    """Neighbour-list construction failed (bad cutoff, degenerate cell...)."""
+
+
+class ModelError(ReproError):
+    """Tight-binding model misuse: unsupported species, bad parameters."""
+
+
+class ElectronicError(ReproError):
+    """Electronic-structure failure: occupation count, μ bisection, solver."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative algorithm (relaxation, SCF-like loop, μ search) failed
+    to converge within its iteration budget."""
+
+    def __init__(self, message: str, iterations: int | None = None,
+                 residual: float | None = None):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class MDError(ReproError):
+    """Molecular-dynamics driver misuse or numerical blow-up."""
+
+
+class ParallelError(ReproError):
+    """Communicator / decomposition misuse."""
+
+
+class IOFormatError(ReproError):
+    """Malformed structure or trajectory file."""

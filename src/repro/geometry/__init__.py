@@ -1,0 +1,49 @@
+"""Atomic geometry: periodic cells, atom containers, structure builders."""
+
+from repro.geometry.cell import Cell
+from repro.geometry.atoms import Atoms
+from repro.geometry.lattices import (
+    bcc,
+    bulk_silicon,
+    diamond_cubic,
+    fcc,
+    graphene_sheet,
+    simple_cubic,
+    beta_tin_silicon,
+)
+from repro.geometry.nanostructures import (
+    carbon_chain,
+    carbon_ring,
+    nanotube,
+    random_cluster,
+)
+from repro.geometry.transform import rattle, strain, supercell
+from repro.geometry.defects import make_vacancy, stone_wales, vacancy_formation_energy
+from repro.geometry.nanoribbons import armchair_nanoribbon, zigzag_nanoribbon
+from repro.geometry.xyz import read_xyz, write_xyz
+
+__all__ = [
+    "Cell",
+    "Atoms",
+    "diamond_cubic",
+    "bulk_silicon",
+    "beta_tin_silicon",
+    "fcc",
+    "bcc",
+    "simple_cubic",
+    "graphene_sheet",
+    "nanotube",
+    "carbon_chain",
+    "carbon_ring",
+    "random_cluster",
+    "supercell",
+    "rattle",
+    "strain",
+    "read_xyz",
+    "write_xyz",
+    "make_vacancy",
+    "stone_wales",
+    "vacancy_formation_energy",
+    "zigzag_nanoribbon",
+    "armchair_nanoribbon",
+]

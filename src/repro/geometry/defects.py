@@ -1,0 +1,92 @@
+"""Point-defect construction: vacancies and the Stone–Wales transformation.
+
+Defect energetics are the era's standard transferability tests (vacancy
+formation in silicon) and the Stone–Wales bond rotation is the elementary
+re-bonding step of fullerene/nanotube dynamics — the mechanism the
+tube-closure literature invokes for post-closure annealing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.atoms import Atoms
+from repro.neighbors import neighbor_list
+
+
+def make_vacancy(atoms: Atoms, index: int = 0) -> Atoms:
+    """Return a copy of *atoms* with atom *index* removed."""
+    n = len(atoms)
+    if not 0 <= index < n:
+        raise GeometryError(f"vacancy index {index} out of range (N={n})")
+    mask = np.ones(n, dtype=bool)
+    mask[index] = False
+    return atoms.select(mask)
+
+
+def vacancy_formation_energy(e_defect: float, e_perfect: float,
+                             n_perfect: int) -> float:
+    """``E_f = E(N−1 atoms) − (N−1)/N · E(N atoms)`` — the standard
+    chemical-potential-balanced formation energy for an elemental solid."""
+    if n_perfect < 2:
+        raise GeometryError("need at least 2 atoms")
+    return e_defect - (n_perfect - 1) / n_perfect * e_perfect
+
+
+def stone_wales(atoms: Atoms, i: int, j: int, r_bond: float = 1.8) -> Atoms:
+    """Apply a Stone–Wales transformation: rotate the i–j bond by 90°.
+
+    The two atoms rotate about their bond midpoint, in the local plane
+    defined by their neighbours, converting four hexagons into the 5-7-7-5
+    pattern in sp² networks.  Validity of the result (ring census) is the
+    caller's to check — the rotation itself is purely geometric.
+
+    Parameters
+    ----------
+    i, j :
+        The bonded pair to rotate (must be within *r_bond*).
+    """
+    if i == j:
+        raise GeometryError("need two distinct atoms")
+    d = atoms.distance(i, j)
+    if d > r_bond:
+        raise GeometryError(
+            f"atoms {i} and {j} are {d:.2f} Å apart (> {r_bond}); not a bond"
+        )
+    out = atoms.copy()
+    ri = out.positions[i]
+    rj = out.positions[j]
+    # minimum-image bond: the raw midpoint is wrong for bonds that cross
+    # a periodic boundary, so anchor the midpoint at atom i
+    bond = out.cell.minimum_image(rj - ri)
+    mid = ri + 0.5 * bond
+
+    # rotation axis: local surface normal — estimated from the neighbours
+    # of both atoms (cross products of bond with neighbour bonds)
+    nl = neighbor_list(atoms, r_bond)
+    fi, fj_, fvec, _ = nl.full()
+    normals = []
+    for centre in (i, j):
+        sel = fi == centre
+        for v in fvec[sel]:
+            cr = np.cross(bond, v)
+            norm = np.linalg.norm(cr)
+            if norm > 1e-6:
+                # orient consistently
+                if normals and np.dot(cr, normals[0]) < 0:
+                    cr = -cr
+                normals.append(cr / norm)
+    if not normals:
+        raise GeometryError("could not determine a rotation plane")
+    axis = np.mean(normals, axis=0)
+    axis /= np.linalg.norm(axis)
+
+    # rotate the bond by 90° about the axis through the midpoint
+    half = 0.5 * bond
+    cos90, sin90 = 0.0, 1.0
+    rotated = (half * cos90 + np.cross(axis, half) * sin90
+               + axis * np.dot(axis, half) * (1 - cos90))
+    out.positions[i] = mid - rotated
+    out.positions[j] = mid + rotated
+    return out

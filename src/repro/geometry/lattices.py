@@ -1,0 +1,132 @@
+"""Crystal-lattice builders for the benchmark workloads.
+
+All builders return conventional cells with fully periodic boundary
+conditions; combine with :func:`repro.geometry.transform.supercell` to grow
+them to MD sizes.  Lattice constants default to the experimental values used
+by the classic TB validation studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.atoms import Atoms
+from repro.geometry.cell import Cell
+
+#: Experimental lattice constant of diamond-cubic silicon (Å).
+SI_A0 = 5.431
+
+#: Experimental lattice constant of diamond-cubic carbon (Å).
+C_DIAMOND_A0 = 3.567
+
+#: Experimental graphene C–C bond length (Å).
+GRAPHENE_CC = 1.42
+
+
+def diamond_cubic(symbol: str = "Si", a: float | None = None) -> Atoms:
+    """8-atom conventional diamond-cubic cell.
+
+    Parameters
+    ----------
+    symbol : chemical species ("Si" or "C" for the supported TB models).
+    a : lattice constant in Å (defaults: Si 5.431, C 3.567).
+    """
+    if a is None:
+        a = {"Si": SI_A0, "C": C_DIAMOND_A0}.get(symbol)
+        if a is None:
+            raise GeometryError(
+                f"no default lattice constant for {symbol!r}; pass a= explicitly"
+            )
+    frac = np.array([
+        [0.00, 0.00, 0.00],
+        [0.50, 0.50, 0.00],
+        [0.50, 0.00, 0.50],
+        [0.00, 0.50, 0.50],
+        [0.25, 0.25, 0.25],
+        [0.75, 0.75, 0.25],
+        [0.75, 0.25, 0.75],
+        [0.25, 0.75, 0.75],
+    ])
+    cell = Cell.cubic(a)
+    return Atoms([symbol] * 8, cell.cartesian(frac), cell=cell)
+
+
+def bulk_silicon(a: float = SI_A0) -> Atoms:
+    """Convenience alias: 8-atom diamond-cubic silicon cell."""
+    return diamond_cubic("Si", a=a)
+
+
+def fcc(symbol: str, a: float) -> Atoms:
+    """4-atom conventional face-centred-cubic cell."""
+    frac = np.array([
+        [0.0, 0.0, 0.0],
+        [0.5, 0.5, 0.0],
+        [0.5, 0.0, 0.5],
+        [0.0, 0.5, 0.5],
+    ])
+    cell = Cell.cubic(a)
+    return Atoms([symbol] * 4, cell.cartesian(frac), cell=cell)
+
+
+def bcc(symbol: str, a: float) -> Atoms:
+    """2-atom conventional body-centred-cubic cell."""
+    frac = np.array([[0.0, 0.0, 0.0], [0.5, 0.5, 0.5]])
+    cell = Cell.cubic(a)
+    return Atoms([symbol] * 2, cell.cartesian(frac), cell=cell)
+
+
+def simple_cubic(symbol: str, a: float) -> Atoms:
+    """1-atom simple-cubic cell."""
+    cell = Cell.cubic(a)
+    return Atoms([symbol], np.zeros((1, 3)), cell=cell)
+
+
+def beta_tin_silicon(a: float = 4.686, c_over_a: float = 0.552) -> Atoms:
+    """4-atom conventional β-tin (A5) silicon cell.
+
+    Body-centred tetragonal, space group I4₁/amd, atoms on the 4a sites:
+    the two bct lattice points each decorated with the (0,0,0), (0,½,¼)
+    basis.  The canonical high-pressure competitor to diamond silicon in
+    TB equation-of-state validation figures (≈14 Å³/atom vs ≈20 for
+    diamond).  Default geometry from the experimental high-pressure phase.
+    """
+    c = a * c_over_a
+    cell = Cell(np.diag([a, a, c]))
+    frac = np.array([
+        [0.0, 0.0, 0.00],
+        [0.0, 0.5, 0.25],
+        [0.5, 0.5, 0.50],
+        [0.5, 0.0, 0.75],
+    ])
+    return Atoms(["Si"] * 4, cell.cartesian(frac), cell=cell)
+
+
+def graphene_sheet(nx: int = 1, ny: int = 1, cc: float = GRAPHENE_CC,
+                   vacuum: float = 15.0, symbol: str = "C") -> Atoms:
+    """Periodic graphene sheet of nx×ny orthorhombic 4-atom cells.
+
+    The 4-atom rectangular cell has dimensions (3·cc, √3·cc); the sheet is
+    periodic in x and y and padded with *vacuum* Å of empty space in z
+    (z axis non-periodic for TB cutoffs shorter than the vacuum, but flagged
+    periodic so the cell is well-defined either way — we mark z non-periodic
+    to make intent explicit).
+    """
+    if nx < 1 or ny < 1:
+        raise GeometryError("nx, ny must be >= 1")
+    ax = 3.0 * cc
+    ay = np.sqrt(3.0) * cc
+    base = np.array([
+        [0.0, 0.0, 0.0],
+        [cc, 0.0, 0.0],
+        [1.5 * cc, ay / 2.0, 0.0],
+        [2.5 * cc, ay / 2.0, 0.0],
+    ])
+    pos = []
+    for i in range(nx):
+        for j in range(ny):
+            pos.append(base + np.array([i * ax, j * ay, 0.0]))
+    pos = np.vstack(pos)
+    pos[:, 2] += vacuum / 2.0
+    cell = Cell(np.diag([nx * ax, ny * ay, vacuum]), pbc=(True, True, False))
+    return Atoms([symbol] * len(pos), pos, cell=cell)

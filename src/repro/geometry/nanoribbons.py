@@ -1,0 +1,96 @@
+"""Graphene nanoribbon builders (zigzag and armchair edges).
+
+Ribbons are periodic along x and finite across y; the zigzag ribbon's
+flat edge band at the Fermi level (Fujita/Nakada 1996) is the canonical
+edge-electronic-structure test of a carbon TB model and is asserted in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.atoms import Atoms
+from repro.geometry.cell import Cell
+from repro.geometry.lattices import GRAPHENE_CC
+
+
+def zigzag_nanoribbon(width: int, cells: int = 1, cc: float = GRAPHENE_CC,
+                      vacuum: float = 12.0) -> Atoms:
+    """Zigzag-edged graphene nanoribbon.
+
+    Parameters
+    ----------
+    width :
+        Number of zigzag chains across the ribbon (N in the N-ZGNR
+        convention); 2N atoms per translational cell.
+    cells :
+        Repetitions along the periodic (x) axis; the translational period
+        is ``√3·cc``.
+    """
+    if width < 2:
+        raise GeometryError("zigzag ribbon needs width >= 2")
+    a = np.sqrt(3.0) * cc
+    pos = []
+    for w in range(width):
+        y0 = w * 1.5 * cc
+        # each zigzag chain contributes two atoms per period
+        if w % 2 == 0:
+            pos.append((0.0, y0))
+            pos.append((a / 2.0, y0 + 0.5 * cc))
+        else:
+            pos.append((a / 2.0, y0))
+            pos.append((0.0, y0 + 0.5 * cc))
+    base = np.array(pos)
+    coords = []
+    for c in range(cells):
+        shifted = base.copy()
+        shifted[:, 0] += c * a
+        coords.append(shifted)
+    xy = np.vstack(coords)
+    out = np.zeros((len(xy), 3))
+    out[:, 0] = xy[:, 0]
+    out[:, 1] = xy[:, 1] + vacuum
+    out[:, 2] = vacuum
+    ly = base[:, 1].max() + 2 * vacuum
+    cell = Cell(np.diag([cells * a, ly, 2 * vacuum]),
+                pbc=(True, False, False))
+    return Atoms(["C"] * len(out), out, cell=cell)
+
+
+def armchair_nanoribbon(width: int, cells: int = 1, cc: float = GRAPHENE_CC,
+                        vacuum: float = 12.0) -> Atoms:
+    """Armchair-edged graphene nanoribbon.
+
+    *width* counts dimer lines across the ribbon (N-AGNR convention);
+    the translational period along x is ``3·cc``.
+    """
+    if width < 2:
+        raise GeometryError("armchair ribbon needs width >= 2")
+    ay = np.sqrt(3.0) * cc / 2.0
+    pos = []
+    for w in range(width):
+        y0 = w * ay
+        if w % 2 == 0:
+            pos.append((0.0, y0))
+            pos.append((cc, y0))
+        else:
+            pos.append((-cc / 2.0, y0))
+            pos.append((1.5 * cc, y0))
+    base = np.array(pos)
+    period = 3.0 * cc
+    coords = []
+    for c in range(cells):
+        shifted = base.copy()
+        shifted[:, 0] += c * period
+        coords.append(shifted)
+    xy = np.vstack(coords)
+    out = np.zeros((len(xy), 3))
+    out[:, 0] = xy[:, 0]
+    out[:, 1] = xy[:, 1] + vacuum
+    out[:, 2] = vacuum
+    ly = base[:, 1].max() + 2 * vacuum
+    cell = Cell(np.diag([cells * period, ly, 2 * vacuum]),
+                pbc=(True, False, False))
+    return Atoms(["C"] * len(out), out, cell=cell)

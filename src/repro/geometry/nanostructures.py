@@ -1,0 +1,224 @@
+"""Nanostructure builders: carbon nanotubes, chains, rings, random clusters.
+
+The nanotube builder implements the standard (n, m) roll-up construction
+(Dresselhaus convention): the chiral vector ``Ch = n·a1 + m·a2`` of a
+graphene sheet becomes the tube circumference, the translation vector ``T``
+the tube axis.  (n, 0) tubes are "zig-zag", (n, n) "arm-chair" — the two
+workload classes of the classic TBMD nanotube-closure studies.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.atoms import Atoms
+from repro.geometry.cell import Cell
+from repro.geometry.lattices import GRAPHENE_CC
+from repro.utils.rng import default_rng
+
+
+def _gcd(a: int, b: int) -> int:
+    return math.gcd(a, b)
+
+
+def nanotube_radius(n: int, m: int, cc: float = GRAPHENE_CC) -> float:
+    """Radius (Å) of an (n, m) single-wall tube."""
+    a = math.sqrt(3.0) * cc
+    return a * math.sqrt(n * n + n * m + m * m) / (2.0 * math.pi)
+
+
+def nanotube(n: int, m: int, cells: int = 1, cc: float = GRAPHENE_CC,
+             periodic: bool = True, vacuum: float = 12.0,
+             symbol: str = "C") -> Atoms:
+    """Build an (n, m) single-wall nanotube.
+
+    Parameters
+    ----------
+    n, m :
+        Chiral indices, ``n >= m >= 0``, ``n >= 1``.
+    cells :
+        Number of translational unit cells along the tube axis (z).
+    periodic :
+        If True the tube is periodic along z (infinite tube).  If False the
+        structure is a finite open-ended segment in a fully non-periodic
+        cell — the starting point of the tube-closure MD workloads.
+    vacuum :
+        Padding (Å) added around the tube radially (and axially when
+        non-periodic).
+
+    Returns
+    -------
+    Atoms with the tube axis along z, centred in x/y.
+    """
+    if not (n >= 1 and 0 <= m <= n):
+        raise GeometryError(f"invalid chiral indices ({n}, {m}); need n>=m>=0, n>=1")
+    if cells < 1:
+        raise GeometryError("cells must be >= 1")
+
+    a = math.sqrt(3.0) * cc
+    a1 = np.array([a * math.sqrt(3.0) / 2.0, a / 2.0])
+    a2 = np.array([a * math.sqrt(3.0) / 2.0, -a / 2.0])
+    basis = [np.zeros(2), (a1 + a2) / 3.0]
+
+    ch = n * a1 + m * a2
+    ch_len = float(np.linalg.norm(ch))
+    radius = ch_len / (2.0 * math.pi)
+
+    d_r = _gcd(2 * n + m, 2 * m + n)
+    t1 = (2 * m + n) // d_r
+    t2 = -(2 * n + m) // d_r
+    tvec = t1 * a1 + t2 * a2
+    t_len = float(np.linalg.norm(tvec))
+
+    # Enumerate graphene lattice points whose (u, t) projections fall in the
+    # unit rectangle [0,1) × [0,1) of (Ch, T).
+    def fold(x: float) -> float:
+        """Map a projection into [0, 1), snapping float noise at 1 to 0."""
+        x -= math.floor(x)
+        if x > 1.0 - 1e-6:
+            x = 0.0
+        return x
+
+    bound = abs(t1) + abs(t2) + n + m + 2
+    pts = []
+    seen = set()
+    for i in range(-bound, bound + 1):
+        for j in range(-bound, bound + 1):
+            for b, shift in enumerate(basis):
+                p = i * a1 + j * a2 + shift
+                u = fold(float(np.dot(p, ch) / ch_len**2))
+                t = fold(float(np.dot(p, tvec) / t_len**2))
+                key = (round(u, 6), round(t, 6), b)
+                if key not in seen:
+                    seen.add(key)
+                    pts.append((u, t))
+    n_expected = 4 * (n * n + n * m + m * m) // d_r
+    if len(pts) != n_expected:
+        raise GeometryError(
+            f"nanotube construction found {len(pts)} atoms per cell, "
+            f"expected {n_expected} for ({n},{m})"
+        )
+
+    # Shift the axial origin so the cell boundary falls mid-way through the
+    # largest gap between atomic planes.  A finite (periodic=False) tube
+    # then terminates in the physical edge (2-coordinated saw-tooth for
+    # zig-zag) instead of slicing a bonded ring pair apart.
+    t_planes = sorted({round(t, 6) for _, t in pts})
+    if len(t_planes) > 1:
+        gaps = [(t_planes[k + 1] - t_planes[k], t_planes[k])
+                for k in range(len(t_planes) - 1)]
+        gaps.append((1.0 - t_planes[-1] + t_planes[0], t_planes[-1]))
+        gap, lo = max(gaps)
+        t_origin = fold(lo + gap / 2.0)
+        pts = [(u, fold(t - t_origin)) for u, t in pts]
+
+    # Roll up: u → azimuthal angle, t → axial coordinate.
+    coords = []
+    for c in range(cells):
+        for u, t in pts:
+            theta = 2.0 * math.pi * u
+            z = (t + c) * t_len
+            coords.append((radius * math.cos(theta),
+                           radius * math.sin(theta), z))
+    coords = np.array(coords)
+
+    box_xy = 2.0 * radius + 2.0 * vacuum
+    coords[:, 0] += box_xy / 2.0
+    coords[:, 1] += box_xy / 2.0
+    if periodic:
+        cell = Cell(np.diag([box_xy, box_xy, cells * t_len]),
+                    pbc=(False, False, True))
+    else:
+        coords[:, 2] += vacuum
+        cell = Cell(np.diag([box_xy, box_xy, cells * t_len + 2.0 * vacuum]),
+                    pbc=False)
+    return Atoms([symbol] * len(coords), coords, cell=cell)
+
+
+def hydrogen_cap(atoms: Atoms, end: str = "bottom", ch_bond: float = 1.09,
+                 coordination_cut: float = 1.8, fix_hydrogens: bool = True) -> Atoms:
+    """Saturate the dangling bonds at one end of a finite nanotube with H.
+
+    Finds the under-coordinated carbon ring nearest the chosen end (lowest
+    or highest z) and attaches one hydrogen per edge atom, pointing axially
+    outward.  The classic tube-closure simulations freeze these hydrogens;
+    with *fix_hydrogens* the returned structure has them pre-marked fixed.
+    """
+    if end not in ("bottom", "top"):
+        raise GeometryError("end must be 'bottom' or 'top'")
+    pos = atoms.positions
+    z = pos[:, 2]
+    edge_z = z.min() if end == "bottom" else z.max()
+    edge_mask = np.abs(z - edge_z) < 0.6  # one zig-zag/armchair ring
+    direction = -1.0 if end == "bottom" else 1.0
+
+    h_pos = pos[edge_mask].copy()
+    h_pos[:, 2] += direction * ch_bond
+    h_atoms = Atoms(["H"] * len(h_pos), h_pos, cell=atoms.cell,
+                    fixed=np.full(len(h_pos), fix_hydrogens))
+    return atoms.extend(h_atoms)
+
+
+def carbon_chain(n: int, bond: float = 1.28, vacuum: float = 12.0,
+                 symbol: str = "C") -> Atoms:
+    """Linear carbon chain of *n* atoms along z (isolated)."""
+    if n < 1:
+        raise GeometryError("n must be >= 1")
+    pos = np.zeros((n, 3))
+    pos[:, 2] = np.arange(n) * bond
+    pos += vacuum
+    extent = (n - 1) * bond + 2 * vacuum
+    return Atoms([symbol] * n, pos, cell=Cell.cubic(extent, pbc=False))
+
+
+def carbon_ring(n: int, bond: float = 1.40, vacuum: float = 12.0,
+                symbol: str = "C") -> Atoms:
+    """Planar monocyclic C_n ring (isolated)."""
+    if n < 3:
+        raise GeometryError("a ring needs n >= 3")
+    radius = bond / (2.0 * math.sin(math.pi / n))
+    theta = 2.0 * math.pi * np.arange(n) / n
+    pos = np.stack([radius * np.cos(theta), radius * np.sin(theta),
+                    np.zeros(n)], axis=1)
+    extent = 2 * radius + 2 * vacuum
+    pos += extent / 2.0
+    return Atoms([symbol] * n, pos, cell=Cell.cubic(extent, pbc=False))
+
+
+def random_cluster(n: int, symbol: str = "Si", min_dist: float = 2.2,
+                   density: float = 0.045, seed=None,
+                   max_tries: int = 20000) -> Atoms:
+    """Random isolated cluster with a hard minimum inter-atomic distance.
+
+    Used by workload generators for disordered starting points.  *density*
+    is atoms/Å³ of the bounding sphere (default loosely liquid-like).
+    """
+    if n < 1:
+        raise GeometryError("n must be >= 1")
+    rng = default_rng(seed)
+    radius = (3.0 * n / (4.0 * math.pi * density)) ** (1.0 / 3.0)
+    placed = np.empty((n, 3))
+    count = 0
+    tries = 0
+    while count < n:
+        tries += 1
+        if tries > max_tries:
+            raise GeometryError(
+                f"could not place {n} atoms with min_dist={min_dist} "
+                f"in sphere of radius {radius:.2f} Å; lower density or min_dist"
+            )
+        # rejection-sample a point in the sphere
+        p = rng.uniform(-radius, radius, size=3)
+        if np.dot(p, p) > radius * radius:
+            continue
+        if count and np.min(np.linalg.norm(placed[:count] - p, axis=1)) < min_dist:
+            continue
+        placed[count] = p
+        count += 1
+    vacuum = 10.0
+    extent = 2 * radius + 2 * vacuum
+    placed += extent / 2.0
+    return Atoms([symbol] * n, placed, cell=Cell.cubic(extent, pbc=False))

@@ -1,0 +1,93 @@
+"""Structure transforms: supercell replication, thermal rattle, strain."""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.atoms import Atoms
+from repro.geometry.cell import Cell
+from repro.utils.rng import default_rng
+
+
+def supercell(atoms: Atoms, reps) -> Atoms:
+    """Replicate *atoms* ``reps = (na, nb, nc)`` times along its lattice
+    vectors (an int means isotropic replication).
+
+    Velocities, masses and fixed flags are replicated with the positions.
+    Replication along a non-periodic axis is refused — it would create
+    overlapping copies.
+    """
+    if np.isscalar(reps):
+        reps = (int(reps),) * 3
+    reps = tuple(int(r) for r in reps)
+    if any(r < 1 for r in reps):
+        raise GeometryError(f"replications must be >= 1, got {reps}")
+    for k, r in enumerate(reps):
+        if r > 1 and not atoms.cell.pbc[k]:
+            raise GeometryError(
+                f"cannot replicate along non-periodic axis {k}"
+            )
+    h = atoms.cell.matrix
+    shifts = [i * h[0] + j * h[1] + k * h[2]
+              for i, j, k in itertools.product(
+                  range(reps[0]), range(reps[1]), range(reps[2]))]
+    n = len(atoms)
+    pos = np.vstack([atoms.positions + s for s in shifts])
+    vel = np.vstack([atoms.velocities] * len(shifts))
+    masses = np.tile(atoms.masses, len(shifts))
+    fixed = np.tile(atoms.fixed, len(shifts))
+    symbols = atoms.symbols * len(shifts)
+    new_h = h * np.asarray(reps, dtype=float)[:, None]
+    return Atoms(symbols, pos, cell=Cell(new_h, pbc=atoms.cell.pbc),
+                 velocities=vel, masses=masses, fixed=fixed)
+
+
+def rattle(atoms: Atoms, stdev: float = 0.02, seed=None,
+           respect_fixed: bool = True) -> Atoms:
+    """Return a copy with Gaussian displacements of width *stdev* Å.
+
+    Standard trick to break symmetry before relaxation and to decorrelate
+    repeated MD initial conditions.
+    """
+    if stdev < 0:
+        raise GeometryError("stdev must be >= 0")
+    rng = default_rng(seed)
+    out = atoms.copy()
+    disp = rng.normal(0.0, stdev, size=out.positions.shape)
+    if respect_fixed:
+        disp[out.fixed] = 0.0
+    out.positions += disp
+    return out
+
+
+def strain(atoms: Atoms, eps) -> Atoms:
+    """Apply a homogeneous strain to cell and positions.
+
+    Parameters
+    ----------
+    eps :
+        Either a scalar (isotropic strain: lengths scale by ``1+eps``) or a
+        3×3 strain tensor ε; positions and cell map through ``(1 + ε)``.
+    """
+    if np.isscalar(eps):
+        f = np.eye(3) * (1.0 + float(eps))
+    else:
+        e = np.asarray(eps, dtype=float)
+        if e.shape != (3, 3):
+            raise GeometryError("strain tensor must be 3x3 or scalar")
+        f = np.eye(3) + e
+    out = atoms.copy()
+    out.positions = out.positions @ f.T
+    new_cell = Cell(atoms.cell.matrix @ f.T, pbc=atoms.cell.pbc)
+    out.cell = new_cell
+    return out
+
+
+def scale_volume(atoms: Atoms, factor: float) -> Atoms:
+    """Return a copy with the volume scaled by *factor* (isotropic)."""
+    if factor <= 0:
+        raise GeometryError("volume factor must be > 0")
+    return strain(atoms, factor ** (1.0 / 3.0) - 1.0)

@@ -1,0 +1,122 @@
+"""XYZ / extended-XYZ structure I/O.
+
+Supports the plain XYZ format and a minimal extended-XYZ dialect with a
+``Lattice="ax ay az bx by bz cx cy cz"`` and ``pbc="T T F"`` comment line,
+which round-trips the :class:`~repro.geometry.atoms.Atoms` cell.  Multiple
+concatenated frames are supported for trajectories.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterator, TextIO
+
+import numpy as np
+
+from repro.errors import IOFormatError
+from repro.geometry.atoms import Atoms
+from repro.geometry.cell import Cell
+
+_LATTICE_RE = re.compile(r'Lattice="([^"]+)"')
+_PBC_RE = re.compile(r'pbc="([^"]+)"')
+
+
+def write_xyz(path_or_file, atoms: Atoms, comment: str | None = None,
+              append: bool = False) -> None:
+    """Write one frame in extended-XYZ format."""
+    own = False
+    if isinstance(path_or_file, (str, Path)):
+        fh: TextIO = open(path_or_file, "a" if append else "w")
+        own = True
+    else:
+        fh = path_or_file
+    try:
+        _write_frame(fh, atoms, comment)
+    finally:
+        if own:
+            fh.close()
+
+
+def _write_frame(fh: TextIO, atoms: Atoms, comment: str | None) -> None:
+    h = atoms.cell.matrix.reshape(-1)
+    lat = " ".join(f"{x:.10f}" for x in h)
+    pbc = " ".join("T" if p else "F" for p in atoms.cell.pbc)
+    extra = comment or ""
+    fh.write(f"{len(atoms)}\n")
+    fh.write(f'Lattice="{lat}" pbc="{pbc}" {extra}\n'.rstrip() + "\n")
+    for s, p in zip(atoms.symbols, atoms.positions):
+        fh.write(f"{s:<3s} {p[0]:18.10f} {p[1]:18.10f} {p[2]:18.10f}\n")
+
+
+def read_xyz(path_or_file, index: int = 0) -> Atoms:
+    """Read frame *index* (negative indices count from the end)."""
+    frames = list(iread_xyz(path_or_file))
+    if not frames:
+        raise IOFormatError("no frames in XYZ input")
+    try:
+        return frames[index]
+    except IndexError:
+        raise IOFormatError(
+            f"frame {index} out of range; file has {len(frames)} frames"
+        ) from None
+
+
+def iread_xyz(path_or_file) -> Iterator[Atoms]:
+    """Iterate over all frames in an (extended-)XYZ file."""
+    own = False
+    if isinstance(path_or_file, (str, Path)):
+        fh: TextIO = open(path_or_file)
+        own = True
+    else:
+        fh = path_or_file
+    try:
+        while True:
+            header = fh.readline()
+            if not header:
+                return
+            header = header.strip()
+            if not header:
+                continue
+            try:
+                natoms = int(header)
+            except ValueError:
+                raise IOFormatError(
+                    f"expected atom count, got {header!r}"
+                ) from None
+            comment = fh.readline()
+            if not comment:
+                raise IOFormatError("truncated XYZ frame: missing comment line")
+            symbols, pos = [], []
+            for _ in range(natoms):
+                line = fh.readline()
+                if not line:
+                    raise IOFormatError("truncated XYZ frame: missing atom lines")
+                parts = line.split()
+                if len(parts) < 4:
+                    raise IOFormatError(f"malformed atom line: {line!r}")
+                symbols.append(parts[0])
+                pos.append([float(x) for x in parts[1:4]])
+            cell = _parse_cell(comment)
+            yield Atoms(symbols, np.array(pos), cell=cell)
+    finally:
+        if own:
+            fh.close()
+
+
+def _parse_cell(comment: str) -> Cell | None:
+    m = _LATTICE_RE.search(comment)
+    if not m:
+        return None
+    values = [float(x) for x in m.group(1).split()]
+    if len(values) != 9:
+        raise IOFormatError(f"Lattice needs 9 numbers, got {len(values)}")
+    h = np.array(values).reshape(3, 3)
+    pm = _PBC_RE.search(comment)
+    if pm:
+        flags = [tok.upper() in ("T", "TRUE", "1") for tok in pm.group(1).split()]
+        if len(flags) != 3:
+            raise IOFormatError("pbc needs 3 flags")
+    else:
+        flags = [True, True, True]
+    return Cell(h, pbc=flags)

@@ -1,0 +1,34 @@
+"""Molecular dynamics: integrators, thermostats, driver, trajectories."""
+
+from repro.md.velocities import maxwell_boltzmann_velocities
+from repro.md.verlet import VelocityVerlet
+from repro.md.thermostats import (
+    BerendsenThermostat,
+    LangevinDynamics,
+    NoseHoover,
+    NoseHooverChain,
+    VelocityRescale,
+)
+from repro.md.driver import MDDriver
+from repro.md.trajectory import Trajectory
+from repro.md.observers import ThermoLog, TrajectoryRecorder, XYZWriter
+from repro.md.ramps import TemperatureRamp, anneal_protocol
+from repro.md.barostat import BerendsenNPT
+
+__all__ = [
+    "maxwell_boltzmann_velocities",
+    "VelocityVerlet",
+    "NoseHoover",
+    "NoseHooverChain",
+    "BerendsenThermostat",
+    "LangevinDynamics",
+    "VelocityRescale",
+    "MDDriver",
+    "Trajectory",
+    "ThermoLog",
+    "TrajectoryRecorder",
+    "XYZWriter",
+    "TemperatureRamp",
+    "anneal_protocol",
+    "BerendsenNPT",
+]

@@ -1,0 +1,100 @@
+"""The MD driver loop: integrator + calculator + observers.
+
+The driver owns no physics — it initialises the integrator, steps it, and
+fans out a per-step data record to observers.  Observer signature:
+``observer(step, atoms, data)`` with ``data`` containing at least
+``epot``, ``ekin``, ``etot``, ``temperature``, ``conserved``, ``time_fs``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MDError
+
+
+class MDDriver:
+    """Run molecular dynamics.
+
+    Parameters
+    ----------
+    atoms :
+        Structure evolved **in place**.
+    calc :
+        A :class:`~repro.tb.calculator.TBCalculator` (or any object with a
+        compatible ``compute``).
+    integrator :
+        A :class:`~repro.md.verlet.Integrator`.
+    observers :
+        Iterable of ``(observer, interval)`` pairs or bare observers
+        (interval 1).
+    blowup_temperature :
+        Abort threshold (K): an exploding trajectory (bad dt, overlapping
+        atoms) fails fast with a clear message instead of NaN-ing through
+        the eigensolver.
+    """
+
+    def __init__(self, atoms, calc, integrator, observers=(),
+                 blowup_temperature: float = 1.0e6):
+        self.atoms = atoms
+        self.calc = calc
+        self.integrator = integrator
+        self.observers: list[tuple] = []
+        for obs in observers:
+            if isinstance(obs, tuple):
+                self.add_observer(*obs)
+            else:
+                self.add_observer(obs)
+        self.blowup_temperature = float(blowup_temperature)
+        self.step_count = 0
+        self._initialized = False
+
+    def add_observer(self, observer, interval: int = 1) -> None:
+        if interval < 1:
+            raise MDError("observer interval must be >= 1")
+        self.observers.append((observer, int(interval)))
+
+    # -- main loop ---------------------------------------------------------------
+    def run(self, nsteps: int) -> dict:
+        """Advance *nsteps*; returns the last step's data record."""
+        if nsteps < 0:
+            raise MDError("nsteps must be >= 0")
+        if not self._initialized:
+            res = self.integrator.initialize(self.atoms, self.calc)
+            self._initialized = True
+            data = self._record(res)
+            self._notify(data)   # step 0 snapshot
+        data = None
+        for _ in range(nsteps):
+            res = self.integrator.step(self.atoms, self.calc)
+            self.step_count += 1
+            data = self._record(res)
+            if data["temperature"] > self.blowup_temperature or \
+                    not np.isfinite(data["etot"]):
+                raise MDError(
+                    f"trajectory blew up at step {self.step_count}: "
+                    f"T = {data['temperature']:.3g} K, "
+                    f"E = {data['etot']:.6g} eV — reduce dt or fix overlaps"
+                )
+            self._notify(data)
+        return data if data is not None else self._record(
+            self.calc.compute(self.atoms, forces=True))
+
+    def _record(self, res: dict) -> dict:
+        epot = res["energy"]
+        ekin = self.atoms.kinetic_energy()
+        return {
+            "step": self.step_count,
+            "time_fs": self.step_count * self.integrator.dt,
+            "epot": epot,
+            "ekin": ekin,
+            "etot": epot + ekin,
+            "temperature": self.atoms.temperature(),
+            "conserved": self.integrator.conserved_quantity(self.atoms, epot),
+            "results": res,
+        }
+
+    def _notify(self, data: dict) -> None:
+        for obs, interval in self.observers:
+            if self.step_count % interval == 0:
+                obs(self.step_count, self.atoms, data)

@@ -1,0 +1,104 @@
+"""Temperature-ramp protocols.
+
+The classic nanotube-closure simulations heat between plateaus at a fixed
+thermostat rate (0.5 K/fs), equilibrate ~1 ps at the new setpoint, then
+sample.  :class:`TemperatureRamp` drives any thermostat with a mutable
+``target_temperature``; :func:`anneal_protocol` chains ramp → equilibrate
+→ sample stages across a temperature ladder.
+"""
+
+from __future__ import annotations
+
+from repro.errors import MDError
+
+
+class TemperatureRamp:
+    """Observer that linearly ramps ``integrator.target_temperature``.
+
+    Parameters
+    ----------
+    integrator :
+        Any thermostat with a ``target_temperature`` attribute.
+    t_final :
+        Destination temperature (K).
+    rate :
+        Heating rate in K/fs (positive; the sign of the ramp is inferred).
+    """
+
+    def __init__(self, integrator, t_final: float, rate: float = 0.5):
+        if rate <= 0:
+            raise MDError("ramp rate must be > 0 K/fs")
+        if not hasattr(integrator, "target_temperature"):
+            raise MDError("integrator has no target_temperature to ramp")
+        self.integrator = integrator
+        self.t_final = float(t_final)
+        self.rate = float(rate)
+
+    @property
+    def done(self) -> bool:
+        return self.integrator.target_temperature == self.t_final
+
+    def steps_remaining(self) -> int:
+        dt = self.integrator.dt
+        span = abs(self.t_final - self.integrator.target_temperature)
+        return int(span / (self.rate * dt) + 0.999999)
+
+    def __call__(self, step, atoms, data) -> None:
+        t_now = self.integrator.target_temperature
+        if t_now == self.t_final:
+            return
+        delta = self.rate * self.integrator.dt
+        if t_now < self.t_final:
+            self.integrator.target_temperature = min(self.t_final, t_now + delta)
+        else:
+            self.integrator.target_temperature = max(self.t_final, t_now - delta)
+
+
+def anneal_protocol(driver, temperatures, hold_steps: int,
+                    equilibrate_steps: int = 1000, rate: float = 0.5,
+                    stage_callback=None) -> list[dict]:
+    """Run the ladder protocol: for each T, ramp → equilibrate → hold.
+
+    Parameters
+    ----------
+    driver :
+        An :class:`~repro.md.driver.MDDriver` whose integrator is a
+        thermostat.
+    temperatures :
+        Ladder of setpoints (K), e.g. ``[1000, 2000, 2500, 3000]``.
+    hold_steps :
+        Production steps at each plateau.
+    equilibrate_steps :
+        Steps after reaching each setpoint before production (the "1 ps"
+        of the classic protocol at dt = 1 fs).
+    rate :
+        Ramp rate in K/fs (classic protocol: 0.5).
+    stage_callback :
+        Optional ``f(stage_name, temperature, data)`` notifier.
+
+    Returns
+    -------
+    One summary dict per plateau with the last step's record.
+    """
+    integ = driver.integrator
+    if not hasattr(integ, "target_temperature"):
+        raise MDError("anneal_protocol needs an NVT integrator")
+    summaries = []
+    for t_target in temperatures:
+        ramp = TemperatureRamp(integ, t_final=float(t_target), rate=rate)
+        driver.add_observer(ramp)
+        driver.run(ramp.steps_remaining())
+        driver.observers = [(o, i) for (o, i) in driver.observers if o is not ramp]
+        integ.target_temperature = float(t_target)
+        data = driver.run(equilibrate_steps)
+        if stage_callback:
+            stage_callback("equilibrated", t_target, data)
+        data = driver.run(hold_steps)
+        if stage_callback:
+            stage_callback("sampled", t_target, data)
+        summaries.append({
+            "setpoint": float(t_target),
+            **{k: data[k] for k in ("step", "time_fs", "epot", "ekin",
+                                    "temperature", "conserved")},
+        })
+    return summaries

@@ -1,0 +1,321 @@
+"""Canonical-ensemble integrators: Nosé–Hoover (+chains), Berendsen,
+Langevin (BAOAB), and plain velocity rescaling.
+
+The Nosé–Hoover implementation follows the operator-splitting form of
+Martyna, Tuckerman & Klein as presented in Frenkel & Smit, *Understanding
+Molecular Simulation* — thermostat half-update, velocity-Verlet core,
+thermostat half-update.  Its conserved quantity (the extended-system
+energy)
+
+.. math::
+
+   H' = E_{pot} + E_{kin} + \\tfrac12 Q\\,v_\\xi^2 + g k_B T\\,\\xi
+
+is exposed through :meth:`NoseHoover.conserved_quantity` and monitored by
+the F5 benchmark to the same "< 1 part in 10⁴, no drift" standard the
+era's TBMD papers demonstrate for their NVT runs.
+
+The thermostat mass defaults to ``Q = g·k_B·T·τ²`` with relaxation time
+τ; ``target_temperature`` is a mutable attribute, which is how the
+0.5 K/fs heating-ramp protocol of the classic nanotube simulations is
+driven (see :mod:`repro.md.ramps`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MDError
+from repro.md.verlet import Integrator
+from repro.units import FORCE_TO_ACC, KB, MASS_VEL2_TO_EV
+from repro.utils.rng import default_rng
+
+
+def _ndof(atoms) -> int:
+    """Degrees of freedom thermostatted: 3 per free atom."""
+    return 3 * int((~atoms.fixed).sum())
+
+
+class NoseHoover(Integrator):
+    """Single Nosé–Hoover thermostat (NVT).
+
+    Parameters
+    ----------
+    dt : time step (fs).
+    temperature : target temperature (K); mutable between steps.
+    tau : thermostat relaxation time (fs); sets ``Q = g kB T τ²``.
+    q_mass : explicit thermostat mass (eV·fs²), overriding *tau*.
+    """
+
+    def __init__(self, dt: float, temperature: float, tau: float = 70.0,
+                 q_mass: float | None = None):
+        super().__init__(dt)
+        if temperature <= 0:
+            raise MDError("NVT target temperature must be > 0")
+        if tau <= 0:
+            raise MDError("tau must be > 0")
+        self.target_temperature = float(temperature)
+        self.tau = float(tau)
+        self._q_explicit = q_mass
+        self.xi = 0.0      # thermostat "position" (integral of v_xi)
+        self.v_xi = 0.0    # thermostat velocity
+
+    def q_mass(self, atoms) -> float:
+        """Thermostat inertia Q in eV·fs²."""
+        if self._q_explicit is not None:
+            return float(self._q_explicit)
+        g = _ndof(atoms)
+        return g * KB * self.target_temperature * self.tau**2
+
+    def _thermostat_half(self, atoms) -> None:
+        """Quarter–scale–quarter thermostat update over dt/2 (MTK)."""
+        dt2 = 0.5 * self.dt
+        g = _ndof(atoms)
+        q = self.q_mass(atoms)
+        kT = KB * self.target_temperature
+
+        ekin2 = 2.0 * atoms.kinetic_energy()
+        self.v_xi += 0.25 * self.dt * (ekin2 - g * kT) / q
+        scale = np.exp(-self.v_xi * dt2)
+        free = ~atoms.fixed
+        atoms.velocities[free] *= scale
+        self.xi += self.v_xi * dt2
+        ekin2 *= scale * scale
+        self.v_xi += 0.25 * self.dt * (ekin2 - g * kT) / q
+
+    def step(self, atoms, calc) -> dict:
+        dt = self.dt
+        self._thermostat_half(atoms)
+
+        f = self.forces
+        acc = FORCE_TO_ACC * f / atoms.masses[:, None]
+        atoms.velocities += 0.5 * dt * acc
+        if atoms.fixed.any():
+            atoms.velocities[atoms.fixed] = 0.0
+        atoms.positions += dt * atoms.velocities
+
+        res = calc.compute(atoms, forces=True)
+        f_new = self.apply_constraints(atoms, res["forces"])
+        acc_new = FORCE_TO_ACC * f_new / atoms.masses[:, None]
+        atoms.velocities += 0.5 * dt * acc_new
+
+        self._thermostat_half(atoms)
+        self._forces = f_new
+        self.nsteps += 1
+        return res
+
+    def conserved_quantity(self, atoms, epot: float) -> float:
+        g = _ndof(atoms)
+        q = self.q_mass(atoms)
+        kT = KB * self.target_temperature
+        return (epot + atoms.kinetic_energy()
+                + 0.5 * q * self.v_xi**2 + g * kT * self.xi)
+
+
+class NoseHooverChain(Integrator):
+    """Nosé–Hoover chain thermostat (MTK), default chain length 3.
+
+    Chains cure the ergodicity pathologies of the single thermostat for
+    small or stiff systems (the classic harmonic-oscillator failure case).
+    """
+
+    def __init__(self, dt: float, temperature: float, tau: float = 70.0,
+                 chain_length: int = 3):
+        super().__init__(dt)
+        if temperature <= 0:
+            raise MDError("NVT target temperature must be > 0")
+        if chain_length < 1:
+            raise MDError("chain_length must be >= 1")
+        self.target_temperature = float(temperature)
+        self.tau = float(tau)
+        self.m = int(chain_length)
+        self.xi = np.zeros(self.m)
+        self.v_xi = np.zeros(self.m)
+
+    def _masses(self, atoms) -> np.ndarray:
+        g = _ndof(atoms)
+        kT = KB * self.target_temperature
+        q = np.full(self.m, kT * self.tau**2)
+        q[0] *= g
+        return q
+
+    def _chain_half(self, atoms) -> None:
+        dt2 = 0.5 * self.dt
+        dt4 = 0.25 * self.dt
+        dt8 = 0.125 * self.dt
+        g = _ndof(atoms)
+        kT = KB * self.target_temperature
+        q = self._masses(atoms)
+        ekin2 = 2.0 * atoms.kinetic_energy()
+
+        # update chain tail → head
+        glast = (q[self.m - 2] * self.v_xi[self.m - 2] ** 2 - kT) / q[self.m - 1] \
+            if self.m > 1 else 0.0
+        if self.m > 1:
+            self.v_xi[-1] += dt4 * glast
+        for k in range(self.m - 2, 0, -1):
+            fac = np.exp(-dt8 * self.v_xi[k + 1])
+            self.v_xi[k] = fac * (fac * self.v_xi[k]
+                                  + dt4 * (q[k - 1] * self.v_xi[k - 1]**2 - kT) / q[k])
+        fac = np.exp(-dt8 * self.v_xi[1]) if self.m > 1 else 1.0
+        g0 = (ekin2 - g * kT) / q[0]
+        self.v_xi[0] = fac * (fac * self.v_xi[0] + dt4 * g0)
+
+        # scale particle velocities, advance xi
+        scale = np.exp(-dt2 * self.v_xi[0])
+        free = ~atoms.fixed
+        atoms.velocities[free] *= scale
+        ekin2 *= scale * scale
+        self.xi += dt2 * self.v_xi
+
+        # update chain head → tail
+        g0 = (ekin2 - g * kT) / q[0]
+        fac = np.exp(-dt8 * self.v_xi[1]) if self.m > 1 else 1.0
+        self.v_xi[0] = fac * (fac * self.v_xi[0] + dt4 * g0)
+        for k in range(1, self.m - 1):
+            fac = np.exp(-dt8 * self.v_xi[k + 1])
+            gk = (q[k - 1] * self.v_xi[k - 1]**2 - kT) / q[k]
+            self.v_xi[k] = fac * (fac * self.v_xi[k] + dt4 * gk)
+        if self.m > 1:
+            glast = (q[self.m - 2] * self.v_xi[self.m - 2]**2 - kT) / q[self.m - 1]
+            self.v_xi[-1] += dt4 * glast
+
+    def step(self, atoms, calc) -> dict:
+        dt = self.dt
+        self._chain_half(atoms)
+        f = self.forces
+        acc = FORCE_TO_ACC * f / atoms.masses[:, None]
+        atoms.velocities += 0.5 * dt * acc
+        if atoms.fixed.any():
+            atoms.velocities[atoms.fixed] = 0.0
+        atoms.positions += dt * atoms.velocities
+        res = calc.compute(atoms, forces=True)
+        f_new = self.apply_constraints(atoms, res["forces"])
+        atoms.velocities += 0.5 * dt * FORCE_TO_ACC * f_new / atoms.masses[:, None]
+        self._chain_half(atoms)
+        self._forces = f_new
+        self.nsteps += 1
+        return res
+
+    def conserved_quantity(self, atoms, epot: float) -> float:
+        g = _ndof(atoms)
+        kT = KB * self.target_temperature
+        q = self._masses(atoms)
+        e = epot + atoms.kinetic_energy()
+        e += 0.5 * float(np.sum(q * self.v_xi**2))
+        e += g * kT * self.xi[0] + kT * float(np.sum(self.xi[1:]))
+        return e
+
+
+class BerendsenThermostat(Integrator):
+    """Berendsen weak-coupling thermostat (not canonical — a workhorse for
+    equilibration, kept for completeness and comparison benches)."""
+
+    def __init__(self, dt: float, temperature: float, tau: float = 100.0):
+        super().__init__(dt)
+        if temperature <= 0:
+            raise MDError("target temperature must be > 0")
+        if tau < dt:
+            raise MDError("tau must be >= dt for stability")
+        self.target_temperature = float(temperature)
+        self.tau = float(tau)
+
+    def step(self, atoms, calc) -> dict:
+        dt = self.dt
+        f = self.forces
+        acc = FORCE_TO_ACC * f / atoms.masses[:, None]
+        atoms.velocities += 0.5 * dt * acc
+        atoms.positions += dt * atoms.velocities
+        res = calc.compute(atoms, forces=True)
+        f_new = self.apply_constraints(atoms, res["forces"])
+        atoms.velocities += 0.5 * dt * FORCE_TO_ACC * f_new / atoms.masses[:, None]
+        if atoms.fixed.any():
+            atoms.velocities[atoms.fixed] = 0.0
+        t_now = atoms.temperature()
+        if t_now > 0:
+            lam = np.sqrt(max(0.0, 1.0 + (dt / self.tau)
+                              * (self.target_temperature / t_now - 1.0)))
+            atoms.velocities[~atoms.fixed] *= lam
+        self._forces = f_new
+        self.nsteps += 1
+        return res
+
+
+class LangevinDynamics(Integrator):
+    """Langevin dynamics with the BAOAB splitting (Leimkuhler–Matthews).
+
+    Canonical sampling with excellent configurational accuracy; the O-step
+    is the exact Ornstein–Uhlenbeck solution.
+    """
+
+    def __init__(self, dt: float, temperature: float, friction: float = 0.01,
+                 seed=None):
+        super().__init__(dt)
+        if temperature < 0:
+            raise MDError("temperature must be >= 0")
+        if friction <= 0:
+            raise MDError("friction must be > 0 (fs⁻¹)")
+        self.target_temperature = float(temperature)
+        self.friction = float(friction)
+        self.rng = default_rng(seed)
+
+    def step(self, atoms, calc) -> dict:
+        dt = self.dt
+        free = ~atoms.fixed
+        m = atoms.masses[:, None]
+
+        # B: half kick
+        atoms.velocities += 0.5 * dt * FORCE_TO_ACC * self.forces / m
+        # A: half drift
+        atoms.positions += 0.5 * dt * atoms.velocities
+        # O: Ornstein–Uhlenbeck
+        c1 = np.exp(-self.friction * dt)
+        sigma = np.sqrt(KB * self.target_temperature * FORCE_TO_ACC
+                        / atoms.masses[free])
+        noise = self.rng.normal(size=(int(free.sum()), 3)) * sigma[:, None]
+        atoms.velocities[free] = (c1 * atoms.velocities[free]
+                                  + np.sqrt(1.0 - c1 * c1) * noise)
+        # A: half drift
+        atoms.positions += 0.5 * dt * atoms.velocities
+        res = calc.compute(atoms, forces=True)
+        f_new = self.apply_constraints(atoms, res["forces"])
+        # B: half kick
+        atoms.velocities += 0.5 * dt * FORCE_TO_ACC * f_new / m
+        if atoms.fixed.any():
+            atoms.velocities[atoms.fixed] = 0.0
+        self._forces = f_new
+        self.nsteps += 1
+        return res
+
+
+class VelocityRescale(Integrator):
+    """Velocity-Verlet with hard rescaling to the target temperature every
+    *interval* steps — the crudest thermostat, kept as a baseline."""
+
+    def __init__(self, dt: float, temperature: float, interval: int = 1):
+        super().__init__(dt)
+        if temperature <= 0:
+            raise MDError("target temperature must be > 0")
+        if interval < 1:
+            raise MDError("interval must be >= 1")
+        self.target_temperature = float(temperature)
+        self.interval = int(interval)
+
+    def step(self, atoms, calc) -> dict:
+        dt = self.dt
+        f = self.forces
+        atoms.velocities += 0.5 * dt * FORCE_TO_ACC * f / atoms.masses[:, None]
+        atoms.positions += dt * atoms.velocities
+        res = calc.compute(atoms, forces=True)
+        f_new = self.apply_constraints(atoms, res["forces"])
+        atoms.velocities += 0.5 * dt * FORCE_TO_ACC * f_new / atoms.masses[:, None]
+        if atoms.fixed.any():
+            atoms.velocities[atoms.fixed] = 0.0
+        self.nsteps += 1
+        if self.nsteps % self.interval == 0:
+            t_now = atoms.temperature()
+            if t_now > 0:
+                atoms.velocities[~atoms.fixed] *= np.sqrt(
+                    self.target_temperature / t_now)
+        self._forces = f_new
+        return res

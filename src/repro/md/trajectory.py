@@ -1,0 +1,97 @@
+"""In-memory trajectory storage with XYZ round-trip."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import MDError
+from repro.geometry.atoms import Atoms
+from repro.geometry.xyz import iread_xyz, write_xyz
+
+
+@dataclass
+class Frame:
+    """One stored snapshot."""
+
+    step: int
+    time_fs: float
+    positions: np.ndarray
+    velocities: np.ndarray
+    epot: float
+    ekin: float
+    temperature: float
+
+
+class Trajectory:
+    """A list of frames sharing one topology (symbols/cell).
+
+    Provides array views over the stored quantities for analysis code
+    (MSD, VACF need (T, N, 3) position/velocity stacks).
+    """
+
+    def __init__(self, symbols=None, cell=None):
+        self.symbols = list(symbols) if symbols is not None else None
+        self.cell = cell
+        self.frames: list[Frame] = []
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def append(self, atoms: Atoms, step: int = 0, time_fs: float = 0.0,
+               epot: float = 0.0) -> None:
+        if self.symbols is None:
+            self.symbols = atoms.symbols
+            self.cell = atoms.cell
+        elif atoms.symbols != self.symbols:
+            raise MDError("trajectory frames must share one composition")
+        self.frames.append(Frame(
+            step=step,
+            time_fs=time_fs,
+            positions=atoms.positions.copy(),
+            velocities=atoms.velocities.copy(),
+            epot=epot,
+            ekin=atoms.kinetic_energy(),
+            temperature=atoms.temperature(),
+        ))
+
+    # -- array views ------------------------------------------------------------
+    def positions(self) -> np.ndarray:
+        """(T, N, 3) stack of positions."""
+        return np.stack([f.positions for f in self.frames])
+
+    def velocities(self) -> np.ndarray:
+        """(T, N, 3) stack of velocities."""
+        return np.stack([f.velocities for f in self.frames])
+
+    def times(self) -> np.ndarray:
+        return np.array([f.time_fs for f in self.frames])
+
+    def temperatures(self) -> np.ndarray:
+        return np.array([f.temperature for f in self.frames])
+
+    def potential_energies(self) -> np.ndarray:
+        return np.array([f.epot for f in self.frames])
+
+    def atoms_at(self, index: int) -> Atoms:
+        """Reconstruct an Atoms object for frame *index*."""
+        f = self.frames[index]
+        return Atoms(self.symbols, f.positions.copy(), cell=self.cell,
+                     velocities=f.velocities.copy())
+
+    # -- persistence -------------------------------------------------------------
+    def save_xyz(self, path) -> None:
+        with open(path, "w") as fh:
+            for f in self.frames:
+                at = Atoms(self.symbols, f.positions, cell=self.cell)
+                write_xyz(fh, at,
+                          comment=f"step={f.step} time_fs={f.time_fs:.3f} "
+                                  f"epot={f.epot:.8f}")
+
+    @classmethod
+    def load_xyz(cls, path) -> "Trajectory":
+        traj = cls()
+        for i, at in enumerate(iread_xyz(path)):
+            traj.append(at, step=i)
+        return traj

@@ -1,0 +1,45 @@
+"""Maxwell–Boltzmann velocity initialisation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import MDError
+from repro.units import FORCE_TO_ACC, KB
+from repro.utils.rng import default_rng
+
+
+def maxwell_boltzmann_velocities(atoms, temperature: float, seed=None,
+                                 zero_momentum: bool = True,
+                                 exact: bool = True) -> None:
+    """Draw velocities for the free atoms at *temperature* (K), in place.
+
+    Equipartition in internal units: ``⟨v_α²⟩ = k_B T · FORCE_TO_ACC / m``.
+
+    Parameters
+    ----------
+    zero_momentum :
+        Remove centre-of-mass drift of the free atoms after drawing.
+    exact :
+        Rescale so the instantaneous kinetic temperature equals
+        *temperature* exactly (after momentum removal), the convention MD
+        codes use so the first thermostat step starts on target.
+    """
+    if temperature < 0:
+        raise MDError("temperature must be >= 0")
+    rng = default_rng(seed)
+    free = ~atoms.fixed
+    nfree = int(free.sum())
+    if nfree == 0:
+        raise MDError("no free atoms to thermalise")
+    atoms.velocities[...] = 0.0
+    if temperature == 0:
+        return
+    sigma = np.sqrt(KB * temperature * FORCE_TO_ACC / atoms.masses[free])
+    atoms.velocities[free] = rng.normal(size=(nfree, 3)) * sigma[:, None]
+    if zero_momentum:
+        atoms.zero_momentum()
+    if exact:
+        t_now = atoms.temperature()
+        if t_now > 0:
+            atoms.velocities[free] *= np.sqrt(temperature / t_now)

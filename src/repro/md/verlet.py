@@ -1,0 +1,87 @@
+"""Velocity-Verlet integration (NVE) and the integrator base class.
+
+The integrator contract: :meth:`initialize` is called once with the
+starting structure (computes initial forces), then :meth:`step` advances
+positions/velocities by ``dt`` and returns the post-step results dict from
+the calculator.  Fixed atoms never move: their forces and velocities are
+masked to zero inside :meth:`apply_constraints`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import MDError
+from repro.units import FORCE_TO_ACC
+
+
+class Integrator(ABC):
+    """Base class for MD integrators."""
+
+    def __init__(self, dt: float):
+        if dt <= 0:
+            raise MDError(f"time step must be > 0, got {dt}")
+        self.dt = float(dt)
+        self._forces: np.ndarray | None = None
+        self.nsteps = 0
+
+    # -- lifecycle -------------------------------------------------------------
+    def initialize(self, atoms, calc) -> dict:
+        """Compute initial forces; must be called before the first step."""
+        res = calc.compute(atoms, forces=True)
+        self._forces = self.apply_constraints(atoms, res["forces"])
+        return res
+
+    def apply_constraints(self, atoms, forces: np.ndarray) -> np.ndarray:
+        """Zero forces (and velocities) of fixed atoms."""
+        if atoms.fixed.any():
+            forces = forces.copy()
+            forces[atoms.fixed] = 0.0
+            atoms.velocities[atoms.fixed] = 0.0
+        return forces
+
+    @abstractmethod
+    def step(self, atoms, calc) -> dict:
+        """Advance one time step; returns the calculator results."""
+
+    # -- bookkeeping --------------------------------------------------------------
+    def conserved_quantity(self, atoms, epot: float) -> float:
+        """The quantity this integrator conserves (E_tot for NVE)."""
+        return epot + atoms.kinetic_energy()
+
+    @property
+    def forces(self) -> np.ndarray:
+        if self._forces is None:
+            raise MDError("integrator not initialised; call initialize() first")
+        return self._forces
+
+
+class VelocityVerlet(Integrator):
+    """Microcanonical (NVE) velocity-Verlet integrator.
+
+    The standard kick–drift–kick splitting: time-reversible, symplectic,
+    energy drift bounded for stable time steps.  The F4 benchmark
+    demonstrates the < 1 part in 10⁴ conservation the era's papers quote
+    for dt = 1 fs.
+    """
+
+    def step(self, atoms, calc) -> dict:
+        dt = self.dt
+        f = self.forces
+        acc = FORCE_TO_ACC * f / atoms.masses[:, None]
+
+        atoms.velocities += 0.5 * dt * acc
+        atoms.positions += dt * atoms.velocities
+
+        res = calc.compute(atoms, forces=True)
+        f_new = self.apply_constraints(atoms, res["forces"])
+        acc_new = FORCE_TO_ACC * f_new / atoms.masses[:, None]
+        atoms.velocities += 0.5 * dt * acc_new
+        if atoms.fixed.any():
+            atoms.velocities[atoms.fixed] = 0.0
+
+        self._forces = f_new
+        self.nsteps += 1
+        return res

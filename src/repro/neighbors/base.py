@@ -1,0 +1,131 @@
+"""Neighbour-list representation and the dispatching front-end.
+
+Half-list convention
+--------------------
+A :class:`NeighborList` stores each *bond* exactly once:
+
+* pairs with ``i < j`` for any periodic translation ``T``;
+* self-image pairs ``i == j`` with ``T`` in the lexicographically positive
+  half-space (a single atom in a periodic cell bonds to its own images).
+
+``vectors[p] = r[j] + T − r[i]`` points from atom *i* to the bonded image of
+atom *j*.  The :meth:`NeighborList.full` expansion duplicates every bond in
+both directions, which is what per-atom accumulation loops want.
+
+This convention makes energy sums ``Σ_pairs`` direct (no double counting)
+and keeps the Hamiltonian builder simple: each half-pair contributes a
+block and its transpose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NeighborError
+
+
+@dataclass(frozen=True)
+class NeighborList:
+    """Immutable half neighbour list.
+
+    Attributes
+    ----------
+    i, j :
+        (P,) int arrays of atom indices (``i <= j``; equality only for
+        periodic self-images).
+    vectors :
+        (P, 3) bond vectors ``r_j + T − r_i`` in Å.
+    distances :
+        (P,) bond lengths in Å.
+    rcut :
+        The cutoff the list was built for.
+    natoms :
+        Number of atoms in the parent structure.
+    """
+
+    i: np.ndarray
+    j: np.ndarray
+    vectors: np.ndarray
+    distances: np.ndarray
+    rcut: float
+    natoms: int
+
+    def __post_init__(self):
+        if not (len(self.i) == len(self.j) == len(self.vectors)
+                == len(self.distances)):
+            raise NeighborError("inconsistent neighbour-list array lengths")
+
+    @property
+    def n_pairs(self) -> int:
+        """Number of unique bonds."""
+        return len(self.i)
+
+    def full(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Expand to a full (directed) list.
+
+        Returns ``(fi, fj, fvec, fdist)`` where every bond appears twice,
+        once in each direction (self-image bonds appear as both ``+T`` and
+        ``−T``).
+        """
+        fi = np.concatenate([self.i, self.j])
+        fj = np.concatenate([self.j, self.i])
+        fvec = np.concatenate([self.vectors, -self.vectors])
+        fdist = np.concatenate([self.distances, self.distances])
+        return fi, fj, fvec, fdist
+
+    def coordination(self) -> np.ndarray:
+        """Per-atom bond count (each bond counts for both ends)."""
+        counts = np.zeros(self.natoms, dtype=int)
+        np.add.at(counts, self.i, 1)
+        np.add.at(counts, self.j, 1)
+        return counts
+
+    def neighbors_of(self, atom: int) -> np.ndarray:
+        """Indices of atoms bonded to *atom* (with multiplicity)."""
+        fi, fj, _, _ = self.full()
+        return fj[fi == atom]
+
+    def max_distance(self) -> float:
+        return float(self.distances.max()) if self.n_pairs else 0.0
+
+
+def empty_neighbor_list(natoms: int, rcut: float) -> NeighborList:
+    """A neighbour list with no bonds (isolated atoms)."""
+    return NeighborList(
+        i=np.zeros(0, dtype=int),
+        j=np.zeros(0, dtype=int),
+        vectors=np.zeros((0, 3)),
+        distances=np.zeros(0),
+        rcut=float(rcut),
+        natoms=natoms,
+    )
+
+
+def neighbor_list(atoms, rcut: float, method: str = "auto") -> NeighborList:
+    """Build a half neighbour list for *atoms* within *rcut*.
+
+    ``method``:
+
+    * ``"brute"`` — O(N²·images); always correct, any cell size.
+    * ``"cell"``  — linked cells, O(N); requires the cutoff to fit within
+      half the smallest periodic cell width (falls back to brute otherwise
+      when method="auto").
+    * ``"auto"``  — cell list when admissible and N is large enough to pay
+      off, brute force otherwise.
+    """
+    from repro.neighbors.brute import brute_force_neighbors
+    from repro.neighbors.celllist import cell_list_admissible, cell_list_neighbors
+
+    if rcut <= 0:
+        raise NeighborError(f"rcut must be > 0, got {rcut}")
+    if method == "brute":
+        return brute_force_neighbors(atoms, rcut)
+    if method == "cell":
+        return cell_list_neighbors(atoms, rcut)
+    if method == "auto":
+        if len(atoms) >= 250 and cell_list_admissible(atoms, rcut):
+            return cell_list_neighbors(atoms, rcut)
+        return brute_force_neighbors(atoms, rcut)
+    raise NeighborError(f"unknown neighbour method {method!r}")

@@ -1,0 +1,150 @@
+"""Linked-cell (binning) neighbour search — O(N) for large systems.
+
+Valid when the cutoff fits within half the smallest periodic cell width
+(the minimum-image regime, ≥3 bins per periodic axis); the dispatcher falls
+back to :mod:`repro.neighbors.brute` otherwise.  Produces the same half-list
+convention as the brute-force builder and is cross-validated against it in
+the test suite.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import NeighborError
+from repro.neighbors.base import NeighborList, empty_neighbor_list
+
+
+def cell_list_admissible(atoms, rcut: float) -> bool:
+    """True if the linked-cell algorithm is valid for this cell + cutoff."""
+    cell = atoms.cell
+    widths = cell.perpendicular_widths()
+    for k in range(3):
+        if cell.pbc[k] and int(widths[k] / rcut) < 3:
+            return False
+    return True
+
+
+# Half of the 26 neighbour offsets (lexicographically positive), so each
+# bin pair is visited exactly once.
+_HALF_OFFSETS = [off for off in itertools.product((-1, 0, 1), repeat=3)
+                 if off > (0, 0, 0)]
+
+
+def cell_list_neighbors(atoms, rcut: float) -> NeighborList:
+    """Half neighbour list via spatial binning."""
+    n = len(atoms)
+    if n == 0:
+        return empty_neighbor_list(0, rcut)
+    cell = atoms.cell
+    if not cell_list_admissible(atoms, rcut):
+        raise NeighborError(
+            "cell list inadmissible: cutoff exceeds one third of a periodic "
+            "cell width; use the brute-force builder"
+        )
+
+    pos = cell.wrap(atoms.positions) if cell.periodic else atoms.positions.copy()
+    h = cell.matrix
+    widths = cell.perpendicular_widths()
+
+    # Bin geometry: fractional binning along periodic axes, bounding-box
+    # binning along free axes.
+    nbins = np.empty(3, dtype=int)
+    origin = np.zeros(3)
+    frac = (cell.fractional(pos) if cell.periodic
+            else None)
+    coords = np.empty((n, 3))
+    span = np.empty(3)
+    for k in range(3):
+        if cell.pbc[k]:
+            nbins[k] = max(3, int(widths[k] / rcut))
+            coords[:, k] = frac[:, k] % 1.0
+            span[k] = 1.0
+        else:
+            lo = pos[:, k].min()
+            hi = pos[:, k].max()
+            ext = max(hi - lo, 1e-9)
+            # bin width >= rcut in real space along this axis
+            nbins[k] = max(1, int(ext / rcut))
+            coords[:, k] = pos[:, k] - lo
+            origin[k] = lo
+            span[k] = ext * (1.0 + 1e-12)
+
+    bin_idx = np.minimum((coords / span * nbins).astype(int), nbins - 1)
+    flat = (bin_idx[:, 0] * nbins[1] + bin_idx[:, 1]) * nbins[2] + bin_idx[:, 2]
+    order = np.argsort(flat, kind="stable")
+    sorted_flat = flat[order]
+    # start offsets of each occupied bin in `order`
+    boundaries = np.flatnonzero(np.diff(sorted_flat)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(order)]))
+    occupied = sorted_flat[starts]
+    bin_members = {int(b): order[s:e] for b, s, e in zip(occupied, starts, ends)}
+
+    rcut2 = rcut * rcut
+    out_i, out_j, out_v = [], [], []
+
+    def unflatten(b):
+        b0, rem = divmod(b, nbins[1] * nbins[2])
+        b1, b2 = divmod(rem, nbins[2])
+        return np.array([b0, b1, b2])
+
+    for b, members in bin_members.items():
+        cidx = unflatten(b)
+        # intra-bin pairs
+        if len(members) > 1:
+            ia, ja = np.triu_indices(len(members), k=1)
+            ai, aj = members[ia], members[ja]
+            disp = pos[aj] - pos[ai]
+            d2 = np.einsum("ij,ij->i", disp, disp)
+            m = d2 <= rcut2
+            if m.any():
+                out_i.append(np.minimum(ai[m], aj[m]))
+                out_j.append(np.maximum(ai[m], aj[m]))
+                sign = np.where(ai[m] <= aj[m], 1.0, -1.0)
+                out_v.append(disp[m] * sign[:, None])
+        # inter-bin pairs (half offsets)
+        for off in _HALF_OFFSETS:
+            nidx = cidx + np.asarray(off)
+            shift = np.zeros(3)
+            ok = True
+            for k in range(3):
+                if cell.pbc[k]:
+                    w, nidx[k] = divmod(nidx[k], nbins[k])
+                    shift += w * h[k]
+                elif not (0 <= nidx[k] < nbins[k]):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            nb = (nidx[0] * nbins[1] + nidx[1]) * nbins[2] + nidx[2]
+            others = bin_members.get(int(nb))
+            if others is None:
+                continue
+            disp = (pos[others][None, :, :] + shift
+                    - pos[members][:, None, :])            # (A, B, 3)
+            d2 = np.einsum("abk,abk->ab", disp, disp)
+            am, bm = np.nonzero(d2 <= rcut2)
+            if len(am):
+                ai = members[am]
+                aj = others[bm]
+                v = disp[am, bm]
+                swap = ai > aj
+                ai2 = np.where(swap, aj, ai)
+                aj2 = np.where(swap, ai, aj)
+                v = np.where(swap[:, None], -v, v)
+                out_i.append(ai2)
+                out_j.append(aj2)
+                out_v.append(v)
+
+    if not out_i:
+        return empty_neighbor_list(n, rcut)
+    i = np.concatenate(out_i)
+    j = np.concatenate(out_j)
+    v = np.vstack(out_v)
+    d = np.linalg.norm(v, axis=1)
+    srt = np.lexsort((d, j, i))
+    return NeighborList(i=i[srt], j=j[srt], vectors=v[srt], distances=d[srt],
+                        rcut=float(rcut), natoms=n)

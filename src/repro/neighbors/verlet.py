@@ -1,0 +1,93 @@
+"""Verlet (skin) neighbour list with automatic rebuild.
+
+MD codes of the TBMD era avoided rebuilding the neighbour list every step
+by searching to ``rcut + skin`` and reusing the list until any atom has
+moved more than ``skin/2`` since the last build — the classic sufficient
+condition for no bond to have entered the true cutoff unseen.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import NeighborError
+from repro.neighbors.base import NeighborList, neighbor_list
+
+
+class VerletList:
+    """Stateful skin list around :func:`repro.neighbors.neighbor_list`.
+
+    Parameters
+    ----------
+    rcut :
+        Physical interaction cutoff (Å).
+    skin :
+        Extra search margin (Å); larger skins rebuild less often but return
+        more candidate pairs.
+    method :
+        Underlying builder ("auto" / "brute" / "cell").
+
+    Usage
+    -----
+    >>> vl = VerletList(rcut=3.7, skin=0.5)
+    >>> nl = vl.update(atoms)         # rebuilds only when needed
+    """
+
+    def __init__(self, rcut: float, skin: float = 0.5, method: str = "auto"):
+        if rcut <= 0:
+            raise NeighborError("rcut must be > 0")
+        if skin < 0:
+            raise NeighborError("skin must be >= 0")
+        self.rcut = float(rcut)
+        self.skin = float(skin)
+        self.method = method
+        self._list: NeighborList | None = None
+        self._ref_positions: np.ndarray | None = None
+        self.n_builds = 0
+        self.n_updates = 0
+
+    def needs_rebuild(self, atoms) -> bool:
+        """True when any atom has drifted > skin/2 since the last build."""
+        if self._list is None or self._ref_positions is None:
+            return True
+        if len(atoms) != len(self._ref_positions):
+            return True
+        disp = atoms.positions - self._ref_positions
+        # Displacements are physical (unwrapped MD trajectories); no MIC.
+        max_disp2 = float(np.max(np.einsum("ij,ij->i", disp, disp)))
+        return max_disp2 > (0.5 * self.skin) ** 2
+
+    def update(self, atoms) -> NeighborList:
+        """Return a current neighbour list, rebuilding if necessary.
+
+        The returned list is built with cutoff ``rcut + skin`` and then
+        *filtered* to the true cutoff using current positions, so distances
+        and vectors are always exact for the present configuration.
+        """
+        self.n_updates += 1
+        if self.needs_rebuild(atoms):
+            self._full = neighbor_list(atoms, self.rcut + self.skin,
+                                       method=self.method)
+            self._ref_positions = atoms.positions.copy()
+            self.n_builds += 1
+            self._list = self._filter(self._full, atoms)
+        else:
+            self._list = self._refresh(self._full, atoms)
+        return self._list
+
+    def _refresh(self, skin_list: NeighborList, atoms) -> NeighborList:
+        """Recompute bond vectors for current positions, then filter."""
+        disp = atoms.positions - self._ref_positions
+        vec = skin_list.vectors + disp[skin_list.j] - disp[skin_list.i]
+        dist = np.linalg.norm(vec, axis=1)
+        refreshed = NeighborList(i=skin_list.i, j=skin_list.j, vectors=vec,
+                                 distances=dist, rcut=skin_list.rcut,
+                                 natoms=skin_list.natoms)
+        return self._filter(refreshed, atoms)
+
+    def _filter(self, nl: NeighborList, atoms) -> NeighborList:
+        mask = nl.distances <= self.rcut
+        return NeighborList(i=nl.i[mask], j=nl.j[mask],
+                            vectors=nl.vectors[mask],
+                            distances=nl.distances[mask],
+                            rcut=self.rcut, natoms=len(atoms))

@@ -1,0 +1,204 @@
+"""Communicator abstraction: serial execution and simulated machines.
+
+The decomposition algorithms in this package are written against the small
+MPI-flavoured interface below.  Two in-tree implementations:
+
+* :class:`SerialComm` — P = 1, all operations free.  Running a parallel
+  algorithm on it must reproduce the serial answer bit-for-bit; the test
+  suite relies on this.
+* :class:`SimComm` — P virtual ranks with per-rank *virtual clocks*.
+  Algorithms execute their numerics once (on real data or as pure cost
+  accounting) while the communicator charges per-rank compute time and
+  textbook collective costs from a :class:`~repro.parallel.machine
+  .MachineSpec`:
+
+  - point-to-point:      α + n/β
+  - broadcast/reduce:    ⌈log₂P⌉ · (α + n/β)
+  - allreduce:           2⌈log₂P⌉·α + 2n/β   (Rabenseifner)
+  - allgather (ring):    (P−1)·α + (P−1)/P · n_total/β
+
+  Collectives synchronise: every clock jumps to the global max before the
+  collective cost is added — exactly the behaviour that turns load
+  imbalance into lost efficiency in the scaling figures.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.machine import MachineSpec
+
+
+class Communicator(ABC):
+    """Minimal communicator interface used by the decomposition code."""
+
+    @property
+    @abstractmethod
+    def size(self) -> int:
+        """Number of ranks."""
+
+    @abstractmethod
+    def compute(self, rank: int, flops: float) -> None:
+        """Charge *flops* of local work to *rank*."""
+
+    @abstractmethod
+    def send(self, src: int, dst: int, nbytes: float) -> None:
+        """Point-to-point message."""
+
+    @abstractmethod
+    def broadcast(self, nbytes: float) -> None: ...
+
+    @abstractmethod
+    def allreduce(self, nbytes: float) -> None: ...
+
+    @abstractmethod
+    def allgather(self, nbytes_per_rank: float) -> None: ...
+
+    @abstractmethod
+    def barrier(self) -> None: ...
+
+    @abstractmethod
+    def elapsed(self) -> float:
+        """Wall-clock seconds of the slowest rank so far."""
+
+
+class SerialComm(Communicator):
+    """P = 1; every operation is free.  Wall time can optionally be driven
+    by explicit :meth:`compute` charges (useful in unit tests)."""
+
+    def __init__(self):
+        self._clock = 0.0
+
+    @property
+    def size(self) -> int:
+        return 1
+
+    def compute(self, rank: int, flops: float) -> None:
+        if rank != 0:
+            raise ParallelError("SerialComm has only rank 0")
+        # serial compute is charged at unit rate 1 flop/s only if the
+        # caller wants time accounting; keep dimensionless neutral:
+        self._clock += 0.0
+
+    def send(self, src: int, dst: int, nbytes: float) -> None:
+        if src != 0 or dst != 0:
+            raise ParallelError("SerialComm has only rank 0")
+
+    def broadcast(self, nbytes: float) -> None:
+        pass
+
+    def allreduce(self, nbytes: float) -> None:
+        pass
+
+    def allgather(self, nbytes_per_rank: float) -> None:
+        pass
+
+    def barrier(self) -> None:
+        pass
+
+    def elapsed(self) -> float:
+        return self._clock
+
+
+class SimComm(Communicator):
+    """Simulated P-rank machine with virtual per-rank clocks."""
+
+    def __init__(self, machine: MachineSpec, nproc: int):
+        if nproc < 1:
+            raise ParallelError("nproc must be >= 1")
+        if nproc > machine.max_nodes:
+            raise ParallelError(
+                f"{machine.name} preset models at most {machine.max_nodes} "
+                f"nodes, requested {nproc}"
+            )
+        self.machine = machine
+        self._p = int(nproc)
+        self.clocks = np.zeros(self._p)
+        # accounting for the A1 ablation: separate compute/comm totals
+        self.compute_seconds = 0.0
+        self.comm_seconds = 0.0
+        self.bytes_moved = 0.0
+        self.messages = 0
+
+    @property
+    def size(self) -> int:
+        return self._p
+
+    # -- local work --------------------------------------------------------------
+    def compute(self, rank: int, flops: float) -> None:
+        if not 0 <= rank < self._p:
+            raise ParallelError(f"rank {rank} out of range (P={self._p})")
+        dt = self.machine.compute_time(flops)
+        self.clocks[rank] += dt
+        self.compute_seconds += dt
+
+    def compute_all(self, flops_per_rank) -> None:
+        """Charge per-rank flops in one call (array or scalar)."""
+        f = np.broadcast_to(np.asarray(flops_per_rank, dtype=float), (self._p,))
+        dt = f / self.machine.flops
+        self.clocks += dt
+        self.compute_seconds += float(dt.sum())
+
+    # -- messaging ------------------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: float) -> None:
+        for r in (src, dst):
+            if not 0 <= r < self._p:
+                raise ParallelError(f"rank {r} out of range (P={self._p})")
+        t = self.machine.send_time(nbytes)
+        start = max(self.clocks[src], self.clocks[dst])
+        self.clocks[src] = start + self.machine.latency
+        self.clocks[dst] = start + t
+        self.comm_seconds += t
+        self.bytes_moved += nbytes
+        self.messages += 1
+
+    def _sync_add(self, cost: float, nbytes: float, nmsg: int) -> None:
+        start = float(self.clocks.max())
+        self.clocks[:] = start + cost
+        self.comm_seconds += cost
+        self.bytes_moved += nbytes
+        self.messages += nmsg
+
+    def broadcast(self, nbytes: float) -> None:
+        if self._p == 1:
+            return
+        steps = math.ceil(math.log2(self._p))
+        cost = steps * self.machine.send_time(nbytes)
+        self._sync_add(cost, nbytes * (self._p - 1), steps)
+
+    def allreduce(self, nbytes: float) -> None:
+        if self._p == 1:
+            return
+        steps = math.ceil(math.log2(self._p))
+        cost = (2 * steps * self.machine.latency
+                + 2.0 * nbytes / self.machine.bandwidth)
+        self._sync_add(cost, 2.0 * nbytes * (self._p - 1) / self._p * self._p,
+                       2 * steps)
+
+    def allgather(self, nbytes_per_rank: float) -> None:
+        if self._p == 1:
+            return
+        total = nbytes_per_rank * self._p
+        cost = ((self._p - 1) * self.machine.latency
+                + (self._p - 1) / self._p * total / self.machine.bandwidth)
+        self._sync_add(cost, total * (self._p - 1), self._p - 1)
+
+    def barrier(self) -> None:
+        if self._p == 1:
+            return
+        steps = math.ceil(math.log2(self._p))
+        self._sync_add(steps * self.machine.latency, 0.0, steps)
+
+    def elapsed(self) -> float:
+        return float(self.clocks.max())
+
+    def reset(self) -> None:
+        self.clocks[:] = 0.0
+        self.compute_seconds = 0.0
+        self.comm_seconds = 0.0
+        self.bytes_moved = 0.0
+        self.messages = 0

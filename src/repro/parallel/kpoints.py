@@ -1,0 +1,62 @@
+"""k-point parallelism: the third classic TBMD decomposition.
+
+For k-sampled total energies the work is embarrassingly parallel over k
+points — each rank diagonalises its share of H(k) independently, then one
+allreduce combines the weighted band sums and a scalar bisection fixes
+the common Fermi level.  Near-perfect speedup up to P = n_k, then a hard
+ceiling: the decomposition every band-structure code shipped first, and
+the reason Γ-point MD (which has no k to distribute) needed the
+replicated/distributed machinery instead.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.comm import SimComm
+from repro.parallel.machine import MachineSpec
+from repro.parallel.replicated import DIAG_FLOPS_COEFF
+
+
+def kpoint_parallel_time(n_orbitals: int, n_kpoints: int, nproc: int,
+                         machine: MachineSpec, build_flops: float = 0.0
+                         ) -> dict:
+    """Model one k-sampled energy evaluation on P ranks.
+
+    Each rank handles ``ceil(n_k/P)`` k points (complex diagonalisation
+    ≈ 4× the real flop count), then an allreduce of the weighted
+    eigenvalue sums (O(M) doubles) and ~40 scalar bisection rounds of
+    O(1) allreduces settle μ.
+    """
+    if n_kpoints < 1 or nproc < 1:
+        raise ParallelError("n_kpoints and nproc must be >= 1")
+    comm = SimComm(machine, nproc)
+    per_rank = int(np.ceil(n_kpoints / nproc))
+    flops = per_rank * (4.0 * DIAG_FLOPS_COEFF * n_orbitals**3 + build_flops)
+    comm.compute_all(flops)
+    comm.allreduce(8.0 * n_orbitals)          # eigenvalue-sum vector
+    for _ in range(40):                        # μ bisection, scalar
+        comm.allreduce(8.0)
+    return {
+        "total": comm.elapsed(),
+        "kpoints_per_rank": per_rank,
+        "comm_seconds": comm.comm_seconds,
+    }
+
+
+def kpoint_speedup(n_orbitals: int, n_kpoints: int, procs,
+                   machine: MachineSpec) -> list[dict]:
+    """Speedup table; saturates exactly at ``ceil`` granularity."""
+    t1 = kpoint_parallel_time(n_orbitals, n_kpoints, 1, machine)["total"]
+    rows = []
+    for p in procs:
+        r = kpoint_parallel_time(n_orbitals, n_kpoints, int(p), machine)
+        rows.append({
+            "nproc": int(p),
+            "time": r["total"],
+            "speedup": t1 / r["total"],
+            "efficiency": t1 / r["total"] / p,
+            "kpoints_per_rank": r["kpoints_per_rank"],
+        })
+    return rows

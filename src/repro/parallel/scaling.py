@@ -1,0 +1,75 @@
+"""Strong/weak scaling harnesses and Amdahl analytics.
+
+These produce the rows of the F1/F2 figures: speedup and efficiency vs
+processor count from the calibrated replicated-data model, plus the
+closed-form Amdahl reference curves the measured-vs-model comparison is
+drawn against.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParallelError
+from repro.parallel.replicated import ReplicatedDataModel
+
+
+def amdahl_speedup(serial_fraction: float, nproc) -> np.ndarray:
+    """Classic Amdahl curve ``S(P) = 1 / (s + (1−s)/P)``."""
+    if not 0.0 <= serial_fraction <= 1.0:
+        raise ParallelError("serial fraction must be in [0, 1]")
+    p = np.asarray(nproc, dtype=float)
+    return 1.0 / (serial_fraction + (1.0 - serial_fraction) / p)
+
+
+def strong_scaling(model: ReplicatedDataModel, natoms: int, procs,
+                   diag: str = "replicated") -> list[dict]:
+    """Fixed problem size, growing P.
+
+    Returns one row per P: ``{"nproc", "time", "speedup", "efficiency",
+    "comm_fraction", "breakdown"}``.
+    """
+    t1 = model.step_time(natoms, 1, diag="replicated")["total"]
+    rows = []
+    for p in procs:
+        r = model.step_time(natoms, int(p), diag=diag)
+        rows.append({
+            "nproc": int(p),
+            "natoms": natoms,
+            "time": r["total"],
+            "speedup": t1 / r["total"],
+            "efficiency": t1 / r["total"] / p,
+            "comm_fraction": r["comm_seconds"] / max(r["total"], 1e-300),
+            "breakdown": r["breakdown"],
+        })
+    return rows
+
+
+def weak_scaling(model: ReplicatedDataModel, atoms_per_proc: int, procs,
+                 diag: str = "replicated") -> list[dict]:
+    """Fixed work per rank: N = atoms_per_proc · P.
+
+    Weak-scaling efficiency is ``t(1 rank, n₀ atoms) / t(P ranks, P·n₀)``;
+    for O(N³) diagonalisation even the *ideal* replicated algorithm
+    degrades as P² — the figure that motivated distributed eigensolvers.
+    """
+    t1 = model.step_time(atoms_per_proc, 1, diag="replicated")["total"]
+    rows = []
+    for p in procs:
+        n = atoms_per_proc * int(p)
+        r = model.step_time(n, int(p), diag=diag)
+        rows.append({
+            "nproc": int(p),
+            "natoms": n,
+            "time": r["total"],
+            "efficiency": t1 / r["total"],
+            "comm_fraction": r["comm_seconds"] / max(r["total"], 1e-300),
+        })
+    return rows
+
+
+def serial_fraction_estimate(model: ReplicatedDataModel, natoms: int) -> float:
+    """Fraction of the P=1 step spent in the non-parallelisable replicated
+    diagonalisation — the Amdahl parameter of the F1 reference curve."""
+    r = model.step_time(natoms, 1, diag="replicated")
+    return r["breakdown"]["diagonalize"] / max(r["total"], 1e-300)

@@ -1,0 +1,49 @@
+"""Shared relaxation plumbing: result record, force masking, convergence."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class RelaxationResult:
+    """Outcome of a structural relaxation.
+
+    ``atoms`` is the same (mutated) object passed in; ``converged`` tells
+    whether ``fmax`` dropped below the requested threshold within the
+    iteration budget — callers decide whether non-convergence is an error.
+    """
+
+    atoms: object
+    converged: bool
+    iterations: int
+    energy: float
+    fmax: float
+    energy_history: list[float] = field(default_factory=list)
+    fmax_history: list[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        state = "converged" if self.converged else "NOT converged"
+        return (f"RelaxationResult({state} in {self.iterations} its, "
+                f"E = {self.energy:.6f} eV, fmax = {self.fmax:.2e} eV/Å)")
+
+
+def max_force(forces: np.ndarray, fixed: np.ndarray | None = None) -> float:
+    """Largest per-atom force norm over the free atoms (eV/Å)."""
+    f = np.asarray(forces)
+    if fixed is not None and fixed.any():
+        f = f[~fixed]
+    if len(f) == 0:
+        return 0.0
+    return float(np.max(np.linalg.norm(f, axis=1)))
+
+
+def masked_forces(atoms, forces: np.ndarray) -> np.ndarray:
+    """Zero the rows of fixed atoms (returns a copy when masking)."""
+    if atoms.fixed.any():
+        f = forces.copy()
+        f[atoms.fixed] = 0.0
+        return f
+    return forces

@@ -1,0 +1,41 @@
+"""Tight-binding electronic structure: models, Hamiltonians, forces."""
+
+from repro.tb.calculator import TBCalculator
+from repro.tb.hamiltonian import build_hamiltonian, build_hamiltonian_k, orbital_offsets
+from repro.tb.occupations import (
+    fermi_dirac_occupations,
+    zero_temperature_occupations,
+)
+from repro.tb.models import (
+    GSPSilicon,
+    HarrisonModel,
+    NonOrthogonalSilicon,
+    XuCarbon,
+    get_model,
+)
+from repro.tb.kpoints import monkhorst_pack, gamma_point
+from repro.tb.purification import purify_density_matrix, purification_energy_forces
+from repro.tb.chebyshev import fermi_operator_expansion
+from repro.tb.populations import analyze_populations, bond_order_matrix, mulliken_charges
+
+__all__ = [
+    "TBCalculator",
+    "build_hamiltonian",
+    "build_hamiltonian_k",
+    "orbital_offsets",
+    "zero_temperature_occupations",
+    "fermi_dirac_occupations",
+    "GSPSilicon",
+    "XuCarbon",
+    "HarrisonModel",
+    "NonOrthogonalSilicon",
+    "get_model",
+    "monkhorst_pack",
+    "gamma_point",
+    "purify_density_matrix",
+    "purification_energy_forces",
+    "fermi_operator_expansion",
+    "analyze_populations",
+    "bond_order_matrix",
+    "mulliken_charges",
+]

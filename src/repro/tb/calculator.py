@@ -1,0 +1,280 @@
+"""The TB calculator façade: energies, forces, stress from one object.
+
+This is the user-facing entry point the MD driver, relaxers and benchmarks
+all consume.  A :class:`TBCalculator` owns a model, a Verlet neighbour
+list, an eigensolver choice and an optional electronic temperature; it
+caches the last evaluation so repeated ``get_*`` calls on an unchanged
+structure cost nothing, and it records per-phase wall-clock times in a
+:class:`~repro.utils.timing.PhaseTimer` — the instrumentation behind the
+T1/T2 step-timing tables.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ElectronicError, ModelError
+from repro.neighbors.verlet import VerletList
+from repro.tb.eigensolvers import get_solver
+from repro.tb.forces import band_forces, density_matrices, repulsive_energy_forces
+from repro.tb.hamiltonian import build_hamiltonian, build_hamiltonian_k
+from repro.tb.kpoints import frac_to_cartesian, monkhorst_pack
+from repro.tb.occupations import (
+    electronic_entropy,
+    fermi_dirac_occupations,
+    homo_lumo_gap,
+    zero_temperature_occupations,
+    find_fermi_level,
+    fermi_function,
+)
+from repro.units import EV_PER_A3_TO_GPA
+from repro.utils.timing import PhaseTimer
+
+
+class TBCalculator:
+    """Tight-binding total-energy and force calculator.
+
+    Parameters
+    ----------
+    model :
+        A :class:`~repro.tb.models.base.TBModel`.
+    kT :
+        Electronic temperature in eV (0 = integer filling).  Required > 0
+        for metallic k-sampled systems.
+    kpts :
+        ``None`` for Γ-only (the MD mode, with forces), or a Monkhorst–Pack
+        size tuple / int for k-sampled total energies (energy only — the
+        classic TBMD codes compute forces at Γ on supercells).
+    solver :
+        "lapack" (default), "jacobi" or "householder".
+    skin :
+        Verlet-list skin in Å.
+    """
+
+    def __init__(self, model, kT: float = 0.0, kpts=None,
+                 solver: str = "lapack", neighbor_method: str = "auto",
+                 skin: float = 0.5):
+        self.model = model
+        if kT < 0:
+            raise ElectronicError("kT must be >= 0")
+        self.kT = float(kT)
+        if kpts is None:
+            self.kpts_frac = None
+            self.kweights = None
+        else:
+            self.kpts_frac, self.kweights = monkhorst_pack(kpts)
+        self.solver_name = solver
+        self.solve = get_solver(solver)
+        self.timer = PhaseTimer()
+        self._vlist = VerletList(rcut=model.cutoff, skin=skin,
+                                 method=neighbor_method)
+        self._cache_key = None
+        self._results: dict = {}
+
+    # -- caching ---------------------------------------------------------------
+    def _key(self, atoms) -> tuple:
+        return (
+            atoms.positions.tobytes(),
+            atoms.cell.matrix.tobytes(),
+            tuple(atoms.symbols),
+            self.kT,
+            self.solver_name,
+        )
+
+    def invalidate(self) -> None:
+        """Drop the cached results (e.g. after mutating model parameters)."""
+        self._cache_key = None
+        self._results = {}
+
+    # -- main evaluation ----------------------------------------------------------
+    def compute(self, atoms, forces: bool = True) -> dict:
+        """Evaluate and return the full results dict.
+
+        Keys: ``energy``, ``free_energy``, ``band_energy``,
+        ``repulsive_energy``, ``eigenvalues``, ``occupations``,
+        ``fermi_level``, ``entropy``, ``homo``, ``lumo``, ``gap``, and —
+        in Γ-mode with ``forces=True`` — ``forces``, ``virial``,
+        ``stress`` (periodic cells), ``pressure``.
+        """
+        key = self._key(atoms)
+        if key == self._cache_key and (not forces or "forces" in self._results):
+            return self._results
+        if self.kpts_frac is not None:
+            res = self._compute_kpoints(atoms)
+        else:
+            res = self._compute_gamma(atoms, forces)
+        self._cache_key = key
+        self._results = res
+        return res
+
+    def _compute_gamma(self, atoms, want_forces: bool) -> dict:
+        model = self.model
+        model.check_species(atoms.symbols)
+
+        with self.timer.phase("neighbors"):
+            nl = self._vlist.update(atoms)
+
+        with self.timer.phase("hamiltonian"):
+            H, S = build_hamiltonian(atoms, model, nl)
+
+        with self.timer.phase("diagonalize"):
+            eps, C = self.solve(H, S)
+
+        with self.timer.phase("occupations"):
+            nelec = model.total_electrons(atoms.symbols)
+            f, mu, entropy = fermi_dirac_occupations(eps, nelec, self.kT)
+            band_energy = float(np.sum(f * eps))
+            homo, lumo, gap = homo_lumo_gap(eps, f)
+
+        with self.timer.phase("repulsive"):
+            erep, frep, vrep = repulsive_energy_forces(atoms, model, nl)
+
+        res = {
+            "band_energy": band_energy,
+            "repulsive_energy": erep,
+            "energy": band_energy + erep,
+            "free_energy": band_energy + erep
+                           - (self.kT / _KB_EV) * entropy if self.kT > 0
+                           else band_energy + erep,
+            "eigenvalues": eps,
+            "occupations": f,
+            "fermi_level": mu,
+            "entropy": entropy,
+            "homo": homo,
+            "lumo": lumo,
+            "gap": gap,
+            "n_orbitals": len(eps),
+            "n_pairs": nl.n_pairs,
+        }
+
+        if want_forces:
+            with self.timer.phase("forces"):
+                need_w = not model.orthogonal
+                rho, w = density_matrices(C, f, eps if need_w else None)
+                fband, vband = band_forces(atoms, model, nl, rho, w)
+                res["forces"] = fband + frep
+                res["virial"] = vband + vrep
+                if atoms.cell.fully_periodic:
+                    vol = atoms.cell.volume
+                    res["stress"] = res["virial"] / vol
+                    res["pressure"] = float(-np.trace(res["virial"]) / (3 * vol))
+                    res["pressure_gpa"] = res["pressure"] * EV_PER_A3_TO_GPA
+        return res
+
+    def _compute_kpoints(self, atoms) -> dict:
+        """k-sampled total energy (no forces)."""
+        model = self.model
+        model.check_species(atoms.symbols)
+        if not atoms.cell.periodic:
+            raise ElectronicError("k-point sampling requires a periodic cell")
+
+        with self.timer.phase("neighbors"):
+            nl = self._vlist.update(atoms)
+
+        kcart = frac_to_cartesian(self.kpts_frac, atoms.cell)
+        all_eps = []
+        for k in kcart:
+            with self.timer.phase("hamiltonian"):
+                Hk, Sk = build_hamiltonian_k(atoms, model, nl, k)
+            with self.timer.phase("diagonalize"):
+                eps_k, _ = get_solver("lapack")(Hk, Sk)
+            all_eps.append(eps_k)
+        eps = np.concatenate(all_eps)
+        weights = np.repeat(self.kweights, [len(e) for e in all_eps])
+
+        with self.timer.phase("occupations"):
+            nelec = model.total_electrons(atoms.symbols)
+            if self.kT > 0:
+                mu = find_fermi_level(eps, nelec, self.kT, weights=weights)
+                f = fermi_function(eps, mu, self.kT)
+                entropy = electronic_entropy(f, weights=weights)
+            else:
+                f = _weighted_zero_t(eps, weights, nelec)
+                occ = eps[f > 1e-9]
+                emp = eps[f < 2.0 - 1e-9]
+                mu = (0.5 * (occ.max() + emp.min())
+                      if len(occ) and len(emp) else float(eps.min()))
+                entropy = 0.0
+            band_energy = float(np.sum(weights * f * eps))
+
+        with self.timer.phase("repulsive"):
+            erep, _, _ = repulsive_energy_forces(atoms, model, nl)
+
+        energy = band_energy + erep
+        return {
+            "band_energy": band_energy,
+            "repulsive_energy": erep,
+            "energy": energy,
+            "free_energy": energy - (self.kT / _KB_EV) * entropy
+                           if self.kT > 0 else energy,
+            "eigenvalues": eps,
+            "occupations": f,
+            "weights": weights,
+            "fermi_level": mu,
+            "entropy": entropy,
+            "n_kpoints": len(kcart),
+        }
+
+    # -- convenience getters ---------------------------------------------------------
+    def get_potential_energy(self, atoms) -> float:
+        """Total energy (eV): band-structure + repulsive."""
+        return self.compute(atoms, forces=False)["energy"]
+
+    def get_free_energy(self, atoms) -> float:
+        """Mermin free energy E − T·S_el (equals energy at kT = 0)."""
+        return self.compute(atoms, forces=False)["free_energy"]
+
+    def get_forces(self, atoms) -> np.ndarray:
+        """(N, 3) forces in eV/Å."""
+        if self.kpts_frac is not None:
+            raise ModelError(
+                "forces are Γ-only; construct the calculator without kpts"
+            )
+        return self.compute(atoms, forces=True)["forces"]
+
+    def get_stress(self, atoms) -> np.ndarray:
+        """3×3 potential stress tensor in eV/Å³ (periodic cells only)."""
+        res = self.compute(atoms, forces=True)
+        if "stress" not in res:
+            raise ModelError("stress requires a fully periodic cell")
+        return res["stress"]
+
+    def get_pressure(self, atoms) -> float:
+        """Potential pressure −tr(virial)/3V in eV/Å³."""
+        res = self.compute(atoms, forces=True)
+        if "pressure" not in res:
+            raise ModelError("pressure requires a fully periodic cell")
+        return res["pressure"]
+
+    def get_eigenvalues(self, atoms) -> np.ndarray:
+        return self.compute(atoms, forces=False)["eigenvalues"]
+
+    def get_gap(self, atoms) -> float:
+        res = self.compute(atoms, forces=False)
+        if "gap" not in res:
+            raise ModelError("gap reporting is Γ-only")
+        return res["gap"]
+
+    def __repr__(self) -> str:
+        mode = "Γ" if self.kpts_frac is None else f"{len(self.kpts_frac)} k-points"
+        return (f"TBCalculator(model={self.model.name!r}, {mode}, "
+                f"kT={self.kT} eV, solver={self.solver_name!r})")
+
+
+_KB_EV = 8.617333262e-5  # duplicated locally to avoid circular import cost
+
+
+def _weighted_zero_t(eps: np.ndarray, weights: np.ndarray,
+                     n_electrons: float) -> np.ndarray:
+    """Aufbau filling with per-state weights (k-sampled insulators)."""
+    order = np.argsort(eps)
+    f = np.zeros_like(eps)
+    remaining = float(n_electrons)
+    for idx in order:
+        if remaining <= 1e-12:
+            break
+        cap = 2.0 * weights[idx]
+        take = min(cap / weights[idx], remaining / weights[idx])
+        f[idx] = take
+        remaining -= take * weights[idx]
+    return f

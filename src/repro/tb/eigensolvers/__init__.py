@@ -1,0 +1,31 @@
+"""Dense symmetric eigensolvers: LAPACK, cyclic Jacobi, Householder+QL.
+
+``scipy.linalg.eigh`` is the production solver (the modern EISPACK the
+1994 code would have called).  The from-scratch solvers exist because the
+parallel-diagonalisation story of the era is built on Jacobi rotations —
+the distributed algorithm in :mod:`repro.parallel.jacobi` executes the
+same sweeps — and because cross-validating three independent
+implementations pins down the reference spectrum.
+"""
+
+from repro.tb.eigensolvers.lapack import solve_eigh
+from repro.tb.eigensolvers.jacobi import jacobi_eigh
+from repro.tb.eigensolvers.householder import householder_ql_eigh
+
+_SOLVERS = {
+    "lapack": solve_eigh,
+    "jacobi": jacobi_eigh,
+    "householder": householder_ql_eigh,
+}
+
+
+def get_solver(name: str):
+    """Look up a solver callable ``(H, S=None) -> (eigenvalues, vectors)``."""
+    try:
+        return _SOLVERS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SOLVERS))
+        raise KeyError(f"unknown eigensolver {name!r}; known: {known}") from None
+
+
+__all__ = ["solve_eigh", "jacobi_eigh", "householder_ql_eigh", "get_solver"]

@@ -1,0 +1,39 @@
+"""LAPACK-backed dense symmetric / Hermitian eigensolver.
+
+Thin wrapper over :func:`scipy.linalg.eigh` handling the generalised
+problem (non-orthogonal overlap) and complex Hermitian k-point matrices
+with one entry point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.errors import ElectronicError
+
+
+def solve_eigh(H: np.ndarray, S: np.ndarray | None = None
+               ) -> tuple[np.ndarray, np.ndarray]:
+    """Solve ``H C = ε C`` (or ``H C = ε S C``).
+
+    Returns ``(eigenvalues ascending, eigenvectors as columns)``.
+    Eigenvectors are S-orthonormal in the generalised case.
+    """
+    H = np.asarray(H)
+    if H.ndim != 2 or H.shape[0] != H.shape[1]:
+        raise ElectronicError(f"H must be square, got shape {H.shape}")
+    herm_err = float(np.max(np.abs(H - H.conj().T))) if H.size else 0.0
+    if herm_err > 1e-8:
+        raise ElectronicError(
+            f"H is not Hermitian (max asymmetry {herm_err:.2e}); "
+            "the assembly is broken upstream"
+        )
+    try:
+        if S is None:
+            eps, C = scipy.linalg.eigh(H)
+        else:
+            eps, C = scipy.linalg.eigh(H, S)
+    except scipy.linalg.LinAlgError as exc:
+        raise ElectronicError(f"eigensolver failed: {exc}") from exc
+    return eps, C

@@ -1,0 +1,153 @@
+"""Hellmann–Feynman forces, repulsive forces, and the potential virial.
+
+Band-structure term (density-matrix formulation)
+------------------------------------------------
+With ``ρ = Σ_n f_n C_n C_n^T`` (spin factor inside ``f``), the derivative
+of ``E_bs = Tr(ρH)`` with respect to a bond vector is ``2 Σ_{μν} ρ_{μν}
+∂B_{μν}`` — the factor 2 because each half-list bond appears in ``H`` as a
+block *and* its transpose and ρ is symmetric.  Non-orthogonal models
+subtract the energy-weighted density-matrix term ``2 Σ W_{μν} ∂S_{μν}``
+with ``W = Σ_n f_n ε_n C_n C_n^T`` — this is exactly the
+``C†(∇H − ε∇S)C`` Hellmann–Feynman expression summed over states.
+
+Repulsive term
+--------------
+``E_rep = Σ_i f_i(x_i)`` with ``x_i = Σ_j φ(r_ij)`` gives the pair force
+``(f'_i + f'_j) φ'(r) û`` — plain pairwise repulsion is the special case
+``f' = 1``.
+
+Virial
+------
+``virial = Σ_pairs g ⊗ d`` with ``g = ∂E/∂d`` the generalised pair force
+and ``d`` the bond vector; the potential stress is ``virial / V`` and the
+potential pressure ``P = −tr(virial)/(3V)``, validated against ``−dE/dV``
+in the test suite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.neighbors.base import NeighborList
+from repro.tb.hamiltonian import orbital_offsets, pair_species_groups
+from repro.tb.slater_koster import sk_block_gradients
+
+
+def density_matrices(eigenvectors: np.ndarray, occupations: np.ndarray,
+                     eigenvalues: np.ndarray | None = None
+                     ) -> tuple[np.ndarray, np.ndarray | None]:
+    """Density matrix ρ and (optionally) energy-weighted W.
+
+    ``eigenvectors`` columns are states (LAPACK convention).  W is returned
+    only when *eigenvalues* is given.
+    """
+    C = eigenvectors
+    f = np.asarray(occupations, dtype=float)
+    # skip empty states — more than halves the matmul work at zero T
+    act = f > 1e-14
+    Ca = C[:, act]
+    fa = f[act]
+    rho = (Ca * fa) @ Ca.T
+    if eigenvalues is None:
+        return rho, None
+    ea = np.asarray(eigenvalues, dtype=float)[act]
+    w = (Ca * (fa * ea)) @ Ca.T
+    return rho, w
+
+
+def band_forces(atoms, model, nl: NeighborList, rho: np.ndarray,
+                w: np.ndarray | None = None
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Band-structure forces (N, 3) and virial (3, 3).
+
+    Parameters
+    ----------
+    rho :
+        Density matrix from :func:`density_matrices`.
+    w :
+        Energy-weighted density matrix; required for non-orthogonal models.
+    """
+    symbols = atoms.symbols
+    offsets, _ = orbital_offsets(symbols, model)
+    n = len(atoms)
+    forces = np.zeros((n, 3))
+    virial = np.zeros((3, 3))
+    if nl.n_pairs == 0:
+        return forces, virial
+
+    need_overlap = not model.orthogonal
+    if need_overlap and w is None:
+        raise ValueError(
+            "non-orthogonal model needs the energy-weighted density matrix"
+        )
+
+    for (sa, sb), pidx in pair_species_groups(symbols, nl).items():
+        r = nl.distances[pidx]
+        vec = nl.vectors[pidx]
+        u = vec / r[:, None]
+        ni, nj = model.norb(sa), model.norb(sb)
+        oi = offsets[nl.i[pidx]]
+        oj = offsets[nl.j[pidx]]
+
+        V, dV = model.hopping(sa, sb, r)
+        G = sk_block_gradients(u, r, V, dV)[:, :, :ni, :nj]  # (P,3,ni,nj)
+
+        rows = oi[:, None, None] + np.arange(ni)[None, :, None]
+        cols = oj[:, None, None] + np.arange(nj)[None, None, :]
+        rho_blk = rho[rows, cols]                            # (P,ni,nj)
+        # ∂E/∂d_c = 2 Σ_ab ρ_ab G[c,a,b]
+        g = 2.0 * np.einsum("pab,pcab->pc", rho_blk, G)
+
+        if need_overlap:
+            ov = model.overlap(sa, sb, r)
+            GS = sk_block_gradients(u, r, ov[0], ov[1])[:, :, :ni, :nj]
+            w_blk = w[rows, cols]
+            g -= 2.0 * np.einsum("pab,pcab->pc", w_blk, GS)
+
+        np.add.at(forces, nl.i[pidx], g)
+        np.add.at(forces, nl.j[pidx], -g)
+        virial += np.einsum("pc,pd->cd", g, vec)
+
+    return forces, virial
+
+
+def repulsive_energy_forces(atoms, model, nl: NeighborList
+                            ) -> tuple[float, np.ndarray, np.ndarray]:
+    """Repulsive energy (eV), forces (N, 3) and virial (3, 3)."""
+    symbols = atoms.symbols
+    n = len(atoms)
+    forces = np.zeros((n, 3))
+    virial = np.zeros((3, 3))
+
+    # --- per-atom embedding arguments x_i = Σ_j φ(r_ij) ----------------------
+    x = np.zeros(n)
+    pair_phi: dict[tuple[str, str], tuple[np.ndarray, np.ndarray]] = {}
+    groups = pair_species_groups(symbols, nl)
+    for (sa, sb), pidx in groups.items():
+        phi, dphi = model.pair_repulsion(sa, sb, nl.distances[pidx])
+        pair_phi[(sa, sb)] = (phi, dphi)
+        np.add.at(x, nl.i[pidx], phi)
+        np.add.at(x, nl.j[pidx], phi)
+
+    # --- embedding energy per atom, grouped by species ------------------------
+    syms = np.asarray(symbols)
+    energy = 0.0
+    fprime = np.zeros(n)
+    for sym in np.unique(syms) if n else []:
+        mask = syms == sym
+        f, df = model.embedding(str(sym), x[mask])
+        energy += float(np.sum(f))
+        fprime[mask] = df
+
+    # --- pair forces -----------------------------------------------------------
+    for (sa, sb), pidx in groups.items():
+        _, dphi = pair_phi[(sa, sb)]
+        r = nl.distances[pidx]
+        u = nl.vectors[pidx] / r[:, None]
+        coef = (fprime[nl.i[pidx]] + fprime[nl.j[pidx]]) * dphi
+        g = coef[:, None] * u                                # ∂E/∂d
+        np.add.at(forces, nl.i[pidx], g)
+        np.add.at(forces, nl.j[pidx], -g)
+        virial += np.einsum("pc,pd->cd", g, nl.vectors[pidx])
+
+    return energy, forces, virial

@@ -1,0 +1,87 @@
+"""k-point sampling: Monkhorst–Pack grids and band-structure paths."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ElectronicError
+
+
+def gamma_point() -> tuple[np.ndarray, np.ndarray]:
+    """The Γ-only sampling: ``(kpts_frac (1,3), weights (1,))``."""
+    return np.zeros((1, 3)), np.ones(1)
+
+
+def monkhorst_pack(size) -> tuple[np.ndarray, np.ndarray]:
+    """Monkhorst–Pack fractional k grid.
+
+    Parameters
+    ----------
+    size : (n1, n2, n3) grid divisions (an int means isotropic).
+
+    Returns
+    -------
+    ``(kpts_frac (K, 3), weights (K,))`` with weights summing to 1.  The
+    standard MP offsets place even grids off Γ.
+    """
+    if np.isscalar(size):
+        size = (int(size),) * 3
+    size = tuple(int(s) for s in size)
+    if any(s < 1 for s in size):
+        raise ElectronicError(f"grid divisions must be >= 1, got {size}")
+    grids = [(2.0 * np.arange(1, s + 1) - s - 1) / (2.0 * s) for s in size]
+    k1, k2, k3 = np.meshgrid(*grids, indexing="ij")
+    kpts = np.stack([k1.ravel(), k2.ravel(), k3.ravel()], axis=1)
+    w = np.full(len(kpts), 1.0 / len(kpts))
+    return kpts, w
+
+
+def reciprocal_lattice(cell) -> np.ndarray:
+    """Reciprocal lattice vectors (rows, Å⁻¹) with the 2π convention."""
+    return 2.0 * np.pi * np.linalg.inv(cell.matrix).T
+
+
+def frac_to_cartesian(kpts_frac: np.ndarray, cell) -> np.ndarray:
+    """Fractional k points → Cartesian (Å⁻¹)."""
+    return np.asarray(kpts_frac, dtype=float) @ reciprocal_lattice(cell)
+
+
+def kpath(points: dict[str, np.ndarray] | list, labels: list[str],
+          n_per_segment: int = 20) -> tuple[np.ndarray, np.ndarray, list[int]]:
+    """Linear interpolation through named high-symmetry points.
+
+    Parameters
+    ----------
+    points : mapping label → fractional k point.
+    labels : path through the mapping, e.g. ``["L", "G", "X"]``.
+    n_per_segment : points per leg (endpoints shared).
+
+    Returns
+    -------
+    ``(kpts_frac, distances, tick_indices)`` — cumulative path length is
+    computed in fractional space scaled per leg, adequate for plotting.
+    """
+    if len(labels) < 2:
+        raise ElectronicError("a k-path needs at least two labels")
+    pts = [np.asarray(points[label], dtype=float) for label in labels]
+    path = [pts[0]]
+    ticks = [0]
+    for a, b in zip(pts[:-1], pts[1:]):
+        seg = [a + (b - a) * t for t in np.linspace(0, 1, n_per_segment + 1)[1:]]
+        path.extend(seg)
+        ticks.append(len(path) - 1)
+    kpts = np.array(path)
+    deltas = np.linalg.norm(np.diff(kpts, axis=0), axis=1)
+    dist = np.concatenate([[0.0], np.cumsum(deltas)])
+    return kpts, dist, ticks
+
+
+#: High-symmetry points of the FCC Brillouin zone (fractional, conventional
+#: cubic cell reciprocal basis) — used for diamond-structure band plots.
+FCC_POINTS = {
+    "G": np.array([0.0, 0.0, 0.0]),
+    "X": np.array([0.5, 0.0, 0.5]),
+    "L": np.array([0.5, 0.5, 0.5]),
+    "W": np.array([0.5, 0.25, 0.75]),
+    "K": np.array([0.375, 0.375, 0.75]),
+}

@@ -1,0 +1,41 @@
+"""Tight-binding model zoo."""
+
+from repro.tb.models.base import TBModel, gsp_scaling, quintic_switch
+from repro.tb.models.gsp_silicon import GSPSilicon
+from repro.tb.models.xu_carbon import XuCarbon
+from repro.tb.models.harrison import HarrisonModel
+from repro.tb.models.nonorthogonal import NonOrthogonalSilicon
+
+_REGISTRY = {
+    "gsp-si": GSPSilicon,
+    "xu-c": XuCarbon,
+    "harrison": HarrisonModel,
+    "nonortho-si": NonOrthogonalSilicon,
+}
+
+
+def get_model(name: str, **kwargs) -> TBModel:
+    """Instantiate a registered model by name.
+
+    Known names: ``gsp-si`` (Goodwin–Skinner–Pettifor silicon), ``xu-c``
+    (Xu–Wang–Chan–Ho carbon), ``harrison`` (universal sp parameters),
+    ``nonortho-si`` (non-orthogonal silicon demo model).
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown TB model {name!r}; known: {known}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "TBModel",
+    "GSPSilicon",
+    "XuCarbon",
+    "HarrisonModel",
+    "NonOrthogonalSilicon",
+    "get_model",
+    "gsp_scaling",
+    "quintic_switch",
+]

@@ -1,0 +1,165 @@
+"""Electronic occupations: zero-temperature filling and Fermi–Dirac smearing.
+
+Occupations include the spin degeneracy: a fully occupied level carries
+``f = 2``.  The k-resolved variants take per-state weights (the product of
+spin degeneracy capacity and k-point weight is handled by the caller
+passing ``weights``) and determine one common Fermi level across the whole
+spectrum by bisection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ElectronicError
+from repro.units import KB
+
+
+def zero_temperature_occupations(eigenvalues: np.ndarray, n_electrons: float,
+                                 degeneracy_tol: float = 1e-8) -> np.ndarray:
+    """Aufbau filling with spin factor 2 and even splitting of degeneracy.
+
+    Levels degenerate with the highest (partially) occupied one share the
+    remaining electrons equally — this keeps occupations (hence forces)
+    continuous and basis-orientation independent for symmetric structures.
+    """
+    eps = np.asarray(eigenvalues, dtype=float)
+    n = len(eps)
+    if n_electrons < 0 or n_electrons > 2 * n + 1e-9:
+        raise ElectronicError(
+            f"cannot place {n_electrons} electrons in {n} levels (max {2 * n})"
+        )
+    order = np.argsort(eps)
+    f_sorted = np.zeros(n)
+    remaining = float(n_electrons)
+    pos = 0
+    while remaining > 1e-12 and pos < n:
+        # find the degenerate shell starting at `pos`
+        e0 = eps[order[pos]]
+        shell_end = pos
+        while shell_end < n and eps[order[shell_end]] <= e0 + degeneracy_tol:
+            shell_end += 1
+        shell = order[pos:shell_end]
+        capacity = 2.0 * len(shell)
+        take = min(capacity, remaining)
+        f_sorted[pos:shell_end] = take / len(shell)
+        remaining -= take
+        pos = shell_end
+    f = np.empty(n)
+    f[order] = f_sorted
+    return f
+
+
+def fermi_function(eps: np.ndarray, mu: float, kT: float) -> np.ndarray:
+    """Spin-degenerate Fermi–Dirac occupation 2/(exp((ε−μ)/kT)+1)."""
+    x = (np.asarray(eps, dtype=float) - mu) / kT
+    # numerically safe evaluation
+    out = np.empty_like(x)
+    pos = x > 0
+    ep = np.exp(-x[pos])
+    out[pos] = 2.0 * ep / (1.0 + ep)
+    en = np.exp(x[~pos])
+    out[~pos] = 2.0 / (1.0 + en)
+    return out
+
+
+def find_fermi_level(eigenvalues: np.ndarray, n_electrons: float, kT: float,
+                     weights: np.ndarray | None = None,
+                     tol: float = 1e-12, max_iter: int = 200) -> float:
+    """Bisect for μ such that ``Σ w·f(ε; μ) = n_electrons``."""
+    eps = np.asarray(eigenvalues, dtype=float)
+    w = np.ones_like(eps) if weights is None else np.asarray(weights, dtype=float)
+    total_capacity = 2.0 * float(w.sum())
+    if not (0.0 <= n_electrons <= total_capacity + 1e-9):
+        raise ElectronicError(
+            f"{n_electrons} electrons cannot fit capacity {total_capacity}"
+        )
+    lo = float(eps.min()) - 20.0 * kT - 1.0
+    hi = float(eps.max()) + 20.0 * kT + 1.0
+
+    def count(mu):
+        return float(np.sum(w * fermi_function(eps, mu, kT)))
+
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        c = count(mid)
+        if abs(c - n_electrons) < tol * max(1.0, n_electrons):
+            return mid
+        if c < n_electrons:
+            lo = mid
+        else:
+            hi = mid
+    # bisection converges linearly on the interval; accept the midpoint
+    return 0.5 * (lo + hi)
+
+
+def electronic_entropy(occupations: np.ndarray,
+                       weights: np.ndarray | None = None) -> float:
+    """Electronic entropy  S = −2 k_B Σ w [x ln x + (1−x) ln(1−x)],  x = f/2.
+
+    Returned in eV/K; multiply by T for the −TS term of the Mermin free
+    energy.
+    """
+    x = np.clip(np.asarray(occupations, dtype=float) / 2.0, 0.0, 1.0)
+    w = np.ones_like(x) if weights is None else np.asarray(weights, dtype=float)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        term = np.where((x > 0) & (x < 1),
+                        x * np.log(np.where(x > 0, x, 1.0))
+                        + (1 - x) * np.log(np.where(x < 1, 1 - x, 1.0)),
+                        0.0)
+    return float(-2.0 * KB * np.sum(w * term))
+
+
+def fermi_dirac_occupations(eigenvalues: np.ndarray, n_electrons: float,
+                            kT: float, weights: np.ndarray | None = None
+                            ) -> tuple[np.ndarray, float, float]:
+    """Smeared occupations.
+
+    Returns ``(f, mu, entropy)`` with ``Σ w f = n_electrons`` and the
+    entropy in eV/K.  ``kT`` is in eV; pass ``kT = KB * T_elec`` for an
+    electronic temperature in kelvin.  Falls back to the zero-temperature
+    filler for ``kT <= 0`` (μ = HOMO/LUMO midpoint, entropy 0, only for
+    ``weights is None``).
+    """
+    eps = np.asarray(eigenvalues, dtype=float)
+    if kT <= 0.0:
+        if weights is not None:
+            raise ElectronicError(
+                "zero-temperature weighted filling: use kT > 0 with weights"
+            )
+        f = zero_temperature_occupations(eps, n_electrons)
+        occ = eps[f > 1e-9]
+        emp = eps[f < 2.0 - 1e-9]
+        if len(occ) and len(emp):
+            mu = 0.5 * (occ.max() + emp.min())
+        elif len(occ):
+            mu = float(occ.max())
+        else:
+            mu = float(eps.min())
+        return f, mu, 0.0
+    mu = find_fermi_level(eps, n_electrons, kT, weights=weights)
+    f = fermi_function(eps, mu, kT)
+    s = electronic_entropy(f, weights=weights)
+    return f, mu, s
+
+
+def homo_lumo_gap(eigenvalues: np.ndarray, occupations: np.ndarray
+                  ) -> tuple[float, float, float]:
+    """(HOMO, LUMO, gap) from eigenvalues + occupations.
+
+    Metallic / fractional-occupation spectra return gap 0 with
+    HOMO = LUMO = highest partially occupied level.
+    """
+    eps = np.asarray(eigenvalues, dtype=float)
+    f = np.asarray(occupations, dtype=float)
+    frac = (f > 1e-9) & (f < 2.0 - 1e-9)
+    if frac.any():
+        level = float(eps[frac].max())
+        return level, level, 0.0
+    occ = eps[f > 1e-9]
+    emp = eps[f <= 1e-9]
+    if not len(occ) or not len(emp):
+        raise ElectronicError("need both occupied and empty states for a gap")
+    homo = float(occ.max())
+    lumo = float(emp.min())
+    return homo, lumo, max(0.0, lumo - homo)

@@ -1,0 +1,140 @@
+"""Two-centre Slater–Koster sp blocks and their analytic gradients.
+
+Orbital ordering per atom is ``[s, p_x, p_y, p_z]``.  For a bond vector
+``rvec = r_j + T − r_i`` with unit vector ``u`` and length ``r``, the
+hopping block ``B[μ, ν] = ⟨μ, i | H | ν, j⟩`` is
+
+.. math::
+
+    B_{ss}      &= V_{ss\\sigma}(r) \\\\
+    B_{s,p_a}   &= u_a V_{sp\\sigma}(r) \\\\
+    B_{p_a,s}   &= -u_a V_{ps\\sigma}(r) \\\\
+    B_{p_a,p_b} &= u_a u_b \\, (V_{pp\\sigma} - V_{pp\\pi})
+                   + \\delta_{ab} V_{pp\\pi}
+
+(Slater & Koster 1954).  ``V_{ps\\sigma}`` equals ``V_{sp\\sigma}`` of the
+reversed species pair — identical for homonuclear bonds, distinct for e.g.
+C–H.  The gradient with respect to the bond *vector* follows from the chain
+rule with ``∂u_a/∂r_c = (δ_ac − u_a u_c)/r``; it feeds the Hellmann–Feynman
+force evaluation, and is validated against finite differences in the test
+suite.
+
+All functions are vectorised over a leading pair axis.
+
+Channel dictionary convention
+-----------------------------
+Radial values are passed as ``{"sss", "sps", "pss", "pps", "ppp"}`` keyed
+arrays of shape (P,):
+
+* ``sss`` — ssσ
+* ``sps`` — s on the *first* atom, p on the second, σ
+* ``pss`` — p on the first atom, s on the second, σ
+* ``pps`` — ppσ
+* ``ppp`` — ppπ
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+CHANNELS = ("sss", "sps", "pss", "pps", "ppp")
+
+#: Number of orbitals used per angular-momentum configuration.
+NORB_SP = 4
+NORB_S = 1
+
+
+def sk_blocks(u: np.ndarray, V: dict[str, np.ndarray]) -> np.ndarray:
+    """Hopping (or overlap) blocks for every pair.
+
+    Parameters
+    ----------
+    u : (P, 3) unit bond vectors (i → j).
+    V : channel dict of (P,) radial values.
+
+    Returns
+    -------
+    (P, 4, 4) array of sp blocks.  Callers with s-only species slice the
+    relevant sub-block.
+    """
+    u = np.asarray(u, dtype=float)
+    p = len(u)
+    B = np.empty((p, 4, 4))
+    pps_minus_ppp = V["pps"] - V["ppp"]
+
+    B[:, 0, 0] = V["sss"]
+    B[:, 0, 1:] = u * V["sps"][:, None]
+    B[:, 1:, 0] = -u * V["pss"][:, None]
+    # p-p block: u_a u_b (ppσ − ppπ) + δ_ab ppπ
+    outer = u[:, :, None] * u[:, None, :]
+    B[:, 1:, 1:] = outer * pps_minus_ppp[:, None, None]
+    idx = np.arange(3)
+    B[:, 1 + idx, 1 + idx] += V["ppp"][:, None]
+    return B
+
+
+def sk_block_gradients(u: np.ndarray, r: np.ndarray,
+                       V: dict[str, np.ndarray],
+                       dV: dict[str, np.ndarray]) -> np.ndarray:
+    """Gradients ``∂B[μ,ν]/∂rvec_c`` for every pair.
+
+    Parameters
+    ----------
+    u : (P, 3) unit bond vectors.
+    r : (P,) bond lengths.
+    V, dV : channel dicts of radial values and radial derivatives.
+
+    Returns
+    -------
+    (P, 3, 4, 4) array; axis 1 is the Cartesian derivative component *c*.
+    """
+    u = np.asarray(u, dtype=float)
+    r = np.asarray(r, dtype=float)
+    p = len(u)
+    G = np.zeros((p, 3, 4, 4))
+
+    # ∂u_a/∂r_c = (δ_ac − u_a u_c) / r  →  proj[p, a, c]
+    eye = np.eye(3)
+    proj = (eye[None, :, :] - u[:, :, None] * u[:, None, :]) / r[:, None, None]
+
+    # ss
+    G[:, :, 0, 0] = dV["sss"][:, None] * u
+
+    # s-p  : d(u_a V)/dr_c = u_c u_a V' + proj[a,c] V.
+    # Both target slices have [pair, c, a] layout; u_c u_a is symmetric and
+    # swapaxes(proj, 1, 2)[p, c, a] = proj[p, a, c].
+    uu_ca = u[:, :, None] * u[:, None, :]
+    proj_ca = np.swapaxes(proj, 1, 2)
+    G[:, :, 0, 1:] = dV["sps"][:, None, None] * uu_ca \
+        + V["sps"][:, None, None] * proj_ca
+    G[:, :, 1:, 0] = -(dV["pss"][:, None, None] * uu_ca
+                       + V["pss"][:, None, None] * proj_ca)
+
+    # p-p : d(u_a u_b (σ−π) + δ_ab π)/dr_c
+    dpp = (dV["pps"] - dV["ppp"])
+    vpp = (V["pps"] - V["ppp"])
+    uu = u[:, :, None] * u[:, None, :]                                   # [p,a,b]
+    term_rad = dpp[:, None, None, None] * u[:, :, None, None] * uu[:, None, :, :]
+    # angular: (σ−π) (proj[a,c] u_b + u_a proj[b,c])   → index as [p,c,a,b]
+    pa_c = proj_ca                                                       # [p,c,a]
+    term_ang = vpp[:, None, None, None] * (
+        pa_c[:, :, :, None] * u[:, None, None, :]
+        + u[:, None, :, None] * pa_c[:, :, None, :]
+    )
+    term_pi = np.zeros((p, 3, 3, 3))
+    idx = np.arange(3)
+    term_pi[:, :, idx, idx] = (dV["ppp"][:, None] * u)[:, :, None]
+    G[:, :, 1:, 1:] = term_rad + term_ang + term_pi
+    return G
+
+
+def validate_channels(V: dict[str, np.ndarray], npairs: int) -> None:
+    """Sanity-check a channel dict (used by model unit tests)."""
+    for ch in CHANNELS:
+        if ch not in V:
+            raise KeyError(f"missing Slater-Koster channel {ch!r}")
+        arr = np.asarray(V[ch])
+        if arr.shape != (npairs,):
+            raise ValueError(
+                f"channel {ch!r} has shape {arr.shape}, expected ({npairs},)"
+            )

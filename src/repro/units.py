@@ -1,0 +1,139 @@
+"""Unit system and physical constants for pytbmd.
+
+The internal unit system is the standard one for tight-binding molecular
+dynamics codes of the early 1990s:
+
+* energy      — electron-volt (eV)
+* length      — ångström (Å)
+* time        — femtosecond (fs)
+* mass        — unified atomic mass unit (amu)
+* temperature — kelvin (K)
+
+These four base units are *not* mutually consistent: ``1 amu·Å²/fs²`` is not
+``1 eV``.  The conversion factors below reconcile them; all dynamical code in
+:mod:`repro.md` uses :data:`FORCE_TO_ACC` and :data:`MASS_VEL2_TO_EV` so that
+positions stay in Å, velocities in Å/fs, forces in eV/Å and energies in eV.
+
+Values follow CODATA 2018.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Base SI values (CODATA 2018) used only to derive the conversion factors.
+# ---------------------------------------------------------------------------
+_EV_J = 1.602176634e-19          # J per eV (exact)
+_AMU_KG = 1.66053906660e-27      # kg per amu
+_ANGSTROM_M = 1.0e-10            # m per Å
+_FS_S = 1.0e-15                  # s per fs
+
+# ---------------------------------------------------------------------------
+# Fundamental constants in internal units.
+# ---------------------------------------------------------------------------
+#: Boltzmann constant in eV/K.
+KB = 8.617333262e-5
+
+#: Reduced Planck constant in eV·fs.
+HBAR = 0.6582119569
+
+#: Planck constant in eV·fs.
+H_PLANCK = 2.0 * math.pi * HBAR
+
+#: Speed of light in Å/fs.
+C_LIGHT = 2997.92458
+
+# ---------------------------------------------------------------------------
+# Mechanical conversion factors.
+# ---------------------------------------------------------------------------
+#: Multiply (force[eV/Å] / mass[amu]) by this to get acceleration in Å/fs².
+FORCE_TO_ACC = _EV_J / (_AMU_KG * _ANGSTROM_M**2 / _FS_S**2) * 1.0  # derived below
+
+# Derivation: F/m has SI value (eV→J)/(amu→kg) / (Å→m) m/s².  Converting
+# m/s² → Å/fs² multiplies by 1e-10/1e-30 = 1e20... computed explicitly:
+_ACC_SI = _EV_J / (_AMU_KG * _ANGSTROM_M)          # m/s² per (eV/Å/amu)
+FORCE_TO_ACC = _ACC_SI * (_FS_S**2 / _ANGSTROM_M)  # Å/fs² per (eV/Å/amu)
+
+#: Multiply mass[amu]·velocity²[(Å/fs)²] by this to get energy in eV.
+MASS_VEL2_TO_EV = 1.0 / FORCE_TO_ACC
+
+#: 1 eV/Å³ expressed in gigapascal — used for stress/pressure reporting.
+EV_PER_A3_TO_GPA = _EV_J / _ANGSTROM_M**3 / 1.0e9
+
+#: 1 GPa expressed in eV/Å³.
+GPA_TO_EV_PER_A3 = 1.0 / EV_PER_A3_TO_GPA
+
+# ---------------------------------------------------------------------------
+# Element data (only the species the TB model zoo supports, plus a few
+# common neighbours so structure builders are not artificially limited).
+# ---------------------------------------------------------------------------
+#: Atomic masses in amu, keyed by chemical symbol.
+ATOMIC_MASSES: dict[str, float] = {
+    "H": 1.008,
+    "He": 4.002602,
+    "B": 10.811,
+    "C": 12.011,
+    "N": 14.007,
+    "O": 15.999,
+    "Si": 28.0855,
+    "P": 30.973762,
+    "Ge": 72.630,
+}
+
+#: Atomic numbers keyed by chemical symbol.
+ATOMIC_NUMBERS: dict[str, int] = {
+    "H": 1,
+    "He": 2,
+    "B": 5,
+    "C": 6,
+    "N": 7,
+    "O": 8,
+    "Si": 14,
+    "P": 15,
+    "Ge": 32,
+}
+
+#: Chemical symbols keyed by atomic number (inverse of ATOMIC_NUMBERS).
+ATOMIC_SYMBOLS: dict[int, str] = {z: s for s, z in ATOMIC_NUMBERS.items()}
+
+
+def mass_of(symbol: str) -> float:
+    """Return the atomic mass (amu) for *symbol*.
+
+    Raises ``KeyError`` with a helpful message for unknown species.
+    """
+    try:
+        return ATOMIC_MASSES[symbol]
+    except KeyError:
+        known = ", ".join(sorted(ATOMIC_MASSES))
+        raise KeyError(
+            f"unknown chemical symbol {symbol!r}; known species: {known}"
+        ) from None
+
+
+def kinetic_energy(masses, velocities) -> float:
+    """Total kinetic energy in eV.
+
+    Parameters
+    ----------
+    masses : (N,) array-like, amu
+    velocities : (N, 3) array-like, Å/fs
+    """
+    import numpy as np
+
+    m = np.asarray(masses, dtype=float)
+    v = np.asarray(velocities, dtype=float)
+    return 0.5 * MASS_VEL2_TO_EV * float(np.sum(m * np.sum(v * v, axis=1)))
+
+
+def temperature_from_kinetic(ekin: float, ndof: int) -> float:
+    """Instantaneous temperature (K) from kinetic energy and #dof."""
+    if ndof <= 0:
+        return 0.0
+    return 2.0 * ekin / (ndof * KB)
+
+
+def kinetic_from_temperature(temp: float, ndof: int) -> float:
+    """Kinetic energy (eV) corresponding to temperature *temp* over *ndof*."""
+    return 0.5 * ndof * KB * temp

@@ -1,0 +1,22 @@
+"""Shared test helpers (importable, unlike conftest)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def numerical_forces(atoms, calc_factory, h: float = 1e-5,
+                     atom_indices=None) -> np.ndarray:
+    """Central-difference forces; ``calc_factory()`` returns a fresh
+    calculator so caching never contaminates the stencil."""
+    n = len(atoms)
+    idx = range(n) if atom_indices is None else atom_indices
+    f = np.zeros((n, 3))
+    for i in idx:
+        for c in range(3):
+            ap = atoms.copy(); ap.positions[i, c] += h
+            am = atoms.copy(); am.positions[i, c] -= h
+            ep = calc_factory().get_potential_energy(ap)
+            em = calc_factory().get_potential_energy(am)
+            f[i, c] = -(ep - em) / (2.0 * h)
+    return f

@@ -1,0 +1,155 @@
+"""Atoms container: construction, energetics, geometry operations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import Atoms, Cell
+from repro.units import MASS_VEL2_TO_EV
+
+
+def make_dimer(d=2.35):
+    return Atoms(["Si", "Si"], [[0, 0, 0], [d, 0, 0]],
+                 cell=Cell.cubic(20.0, pbc=False))
+
+
+def test_single_symbol_broadcast():
+    at = Atoms("Si", np.zeros((3, 3)))
+    assert at.symbols == ["Si", "Si", "Si"]
+
+
+def test_symbol_count_mismatch():
+    with pytest.raises(GeometryError, match="symbols"):
+        Atoms(["Si"], np.zeros((2, 3)))
+
+
+def test_unknown_symbol_rejected():
+    with pytest.raises(GeometryError, match="unknown"):
+        Atoms(["Qq"], np.zeros((1, 3)))
+
+
+def test_default_masses_from_table():
+    at = Atoms(["Si", "C"], np.zeros((2, 3)))
+    assert at.masses[0] == pytest.approx(28.0855)
+    assert at.masses[1] == pytest.approx(12.011)
+
+
+def test_negative_mass_rejected():
+    with pytest.raises(GeometryError):
+        Atoms(["Si"], np.zeros((1, 3)), masses=[-1.0])
+
+
+def test_numbers_property():
+    at = Atoms(["Si", "C", "H"], np.zeros((3, 3)))
+    np.testing.assert_array_equal(at.numbers, [14, 6, 1])
+
+
+def test_set_symbol_substitution_updates_mass():
+    at = Atoms(["C", "C"], np.zeros((2, 3)))
+    at.set_symbol(1, "B")
+    assert at.symbols == ["C", "B"]
+    assert at.masses[1] == pytest.approx(10.811)
+
+
+def test_kinetic_energy_and_temperature():
+    at = make_dimer()
+    at.velocities[:] = [[0.01, 0, 0], [-0.01, 0, 0]]
+    ke = at.kinetic_energy()
+    expected = 2 * 0.5 * MASS_VEL2_TO_EV * 28.0855 * 1e-4
+    assert ke == pytest.approx(expected)
+    assert at.temperature() > 0
+
+
+def test_temperature_excludes_fixed_atoms():
+    at = Atoms(["Si"] * 4, np.arange(12).reshape(4, 3) * 3.0,
+               cell=Cell.cubic(30, pbc=False),
+               fixed=[True, True, False, False])
+    at.velocities[:2] = 1.0   # fixed atoms moving shouldn't count
+    assert at.temperature() == 0.0
+    assert at.n_free == 2
+
+
+def test_zero_momentum():
+    at = make_dimer()
+    at.velocities[:] = [[0.02, 0, 0], [0.01, 0, 0]]
+    at.zero_momentum()
+    np.testing.assert_allclose(at.momentum(), 0.0, atol=1e-14)
+
+
+def test_zero_momentum_respects_fixed():
+    at = Atoms(["Si", "Si"], [[0, 0, 0], [3, 0, 0]],
+               cell=Cell.cubic(20, pbc=False), fixed=[True, False])
+    at.velocities[1] = [0.05, 0, 0]
+    at.zero_momentum()
+    # only the free atom is adjusted; its momentum alone goes to zero
+    np.testing.assert_allclose(at.velocities[1], 0.0, atol=1e-14)
+    np.testing.assert_allclose(at.velocities[0], 0.0)
+
+
+def test_distance_minimum_image():
+    at = Atoms(["Si", "Si"], [[0.2, 0, 0], [9.8, 0, 0]], cell=Cell.cubic(10.0))
+    assert at.distance(0, 1) == pytest.approx(0.4)
+    assert at.distance(0, 1, mic=False) == pytest.approx(9.6)
+
+
+def test_copy_is_deep():
+    at = make_dimer()
+    cp = at.copy()
+    cp.positions[0, 0] = 99.0
+    cp.set_symbol(0, "C")
+    assert at.positions[0, 0] == 0.0
+    assert at.symbols[0] == "Si"
+
+
+def test_translate():
+    at = make_dimer()
+    at.translate([1, 2, 3])
+    np.testing.assert_allclose(at.positions[0], [1, 2, 3])
+
+
+def test_rotate_preserves_distances():
+    at = make_dimer()
+    d0 = at.distance(0, 1, mic=False)
+    at.rotate([0, 0, 1], 0.7)
+    assert at.distance(0, 1, mic=False) == pytest.approx(d0)
+
+
+def test_rotate_periodic_refused():
+    at = Atoms(["Si"], np.zeros((1, 3)), cell=Cell.cubic(5.0))
+    with pytest.raises(GeometryError):
+        at.rotate([0, 0, 1], 0.1)
+
+
+def test_extend_concatenates():
+    a = make_dimer()
+    b = Atoms(["H"], [[5, 5, 5]], cell=a.cell, fixed=[True])
+    ab = a.extend(b)
+    assert len(ab) == 3
+    assert ab.symbols == ["Si", "Si", "H"]
+    assert bool(ab.fixed[2]) is True
+
+
+def test_select_by_mask_and_indices():
+    at = Atoms(["Si", "C", "H"], np.arange(9).reshape(3, 3),
+               cell=Cell.cubic(20, pbc=False))
+    sub = at.select([False, True, True])
+    assert sub.symbols == ["C", "H"]
+    sub2 = at.select([0, 2])
+    assert sub2.symbols == ["Si", "H"]
+
+
+def test_wrap_mutates_positions():
+    at = Atoms(["Si"], [[11.0, 0.5, 0.5]], cell=Cell.cubic(10.0))
+    at.wrap()
+    np.testing.assert_allclose(at.positions[0], [1.0, 0.5, 0.5])
+
+
+def test_repr_contains_formula():
+    at = Atoms(["Si", "Si", "C"], np.zeros((3, 3)))
+    assert "Si2" in repr(at) and "C" in repr(at)
+
+
+def test_center_of_mass():
+    at = Atoms(["Si", "Si"], [[0, 0, 0], [2, 0, 0]],
+               cell=Cell.cubic(10, pbc=False))
+    np.testing.assert_allclose(at.center_of_mass(), [1, 0, 0])

@@ -1,0 +1,137 @@
+"""Berendsen NPT coupling and the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.classical import StillingerWeber
+from repro.errors import MDError
+from repro.geometry import bulk_silicon, read_xyz, supercell, write_xyz
+from repro.geometry.transform import scale_volume
+from repro.md import MDDriver, maxwell_boltzmann_velocities
+from repro.md.barostat import BerendsenNPT
+
+
+# ---------------------------------------------------------------- barostat
+def test_npt_relaxes_compressed_cell_toward_zero_pressure():
+    at = scale_volume(supercell(bulk_silicon(), 2), 0.94)   # ~6% compressed
+    maxwell_boltzmann_velocities(at, 300.0, seed=1)
+    sw = StillingerWeber()
+    p0 = sw.get_pressure(at)
+    npt = BerendsenNPT(dt=1.0, temperature=300.0, pressure_gpa=0.0,
+                       tau=50.0, tau_p=200.0)
+    md = MDDriver(at, sw, npt)
+    md.run(250)
+    p1 = sw.compute(at, forces=True)["pressure"]
+    assert abs(p1) < 0.5 * abs(p0), "pressure must relax toward target"
+    assert at.cell.volume > 0.94**1.0 * supercell(bulk_silicon(), 2).cell.volume * 0.99
+
+
+def test_npt_expands_compressed_and_contracts_stretched():
+    sw = StillingerWeber()
+    for factor, direction in ((0.95, +1), (1.05, -1)):
+        at = scale_volume(supercell(bulk_silicon(), 2), factor)
+        v0 = at.cell.volume
+        maxwell_boltzmann_velocities(at, 200.0, seed=2)
+        npt = BerendsenNPT(dt=1.0, temperature=200.0, pressure_gpa=0.0,
+                           tau=50.0, tau_p=150.0)
+        MDDriver(at, StillingerWeber(), npt).run(120)
+        assert np.sign(at.cell.volume - v0) == direction
+
+
+def test_npt_positions_scale_with_cell():
+    at = scale_volume(supercell(bulk_silicon(), 2), 0.95)
+    maxwell_boltzmann_velocities(at, 200.0, seed=3)
+    npt = BerendsenNPT(dt=1.0, temperature=200.0, tau=50.0, tau_p=150.0)
+    MDDriver(at, StillingerWeber(), npt).run(60)
+    frac = at.cell.fractional(at.positions)
+    assert np.all(np.isfinite(frac))
+    # fractional spread stays crystal-like (no atom escaped the lattice)
+    assert at.temperature() < 2000.0
+
+
+def test_npt_validation():
+    with pytest.raises(MDError):
+        BerendsenNPT(dt=2.0, temperature=300.0, tau_p=1.0)
+    from repro.geometry import carbon_chain
+
+    at = carbon_chain(3)
+    npt = BerendsenNPT(dt=1.0, temperature=300.0)
+    from repro.tb import TBCalculator, XuCarbon
+
+    md = MDDriver(at, TBCalculator(XuCarbon()), npt)
+    with pytest.raises(MDError, match="periodic"):
+        md.run(1)
+
+
+# ---------------------------------------------------------------- CLI
+def run_cli(args):
+    from repro.cli import main
+
+    return main(args)
+
+
+def test_cli_models(capsys):
+    assert run_cli(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "gsp-si" in out and "sw-si" in out
+
+
+def test_cli_energy(tmp_path, capsys):
+    p = tmp_path / "si.xyz"
+    write_xyz(p, bulk_silicon())
+    assert run_cli(["energy", str(p), "--model", "gsp-si"]) == 0
+    out = capsys.readouterr().out
+    assert "energy" in out and "eV/atom" in out
+
+
+def test_cli_energy_sw(tmp_path, capsys):
+    p = tmp_path / "si.xyz"
+    write_xyz(p, bulk_silicon())
+    assert run_cli(["energy", str(p), "--model", "sw-si"]) == 0
+    assert "-4.33" in capsys.readouterr().out
+
+
+def test_cli_relax_roundtrip(tmp_path, capsys):
+    from repro.geometry import rattle
+
+    src = tmp_path / "in.xyz"
+    dst = tmp_path / "out.xyz"
+    write_xyz(src, rattle(bulk_silicon(), 0.08, seed=4))
+    code = run_cli(["relax", str(src), "--model", "gsp-si",
+                    "--fmax", "0.05", "-o", str(dst)])
+    assert code == 0
+    relaxed = read_xyz(str(dst))
+    assert len(relaxed) == 8
+
+
+def test_cli_relax_nonconverged_exit_code(tmp_path):
+    from repro.geometry import rattle
+
+    src = tmp_path / "in.xyz"
+    write_xyz(src, rattle(bulk_silicon(), 0.1, seed=5))
+    code = run_cli(["relax", str(src), "--fmax", "1e-9",
+                    "--max-steps", "2"])
+    assert code == 2
+
+
+def test_cli_md_with_trajectory(tmp_path, capsys):
+    src = tmp_path / "in.xyz"
+    traj = tmp_path / "traj.xyz"
+    write_xyz(src, bulk_silicon())
+    code = run_cli(["md", str(src), "--model", "sw-si", "--steps", "20",
+                    "--temperature", "300", "--thermostat", "langevin",
+                    "--traj", str(traj), "--traj-interval", "5"])
+    assert code == 0
+    from repro.geometry.xyz import iread_xyz
+
+    assert len(list(iread_xyz(str(traj)))) == 5      # steps 0,5,10,15,20
+
+
+def test_cli_error_path(tmp_path, capsys):
+    src = tmp_path / "c.xyz"
+    from repro.geometry import diamond_cubic
+
+    write_xyz(src, diamond_cubic("C"))
+    code = run_cli(["energy", str(src), "--model", "gsp-si"])
+    assert code == 1
+    assert "error" in capsys.readouterr().err

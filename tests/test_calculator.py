@@ -1,0 +1,135 @@
+"""TBCalculator façade: caching, modes, getters, timing."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ElectronicError, ModelError
+from repro.geometry import bulk_silicon, rattle
+from repro.tb import GSPSilicon, NonOrthogonalSilicon, TBCalculator
+
+
+def test_results_keys_gamma(si8_rattled):
+    res = TBCalculator(GSPSilicon()).compute(si8_rattled)
+    for key in ("energy", "band_energy", "repulsive_energy", "forces",
+                "virial", "stress", "pressure", "eigenvalues", "occupations",
+                "fermi_level", "gap", "homo", "lumo"):
+        assert key in res
+    assert res["energy"] == pytest.approx(res["band_energy"]
+                                          + res["repulsive_energy"])
+    assert res["n_orbitals"] == 32
+
+
+def test_cache_hit_no_recompute(si8_rattled):
+    calc = TBCalculator(GSPSilicon())
+    calc.compute(si8_rattled)
+    n_diag_calls = calc.timer.timers["diagonalize"].calls
+    calc.compute(si8_rattled)
+    calc.get_potential_energy(si8_rattled)
+    assert calc.timer.timers["diagonalize"].calls == n_diag_calls
+
+
+def test_cache_invalidated_by_position_change(si8_rattled):
+    calc = TBCalculator(GSPSilicon())
+    e0 = calc.get_potential_energy(si8_rattled)
+    si8_rattled.positions[0, 0] += 0.05
+    e1 = calc.get_potential_energy(si8_rattled)
+    assert e0 != e1
+
+
+def test_energy_only_then_forces_upgrade(si8_rattled):
+    calc = TBCalculator(GSPSilicon())
+    e = calc.get_potential_energy(si8_rattled)
+    f = calc.get_forces(si8_rattled)      # must trigger the force pass
+    assert f.shape == (8, 3)
+    assert calc.compute(si8_rattled)["energy"] == pytest.approx(e)
+
+
+def test_invalidate_clears_cache(si8_rattled):
+    calc = TBCalculator(GSPSilicon())
+    calc.compute(si8_rattled)
+    calc.invalidate()
+    assert calc._cache_key is None
+
+
+def test_negative_kt_rejected():
+    with pytest.raises(ElectronicError):
+        TBCalculator(GSPSilicon(), kT=-0.1)
+
+
+def test_gap_of_silicon_positive(si8):
+    gap = TBCalculator(GSPSilicon()).get_gap(si8)
+    assert gap > 0.5      # Γ-folded silicon is clearly gapped
+
+
+def test_kpoint_mode_energy_no_forces(si8):
+    calc = TBCalculator(GSPSilicon(), kpts=2, kT=0.05)
+    res = calc.compute(si8)
+    assert res["n_kpoints"] == 8
+    assert "forces" not in res
+    with pytest.raises(ModelError, match="Γ-only|kpts"):
+        calc.get_forces(si8)
+
+
+def test_kpoint_requires_periodic_cell():
+    from repro.geometry import Atoms, Cell
+
+    at = Atoms(["Si"], [[0, 0, 0]], cell=Cell.cubic(10, pbc=False))
+    with pytest.raises(ElectronicError):
+        TBCalculator(GSPSilicon(), kpts=2, kT=0.05).compute(at)
+
+
+def test_kpoint_zero_t_insulator_filling(si8):
+    res = TBCalculator(GSPSilicon(), kpts=2).compute(si8)
+    # 32 electrons per cell; Σ w f = 32
+    total = float(np.sum(res["weights"] * res["occupations"]))
+    assert total == pytest.approx(32.0, abs=1e-9)
+
+
+def test_kpoint_energy_below_gamma_only(si8):
+    """k-sampling lowers the Γ-only band energy estimate for Si (Γ folding
+    overweights the zone centre)."""
+    e_gamma = TBCalculator(GSPSilicon()).get_potential_energy(si8)
+    e_k = TBCalculator(GSPSilicon(), kpts=3, kT=0.02).get_potential_energy(si8)
+    assert abs(e_k - e_gamma) > 1e-3     # sampling matters at this size
+    assert abs(e_k - e_gamma) / 8 < 1.0  # but stays eV-scale
+
+
+def test_solver_choice_jacobi_matches_lapack(si8_rattled):
+    e1 = TBCalculator(GSPSilicon(), solver="lapack").get_potential_energy(si8_rattled)
+    e2 = TBCalculator(GSPSilicon(), solver="jacobi").get_potential_energy(si8_rattled)
+    assert e2 == pytest.approx(e1, abs=1e-7)
+
+
+def test_free_energy_below_energy_with_smearing(si8_rattled):
+    calc = TBCalculator(GSPSilicon(), kT=0.3)
+    res = calc.compute(si8_rattled)
+    assert res["free_energy"] <= res["energy"] + 1e-12
+    assert res["entropy"] > 0
+
+
+def test_nonorthogonal_end_to_end(si8_rattled):
+    res = TBCalculator(NonOrthogonalSilicon()).compute(si8_rattled)
+    assert np.isfinite(res["energy"])
+    assert res["forces"].shape == (8, 3)
+    np.testing.assert_allclose(res["forces"].sum(axis=0), 0.0, atol=1e-9)
+
+
+def test_timer_phases_recorded(si8_rattled):
+    calc = TBCalculator(GSPSilicon())
+    calc.compute(si8_rattled)
+    for phase in ("neighbors", "hamiltonian", "diagonalize",
+                  "occupations", "repulsive", "forces"):
+        assert calc.timer.elapsed(phase) >= 0.0
+        assert phase in calc.timer.timers
+
+
+def test_repr_mentions_model_and_mode():
+    r1 = repr(TBCalculator(GSPSilicon()))
+    assert "gsp-silicon" in r1 and "Γ" in r1
+    r2 = repr(TBCalculator(GSPSilicon(), kpts=2, kT=0.1))
+    assert "8 k-points" in r2
+
+
+def test_wrong_species_clear_error(c_diamond):
+    with pytest.raises(ModelError, match="does not support"):
+        TBCalculator(GSPSilicon()).get_potential_energy(c_diamond)

@@ -1,0 +1,168 @@
+"""Cell: coordinate transforms, wrapping, minimum image, image enumeration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry import Cell
+
+
+def test_cubic_constructor():
+    c = Cell.cubic(5.0)
+    assert c.volume == pytest.approx(125.0)
+    np.testing.assert_allclose(c.lengths, [5, 5, 5])
+    assert c.fully_periodic
+
+
+def test_orthorhombic_angles():
+    c = Cell.orthorhombic(3, 4, 5)
+    np.testing.assert_allclose(c.angles, [90, 90, 90])
+
+
+def test_nonperiodic_cell():
+    c = Cell.nonperiodic()
+    assert not c.periodic
+    np.testing.assert_array_equal(c.translations_within(5.0), [[0, 0, 0]])
+
+
+def test_singular_periodic_cell_rejected():
+    with pytest.raises(GeometryError, match="singular"):
+        Cell(np.zeros((3, 3)), pbc=True)
+
+
+def test_pbc_flags_sequence():
+    c = Cell(np.eye(3) * 4, pbc=(True, False, True))
+    assert list(c.pbc) == [True, False, True]
+
+
+def test_bad_pbc_length():
+    with pytest.raises(GeometryError):
+        Cell(np.eye(3), pbc=(True, False))
+
+
+def test_fractional_cartesian_roundtrip():
+    h = np.array([[4.0, 0.1, 0.0], [0.0, 5.0, 0.2], [0.3, 0.0, 6.0]])
+    c = Cell(h)
+    pts = np.array([[1.0, 2.0, 3.0], [-0.5, 7.2, 0.1]])
+    np.testing.assert_allclose(c.cartesian(c.fractional(pts)), pts, atol=1e-12)
+
+
+def test_wrap_into_home_cell():
+    c = Cell.cubic(3.0)
+    wrapped = c.wrap(np.array([[3.5, -0.5, 1.0]]))
+    np.testing.assert_allclose(wrapped, [[0.5, 2.5, 1.0]])
+
+
+def test_wrap_respects_nonperiodic_axis():
+    c = Cell(np.eye(3) * 3.0, pbc=(True, True, False))
+    wrapped = c.wrap(np.array([[3.5, 1.0, -4.0]]))
+    np.testing.assert_allclose(wrapped, [[0.5, 1.0, -4.0]])
+
+
+def test_minimum_image_cubic():
+    c = Cell.cubic(10.0)
+    d = c.minimum_image(np.array([9.0, 0.0, 0.0]))
+    np.testing.assert_allclose(d, [-1.0, 0.0, 0.0])
+
+
+def test_minimum_image_preserves_shape():
+    c = Cell.cubic(10.0)
+    one = c.minimum_image(np.array([1.0, 2.0, 3.0]))
+    assert one.shape == (3,)
+    many = c.minimum_image(np.ones((4, 3)))
+    assert many.shape == (4, 3)
+
+
+def test_perpendicular_widths_cubic():
+    np.testing.assert_allclose(Cell.cubic(4.0).perpendicular_widths(), [4, 4, 4])
+
+
+def test_perpendicular_widths_sheared():
+    # shearing doesn't change perpendicular width along the sheared axis pair
+    h = np.array([[4.0, 0, 0], [2.0, 4.0, 0], [0, 0, 4.0]])
+    w = Cell(h).perpendicular_widths()
+    assert w[2] == pytest.approx(4.0)
+    assert w[0] < 4.0 + 1e-9
+
+
+def test_translations_zero_first():
+    c = Cell.cubic(3.0)
+    t = c.translations_within(4.0)
+    np.testing.assert_array_equal(t[0], [0.0, 0.0, 0.0])
+    assert len(t) > 27 / 2  # several shells needed for rcut > a
+
+
+def test_translations_cover_cutoff():
+    # every lattice vector within rcut must be present
+    c = Cell.cubic(2.0)
+    rcut = 5.0
+    t = c.translations_within(rcut)
+    norms = np.linalg.norm(t, axis=1)
+    # count lattice points within rcut independently
+    n = 0
+    for i in range(-3, 4):
+        for j in range(-3, 4):
+            for k in range(-3, 4):
+                if np.linalg.norm(np.array([i, j, k]) * 2.0) <= rcut:
+                    n += 1
+    assert np.sum(norms <= rcut + 1e-9) == n
+
+
+def test_translations_respect_partial_pbc():
+    c = Cell(np.eye(3) * 3.0, pbc=(True, False, False))
+    t = c.translations_within(4.0)
+    assert np.all(t[:, 1] == 0.0)
+    assert np.all(t[:, 2] == 0.0)
+    assert len(t) >= 3
+
+
+def test_translations_bad_rcut():
+    with pytest.raises(GeometryError):
+        Cell.cubic(3.0).translations_within(0.0)
+
+
+def test_cell_equality_and_hash():
+    a = Cell.cubic(3.0)
+    b = Cell.cubic(3.0)
+    c = Cell.cubic(3.1)
+    assert a == b and hash(a) == hash(b)
+    assert a != c
+
+
+def test_cell_matrix_readonly():
+    c = Cell.cubic(3.0)
+    with pytest.raises(ValueError):
+        c.matrix[0, 0] = 9.0
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.floats(2.0, 10.0), b=st.floats(2.0, 10.0), cl=st.floats(2.0, 10.0),
+    x=st.floats(-20.0, 20.0), y=st.floats(-20.0, 20.0), z=st.floats(-20.0, 20.0),
+)
+def test_property_wrap_idempotent_and_in_cell(a, b, cl, x, y, z):
+    c = Cell.orthorhombic(a, b, cl)
+    p = np.array([[x, y, z]])
+    w1 = c.wrap(p)
+    w2 = c.wrap(w1)
+    np.testing.assert_allclose(w1, w2, atol=1e-9)
+    frac = c.fractional(w1)
+    assert np.all(frac >= -1e-9) and np.all(frac < 1.0 + 1e-9)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a=st.floats(3.0, 8.0),
+    x=st.floats(-15.0, 15.0), y=st.floats(-15.0, 15.0), z=st.floats(-15.0, 15.0),
+)
+def test_property_minimum_image_is_shortest(a, x, y, z):
+    c = Cell.cubic(a)
+    d = np.array([x, y, z])
+    mic = c.minimum_image(d)
+    # mic must be shorter than or equal to any single-shell alternative
+    for i in (-1, 0, 1):
+        for j in (-1, 0, 1):
+            for k in (-1, 0, 1):
+                alt = mic + np.array([i, j, k]) * a
+                assert np.linalg.norm(mic) <= np.linalg.norm(alt) + 1e-9

@@ -1,0 +1,120 @@
+"""Chebyshev Fermi-operator expansion and k-point parallel model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ElectronicError, ParallelError
+from repro.geometry import bulk_silicon, rattle
+from repro.neighbors import neighbor_list
+from repro.parallel import MachineSpec
+from repro.parallel.kpoints import kpoint_parallel_time, kpoint_speedup
+from repro.tb import GSPSilicon, TBCalculator
+from repro.tb.chebyshev import (
+    chebyshev_coefficients, evaluate_matrix_polynomial,
+    fermi_operator_expansion,
+)
+from repro.tb.hamiltonian import build_hamiltonian
+from repro.tb.occupations import fermi_function
+
+
+def si_h(seed=1):
+    at = rattle(bulk_silicon(), 0.05, seed=seed)
+    m = GSPSilicon()
+    H, _ = build_hamiltonian(at, m, neighbor_list(at, m.cutoff))
+    return at, H
+
+
+# ---------------------------------------------------------------- coefficients
+def test_coefficients_reproduce_scalar_function():
+    c = chebyshev_coefficients(np.tanh, 60)
+    x = np.linspace(-1, 1, 101)
+    # Clenshaw evaluation via cos(k arccos x)
+    tk = np.cos(np.outer(np.arange(len(c)), np.arccos(x)))
+    approx = c @ tk
+    np.testing.assert_allclose(approx, np.tanh(x), atol=1e-10)
+
+
+def test_coefficients_even_function_odd_terms_vanish():
+    c = chebyshev_coefficients(lambda x: x * x, 20)
+    np.testing.assert_allclose(c[1::2], 0.0, atol=1e-14)
+    assert c[0] == pytest.approx(0.5)
+    assert c[2] == pytest.approx(0.5)
+
+
+def test_matrix_polynomial_matches_eigendecomposition():
+    rng = np.random.default_rng(3)
+    a = rng.normal(size=(20, 20))
+    H = 0.5 * (a + a.T)
+    H /= np.abs(np.linalg.eigvalsh(H)).max() * 1.05  # spectrum in [-1,1]
+    c = chebyshev_coefficients(np.tanh, 80)
+    poly = evaluate_matrix_polynomial(H, c)
+    eps, C = np.linalg.eigh(H)
+    exact = (C * np.tanh(eps)) @ C.T
+    np.testing.assert_allclose(poly, exact, atol=1e-9)
+
+
+# ---------------------------------------------------------------- FOE
+def test_foe_matches_exact_smearing():
+    at, H = si_h()
+    kT = 0.2
+    ref = TBCalculator(GSPSilicon(), kT=kT).compute(at)
+    res = fermi_operator_expansion(H, 32.0, kT, order=300)
+    assert res["n_electrons"] == pytest.approx(32.0, abs=1e-6)
+    assert res["band_energy"] == pytest.approx(ref["band_energy"], abs=5e-3)
+    # density matrix against the exact smeared projector
+    eps, C = np.linalg.eigh(H)
+    rho_exact = (C * fermi_function(eps, res["mu"], kT)) @ C.T
+    np.testing.assert_allclose(res["rho"], rho_exact, atol=1e-3)
+
+
+def test_foe_accuracy_improves_with_order():
+    at, H = si_h(seed=2)
+    kT = 0.3
+    ref = TBCalculator(GSPSilicon(), kT=kT).compute(at)
+    errs = []
+    for order in (60, 150, 400):
+        res = fermi_operator_expansion(H, 32.0, kT, order=order)
+        errs.append(abs(res["band_energy"] - ref["band_energy"]))
+    assert errs[2] < errs[0]
+
+
+def test_foe_explicit_mu_skips_search():
+    at, H = si_h(seed=3)
+    kT = 0.25
+    ref = TBCalculator(GSPSilicon(), kT=kT).compute(at)
+    res = fermi_operator_expansion(H, 32.0, kT, order=250,
+                                   mu=ref["fermi_level"])
+    assert res["mu"] == ref["fermi_level"]
+    assert res["n_electrons"] == pytest.approx(32.0, abs=0.05)
+
+
+def test_foe_validation():
+    _, H = si_h()
+    with pytest.raises(ElectronicError):
+        fermi_operator_expansion(H, 32.0, kT=0.0)
+    with pytest.raises(ElectronicError):
+        fermi_operator_expansion(np.zeros((2, 3)), 2.0, kT=0.1)
+    with pytest.raises(ElectronicError):
+        chebyshev_coefficients(np.tanh, 0)
+
+
+# ---------------------------------------------------------------- k-parallel
+def test_kpoint_speedup_near_perfect_until_ceiling():
+    rows = kpoint_speedup(256, 8, [1, 2, 4, 8, 16], MachineSpec.paragon())
+    s = {r["nproc"]: r["speedup"] for r in rows}
+    assert s[2] == pytest.approx(2.0, rel=0.02)
+    assert s[8] == pytest.approx(8.0, rel=0.05)
+    # beyond n_k: no further gain
+    assert s[16] == pytest.approx(s[8], rel=0.05)
+
+
+def test_kpoint_ceil_granularity():
+    # 6 k-points on 4 ranks: one rank carries 2 → speedup 3, not 4
+    rows = kpoint_speedup(256, 6, [4], MachineSpec.paragon())
+    assert rows[0]["speedup"] == pytest.approx(3.0, rel=0.05)
+    assert rows[0]["kpoints_per_rank"] == 2
+
+
+def test_kpoint_validation():
+    with pytest.raises(ParallelError):
+        kpoint_parallel_time(64, 0, 4, MachineSpec.paragon())

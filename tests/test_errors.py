@@ -1,0 +1,33 @@
+"""Exception hierarchy contracts."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize("cls", [
+    errors.GeometryError, errors.NeighborError, errors.ModelError,
+    errors.ElectronicError, errors.ConvergenceError, errors.MDError,
+    errors.ParallelError, errors.IOFormatError,
+])
+def test_all_derive_from_repro_error(cls):
+    assert issubclass(cls, errors.ReproError)
+    assert issubclass(cls, Exception)
+
+
+def test_convergence_error_carries_diagnostics():
+    err = errors.ConvergenceError("nope", iterations=42, residual=1e-3)
+    assert err.iterations == 42
+    assert err.residual == pytest.approx(1e-3)
+    assert "nope" in str(err)
+
+
+def test_convergence_error_defaults():
+    err = errors.ConvergenceError("bare")
+    assert err.iterations is None
+    assert err.residual is None
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(errors.ReproError):
+        raise errors.NeighborError("x")

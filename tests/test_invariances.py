@@ -1,0 +1,128 @@
+"""Physical invariance property tests: the energy must not know where the
+lab frame is.  These catch subtle Slater–Koster sign/rotation bugs that
+pointwise tests miss."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import Atoms, Cell, bulk_silicon, random_cluster, rattle
+from repro.tb import GSPSilicon, TBCalculator, XuCarbon
+
+
+def si_cluster(seed=0, n=6):
+    """Small random Si cluster with safe separations."""
+    at = random_cluster(n, symbol="Si", min_dist=2.2, seed=seed)
+    return at
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10**6),
+       shift=st.tuples(st.floats(-5, 5), st.floats(-5, 5), st.floats(-5, 5)))
+def test_property_translation_invariance_cluster(seed, shift):
+    at = si_cluster(seed)
+    e0 = TBCalculator(GSPSilicon()).get_potential_energy(at)
+    moved = at.copy()
+    moved.translate(shift)
+    e1 = TBCalculator(GSPSilicon()).get_potential_energy(moved)
+    assert e1 == pytest.approx(e0, abs=1e-9)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(0, 10**6),
+       angle=st.floats(0.05, 3.0),
+       axis_seed=st.integers(0, 100))
+def test_property_rotation_invariance_cluster(seed, angle, axis_seed):
+    """Rigid rotation must leave energy unchanged AND co-rotate forces."""
+    at = si_cluster(seed)
+    calc = TBCalculator(GSPSilicon())
+    e0 = calc.get_potential_energy(at)
+    f0 = calc.get_forces(at)
+
+    rng = np.random.default_rng(axis_seed)
+    axis = rng.normal(size=3)
+    axis /= np.linalg.norm(axis)
+    rot = at.copy()
+    rot.rotate(axis, angle, center=[0, 0, 0])
+    # rotation matrix (for comparing forces)
+    c, s = np.cos(angle), np.sin(angle)
+    ux, uy, uz = axis
+    R = np.array([
+        [c + ux*ux*(1-c), ux*uy*(1-c) - uz*s, ux*uz*(1-c) + uy*s],
+        [uy*ux*(1-c) + uz*s, c + uy*uy*(1-c), uy*uz*(1-c) - ux*s],
+        [uz*ux*(1-c) - uy*s, uz*uy*(1-c) + ux*s, c + uz*uz*(1-c)],
+    ])
+    calc2 = TBCalculator(GSPSilicon())
+    e1 = calc2.get_potential_energy(rot)
+    f1 = calc2.get_forces(rot)
+    assert e1 == pytest.approx(e0, abs=1e-8)
+    np.testing.assert_allclose(f1, f0 @ R.T, atol=1e-7)
+
+
+@settings(max_examples=10, deadline=None)
+@given(perm_seed=st.integers(0, 10**6))
+def test_property_permutation_invariance(perm_seed):
+    """Relabeling atoms permutes forces but not the energy."""
+    at = rattle(bulk_silicon(), 0.06, seed=3)
+    calc = TBCalculator(GSPSilicon())
+    e0 = calc.get_potential_energy(at)
+    f0 = calc.get_forces(at)
+    rng = np.random.default_rng(perm_seed)
+    perm = rng.permutation(len(at))
+    at2 = Atoms([at.symbols[p] for p in perm], at.positions[perm],
+                cell=at.cell)
+    calc2 = TBCalculator(GSPSilicon())
+    assert calc2.get_potential_energy(at2) == pytest.approx(e0, abs=1e-9)
+    np.testing.assert_allclose(calc2.get_forces(at2), f0[perm], atol=1e-8)
+
+
+def test_lattice_translation_invariance_periodic():
+    """Shifting a periodic crystal by any vector leaves E and F unchanged."""
+    at = rattle(bulk_silicon(), 0.05, seed=7)
+    calc = TBCalculator(GSPSilicon())
+    e0, f0 = calc.get_potential_energy(at), calc.get_forces(at)
+    moved = at.copy()
+    moved.translate([1.234, -0.777, 3.21])
+    calc2 = TBCalculator(GSPSilicon())
+    assert calc2.get_potential_energy(moved) == pytest.approx(e0, abs=1e-9)
+    np.testing.assert_allclose(calc2.get_forces(moved), f0, atol=1e-9)
+
+
+def test_supercell_energy_extensive():
+    """E(2×1×1 supercell, MP 2×2×2) = 2·E(cell, MP 4×2×2) exactly: the
+    doubled axis of an even MP grid unfolds onto the twice-finer primitive
+    grid ({±1/4} supercell ↔ {±1/8, ±3/8} primitive)."""
+    base = bulk_silicon()
+    from repro.geometry import supercell
+
+    e1 = TBCalculator(GSPSilicon(), kpts=(4, 2, 2), kT=0.05
+                      ).get_potential_energy(base)
+    sc = supercell(base, (2, 1, 1))
+    e2 = TBCalculator(GSPSilicon(), kpts=(2, 2, 2), kT=0.05
+                      ).get_potential_energy(sc)
+    assert e2 == pytest.approx(2 * e1, abs=1e-6)
+
+
+def test_mirror_symmetry_energy():
+    """Mirroring a cluster through a plane preserves the energy."""
+    at = si_cluster(31, n=7)
+    mirrored = at.copy()
+    mirrored.positions[:, 0] *= -1.0
+    e0 = TBCalculator(GSPSilicon()).get_potential_energy(at)
+    e1 = TBCalculator(GSPSilicon()).get_potential_energy(mirrored)
+    assert e1 == pytest.approx(e0, abs=1e-9)
+
+
+def test_carbon_ring_symmetry_equal_forces():
+    """All atoms of a perfect C6 ring feel radially equivalent forces."""
+    from repro.geometry import carbon_ring
+
+    ring = carbon_ring(6, bond=1.40)
+    f = TBCalculator(XuCarbon()).get_forces(ring)
+    mags = np.linalg.norm(f, axis=1)
+    np.testing.assert_allclose(mags, mags[0], atol=1e-8)
+    # forces radial: cross product with radial direction vanishes
+    center = ring.positions.mean(axis=0)
+    radial = ring.positions - center
+    cross = np.cross(radial, f)
+    np.testing.assert_allclose(cross, 0.0, atol=1e-8)

@@ -1,0 +1,84 @@
+"""Lattice builders: coordination, bond lengths, densities."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    bcc, beta_tin_silicon, bulk_silicon, diamond_cubic, fcc,
+    graphene_sheet, simple_cubic,
+)
+from repro.neighbors import neighbor_list
+
+
+def test_diamond_atom_count_and_volume():
+    at = diamond_cubic("Si")
+    assert len(at) == 8
+    assert at.cell.volume == pytest.approx(5.431**3)
+
+
+def test_diamond_first_neighbour_distance():
+    at = bulk_silicon()
+    nl = neighbor_list(at, 2.5)
+    expected = 5.431 * np.sqrt(3) / 4
+    np.testing.assert_allclose(nl.distances, expected, rtol=1e-12)
+
+
+def test_diamond_coordination_four():
+    at = bulk_silicon()
+    nl = neighbor_list(at, 2.5)
+    np.testing.assert_array_equal(nl.coordination(), 4)
+
+
+def test_diamond_unknown_species_needs_a():
+    with pytest.raises(GeometryError, match="lattice constant"):
+        diamond_cubic("Ge")
+    at = diamond_cubic("Ge", a=5.658)
+    assert len(at) == 8
+
+
+def test_fcc_coordination_twelve():
+    at = fcc("Si", a=4.0)
+    nl = neighbor_list(at, 4.0 / np.sqrt(2) + 0.01)
+    np.testing.assert_array_equal(nl.coordination(), 12)
+
+
+def test_bcc_coordination_eight():
+    at = bcc("Si", a=3.0)
+    nl = neighbor_list(at, 3.0 * np.sqrt(3) / 2 + 0.01)
+    np.testing.assert_array_equal(nl.coordination(), 8)
+
+
+def test_simple_cubic_coordination_six():
+    at = simple_cubic("Si", a=2.5)
+    nl = neighbor_list(at, 2.51)
+    np.testing.assert_array_equal(nl.coordination(), 6)
+
+
+def test_beta_tin_four_atoms_denser_than_diamond():
+    at = beta_tin_silicon()
+    assert len(at) == 4
+    v_bt = at.cell.volume / 4
+    v_dia = 5.431**3 / 8
+    assert v_bt < v_dia
+    # β-tin is ~6-coordinated (4 at 2.43 Å + 2 at 2.59 Å for Si)
+    nl = neighbor_list(at, 2.75)
+    assert nl.coordination().min() >= 6
+
+
+def test_graphene_three_coordination():
+    at = graphene_sheet(2, 2)
+    assert len(at) == 16
+    nl = neighbor_list(at, 1.5)
+    np.testing.assert_array_equal(nl.coordination(), 3)
+    np.testing.assert_allclose(nl.distances, 1.42, rtol=1e-9)
+
+
+def test_graphene_z_nonperiodic():
+    at = graphene_sheet(1, 1)
+    assert list(at.cell.pbc) == [True, True, False]
+
+
+def test_graphene_invalid_reps():
+    with pytest.raises(GeometryError):
+        graphene_sheet(0, 1)

@@ -1,0 +1,125 @@
+"""Nanotube / chain / ring / cluster builders."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import carbon_chain, carbon_ring, nanotube, random_cluster
+from repro.geometry.nanostructures import hydrogen_cap, nanotube_radius
+from repro.neighbors import neighbor_list
+
+
+def test_nanotube_zigzag_atom_count():
+    # (n, 0) translational cell has 4n atoms
+    t = nanotube(10, 0, cells=1)
+    assert len(t) == 40
+
+
+def test_nanotube_armchair_atom_count():
+    t = nanotube(5, 5, cells=1)
+    assert len(t) == 20
+
+
+def test_nanotube_chiral_atom_count():
+    # (4, 2): d_R = gcd(10, 8) = 2 → 4*(16+8+4)/2 = 56 atoms
+    t = nanotube(4, 2, cells=1)
+    assert len(t) == 56
+
+
+def test_nanotube_radius_formula():
+    r = nanotube_radius(10, 0)
+    a = np.sqrt(3) * 1.42
+    assert r == pytest.approx(a * 10 / (2 * np.pi))
+    # (10,10) SWNT diameter ≈ 1.36 nm
+    assert 2 * nanotube_radius(10, 10) == pytest.approx(13.56, abs=0.1)
+
+
+def test_nanotube_atoms_on_cylinder():
+    t = nanotube(8, 0, cells=2)
+    xy = t.positions[:, :2] - t.positions[:, :2].mean(axis=0)
+    r = np.linalg.norm(xy, axis=1)
+    np.testing.assert_allclose(r, nanotube_radius(8, 0), rtol=1e-6)
+
+
+def test_nanotube_coordination_periodic():
+    t = nanotube(6, 6, cells=1, periodic=True)
+    nl = neighbor_list(t, 1.6)
+    np.testing.assert_array_equal(nl.coordination(), 3)
+
+
+def test_nanotube_bond_lengths_near_cc():
+    t = nanotube(10, 0, cells=2, periodic=True)
+    nl = neighbor_list(t, 1.6)
+    assert abs(nl.distances.mean() - 1.42) < 0.03
+
+
+def test_finite_tube_nonperiodic_with_edges():
+    t = nanotube(10, 0, cells=2, periodic=False)
+    assert not t.cell.periodic
+    nl = neighbor_list(t, 1.6)
+    coord = nl.coordination()
+    assert coord.min() == 2      # open edges under-coordinated
+    assert coord.max() == 3
+
+
+def test_invalid_chirality():
+    with pytest.raises(GeometryError):
+        nanotube(3, 5)
+    with pytest.raises(GeometryError):
+        nanotube(0, 0)
+    with pytest.raises(GeometryError):
+        nanotube(5, 0, cells=0)
+
+
+def test_hydrogen_cap_adds_fixed_hydrogens():
+    t = nanotube(10, 0, cells=2, periodic=False)
+    capped = hydrogen_cap(t, end="bottom")
+    h_mask = np.array([s == "H" for s in capped.symbols])
+    assert h_mask.sum() == 10          # one H per zig-zag edge atom
+    assert capped.fixed[h_mask].all()
+    assert not capped.fixed[~h_mask].any()
+    # hydrogens below the carbon minimum
+    z_c = capped.positions[~h_mask, 2].min()
+    assert np.all(capped.positions[h_mask, 2] < z_c + 1e-9)
+
+
+def test_hydrogen_cap_bad_end():
+    t = nanotube(5, 5, cells=1, periodic=False)
+    with pytest.raises(GeometryError):
+        hydrogen_cap(t, end="middle")
+
+
+def test_carbon_chain_spacing():
+    ch = carbon_chain(5, bond=1.3)
+    d = np.diff(ch.positions[:, 2])
+    np.testing.assert_allclose(d, 1.3)
+    assert not ch.cell.periodic
+
+
+def test_carbon_ring_bond_lengths():
+    ring = carbon_ring(6, bond=1.4)
+    nl = neighbor_list(ring, 1.5)
+    assert nl.n_pairs == 6
+    np.testing.assert_allclose(nl.distances, 1.4, rtol=1e-9)
+
+
+def test_carbon_ring_too_small():
+    with pytest.raises(GeometryError):
+        carbon_ring(2)
+
+
+def test_random_cluster_min_distance_respected():
+    cl = random_cluster(20, min_dist=2.2, seed=3)
+    nl = neighbor_list(cl, 2.2 - 1e-9)
+    assert nl.n_pairs == 0
+
+
+def test_random_cluster_deterministic():
+    a = random_cluster(10, seed=5)
+    b = random_cluster(10, seed=5)
+    np.testing.assert_array_equal(a.positions, b.positions)
+
+
+def test_random_cluster_impossible_density():
+    with pytest.raises(GeometryError, match="could not place"):
+        random_cluster(50, min_dist=10.0, density=1.0, max_tries=200)

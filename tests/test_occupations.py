@@ -1,0 +1,156 @@
+"""Occupations: aufbau filling, degeneracy splitting, Fermi–Dirac, entropy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ElectronicError
+from repro.tb.occupations import (
+    electronic_entropy,
+    fermi_dirac_occupations,
+    fermi_function,
+    find_fermi_level,
+    homo_lumo_gap,
+    zero_temperature_occupations,
+)
+from repro.units import KB
+
+
+def test_zero_t_simple_filling():
+    eps = np.array([-2.0, -1.0, 0.0, 1.0])
+    f = zero_temperature_occupations(eps, 4.0)
+    np.testing.assert_allclose(f, [2, 2, 0, 0])
+
+
+def test_zero_t_unsorted_input():
+    eps = np.array([1.0, -2.0, 0.0, -1.0])
+    f = zero_temperature_occupations(eps, 4.0)
+    np.testing.assert_allclose(f, [0, 2, 0, 2])
+
+
+def test_zero_t_degenerate_shell_split():
+    eps = np.array([-1.0, 0.0, 0.0, 0.0])
+    f = zero_temperature_occupations(eps, 4.0)
+    np.testing.assert_allclose(f, [2, 2 / 3, 2 / 3, 2 / 3])
+    assert f.sum() == pytest.approx(4.0)
+
+
+def test_zero_t_odd_electron_count():
+    eps = np.array([-1.0, 0.0, 1.0])
+    f = zero_temperature_occupations(eps, 3.0)
+    np.testing.assert_allclose(f, [2, 1, 0])
+
+
+def test_zero_t_overfill_raises():
+    with pytest.raises(ElectronicError):
+        zero_temperature_occupations(np.array([0.0]), 3.0)
+
+
+def test_fermi_function_limits():
+    eps = np.array([-50.0, 0.0, 50.0])
+    f = fermi_function(eps, 0.0, 0.1)
+    assert f[0] == pytest.approx(2.0)
+    assert f[1] == pytest.approx(1.0)
+    assert f[2] == pytest.approx(0.0, abs=1e-12)
+
+
+def test_find_fermi_level_conserves_charge():
+    rng = np.random.default_rng(0)
+    eps = np.sort(rng.normal(size=40))
+    mu = find_fermi_level(eps, 30.0, kT=0.05)
+    total = fermi_function(eps, mu, 0.05).sum()
+    assert total == pytest.approx(30.0, abs=1e-8)
+
+
+def test_fermi_dirac_zero_kt_delegates():
+    eps = np.array([-1.0, 0.0, 1.0, 2.0])
+    f, mu, s = fermi_dirac_occupations(eps, 4.0, 0.0)
+    np.testing.assert_allclose(f, [2, 2, 0, 0])
+    assert mu == pytest.approx(0.5)    # HOMO/LUMO midpoint
+    assert s == 0.0
+
+
+def test_entropy_positive_and_zero_limits():
+    f = np.array([2.0, 1.0, 0.0])
+    s = electronic_entropy(f)
+    # only the half-filled state contributes: 2 kB ln2
+    assert s == pytest.approx(2 * KB * np.log(2))
+    assert electronic_entropy(np.array([2.0, 0.0])) == 0.0
+
+
+def test_smearing_reduces_to_step_at_low_kt():
+    eps = np.linspace(-2, 2, 9)
+    f_cold, _, _ = fermi_dirac_occupations(eps, 10.0, 1e-6)
+    f_zero = zero_temperature_occupations(eps, 10.0)
+    np.testing.assert_allclose(f_cold, f_zero, atol=1e-5)
+
+
+def test_weighted_fermi_level():
+    eps = np.array([-1.0, -1.0, 1.0, 1.0])
+    w = np.array([0.25, 0.75, 0.25, 0.75])
+    mu = find_fermi_level(eps, 2.0, kT=0.01, weights=w)
+    f = fermi_function(eps, mu, 0.01)
+    assert float(np.sum(w * f)) == pytest.approx(2.0, abs=1e-6)
+
+
+def test_weighted_zero_t_raises():
+    with pytest.raises(ElectronicError):
+        fermi_dirac_occupations(np.array([0.0, 1.0]), 1.0, 0.0,
+                                weights=np.array([0.5, 0.5]))
+
+
+def test_homo_lumo_gap_insulator():
+    eps = np.array([-2.0, -1.0, 1.0, 3.0])
+    f = np.array([2.0, 2.0, 0.0, 0.0])
+    homo, lumo, gap = homo_lumo_gap(eps, f)
+    assert (homo, lumo, gap) == (-1.0, 1.0, 2.0)
+
+
+def test_homo_lumo_gap_metal_fractional():
+    eps = np.array([-1.0, 0.0, 0.0, 1.0])
+    f = np.array([2.0, 1.0, 1.0, 0.0])
+    homo, lumo, gap = homo_lumo_gap(eps, f)
+    assert gap == 0.0
+    assert homo == lumo == 0.0
+
+
+def test_homo_lumo_all_filled_raises():
+    with pytest.raises(ElectronicError):
+        homo_lumo_gap(np.array([0.0, 1.0]), np.array([2.0, 2.0]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 30),
+    seed=st.integers(0, 10**6),
+    kt=st.floats(1e-3, 0.5),
+)
+def test_property_charge_conservation_and_bounds(n, seed, kt):
+    rng = np.random.default_rng(seed)
+    eps = np.sort(rng.normal(scale=3.0, size=n))
+    nelec = float(rng.integers(1, 2 * n))
+    f, mu, s = fermi_dirac_occupations(eps, nelec, kt)
+    assert f.sum() == pytest.approx(nelec, abs=1e-7)
+    assert np.all(f >= 0) and np.all(f <= 2.0 + 1e-12)
+    assert s >= 0.0
+    # occupations monotone non-increasing with energy
+    assert np.all(np.diff(f) <= 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(n=st.integers(2, 25), seed=st.integers(0, 10**6))
+def test_property_zero_t_aufbau(n, seed):
+    rng = np.random.default_rng(seed)
+    eps = rng.normal(size=n)
+    nelec = float(rng.integers(0, 2 * n + 1))
+    f = zero_temperature_occupations(eps, nelec)
+    assert f.sum() == pytest.approx(nelec, abs=1e-9)
+    order = np.argsort(eps)
+    # no level above an unfilled lower level gets electrons
+    fs = f[order]
+    seen_partial = False
+    for v in fs:
+        if seen_partial:
+            assert v <= 1e-9 or abs(v - fs[np.flatnonzero(fs > 1e-9)[-1]]) < 2.0
+        if 1e-9 < v < 2.0 - 1e-9:
+            seen_partial = True

@@ -1,0 +1,93 @@
+"""Process-pool assembly must agree with serial bit-for-bit."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.geometry import Atoms, Cell, bulk_silicon, diamond_cubic, rattle
+from repro.neighbors import neighbor_list
+from repro.parallel import parallel_build_hamiltonian, parallel_repulsive
+from repro.tb import GSPSilicon, HarrisonModel, NonOrthogonalSilicon, XuCarbon
+from repro.tb.forces import repulsive_energy_forces
+from repro.tb.hamiltonian import build_hamiltonian
+
+
+class InlineExecutor:
+    """Executor stub: runs map() inline (fast path for most tests)."""
+
+    def map(self, fn, items):
+        return [fn(x) for x in items]
+
+
+def test_pool_h_matches_serial_si():
+    at = rattle(bulk_silicon(), 0.05, seed=1)
+    model = GSPSilicon()
+    nl = neighbor_list(at, model.cutoff)
+    H0, _ = build_hamiltonian(at, model, nl)
+    H = parallel_build_hamiltonian(at, model, nl, nworkers=4,
+                                   executor=InlineExecutor())
+    np.testing.assert_array_equal(H, H0)
+
+
+def test_pool_h_matches_serial_heteronuclear():
+    at = Atoms(["C", "H", "C", "H"],
+               [[0, 0, 0], [1.1, 0, 0], [2.6, 0.4, 0], [3.3, 1.0, 0.5]],
+               cell=Cell.cubic(15, pbc=False))
+    model = HarrisonModel()
+    nl = neighbor_list(at, model.cutoff)
+    H0, _ = build_hamiltonian(at, model, nl)
+    H = parallel_build_hamiltonian(at, model, nl, nworkers=3,
+                                   executor=InlineExecutor())
+    np.testing.assert_array_equal(H, H0)
+
+
+def test_pool_h_single_worker_inline():
+    at = rattle(bulk_silicon(), 0.03, seed=2)
+    model = GSPSilicon()
+    nl = neighbor_list(at, model.cutoff)
+    H0, _ = build_hamiltonian(at, model, nl)
+    H = parallel_build_hamiltonian(at, model, nl, nworkers=1)
+    np.testing.assert_array_equal(H, H0)
+
+
+def test_pool_h_real_processes():
+    """Actually fork workers once (small system to keep it quick)."""
+    at = rattle(bulk_silicon(), 0.04, seed=3)
+    model = GSPSilicon()
+    nl = neighbor_list(at, model.cutoff)
+    H0, _ = build_hamiltonian(at, model, nl)
+    H = parallel_build_hamiltonian(at, model, nl, nworkers=2)
+    np.testing.assert_array_equal(H, H0)
+
+
+def test_pool_h_rejects_nonorthogonal_and_bad_workers():
+    at = bulk_silicon()
+    model = NonOrthogonalSilicon()
+    nl = neighbor_list(at, model.cutoff)
+    with pytest.raises(ParallelError):
+        parallel_build_hamiltonian(at, model, nl)
+    with pytest.raises(ParallelError):
+        parallel_build_hamiltonian(at, GSPSilicon(), nl, nworkers=0)
+
+
+def test_pool_repulsive_matches_serial_embedded():
+    at = rattle(diamond_cubic("C"), 0.05, seed=5)
+    model = XuCarbon()
+    nl = neighbor_list(at, model.cutoff)
+    e0, f0, v0 = repulsive_energy_forces(at, model, nl)
+    e, f, v = parallel_repulsive(at, model, nl, nworkers=4,
+                                 executor=InlineExecutor())
+    assert e == pytest.approx(e0, abs=0.0)
+    np.testing.assert_array_equal(f, f0)
+    np.testing.assert_array_equal(v, v0)
+
+
+def test_pool_repulsive_pairwise_model():
+    at = rattle(bulk_silicon(), 0.05, seed=6)
+    model = GSPSilicon()
+    nl = neighbor_list(at, model.cutoff)
+    e0, f0, v0 = repulsive_energy_forces(at, model, nl)
+    e, f, v = parallel_repulsive(at, model, nl, nworkers=2,
+                                 executor=InlineExecutor())
+    assert e == pytest.approx(e0, abs=0.0)
+    np.testing.assert_array_equal(f, f0)

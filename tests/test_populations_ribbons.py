@@ -1,0 +1,138 @@
+"""Mulliken populations/bond orders and graphene nanoribbons."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ElectronicError, GeometryError
+from repro.geometry import Atoms, Cell, bulk_silicon, graphene_sheet, rattle
+from repro.geometry.nanoribbons import armchair_nanoribbon, zigzag_nanoribbon
+from repro.neighbors import neighbor_list
+from repro.tb import GSPSilicon, HarrisonModel, NonOrthogonalSilicon, TBCalculator, XuCarbon
+from repro.tb.bands import band_structure
+from repro.tb.populations import (
+    analyze_populations, bond_order_matrix, mulliken_charges,
+    mulliken_populations,
+)
+
+
+# ---------------------------------------------------------------- populations
+def test_populations_sum_to_electron_count():
+    at = rattle(bulk_silicon(), 0.05, seed=1)
+    out = analyze_populations(at, TBCalculator(GSPSilicon()))
+    assert out["populations"].sum() == pytest.approx(32.0, abs=1e-9)
+    assert out["charges"].sum() == pytest.approx(0.0, abs=1e-9)
+
+
+def test_bulk_crystal_atoms_neutral():
+    at = bulk_silicon()
+    out = analyze_populations(at, TBCalculator(GSPSilicon()))
+    np.testing.assert_allclose(out["charges"], 0.0, atol=1e-9)
+
+
+def test_nonorthogonal_populations_include_overlap():
+    at = rattle(bulk_silicon(), 0.04, seed=2)
+    out = analyze_populations(at, TBCalculator(NonOrthogonalSilicon()))
+    assert out["populations"].sum() == pytest.approx(32.0, abs=1e-8)
+
+
+def test_heteronuclear_charge_transfer_direction():
+    """CH4 with Harrison term values: H(1s) at −13.6 eV lies *below* the
+    carbon sp³ hybrid energy (E_s + 3E_p)/4 = −11.1 eV, so in this
+    minimal-basis Mulliken picture hydrogen draws charge — direction set
+    by the model's term values, symmetry exact."""
+    d = 1.09
+    t = d / np.sqrt(3)
+    pos = [[0, 0, 0], [t, t, t], [-t, -t, t], [-t, t, -t], [t, -t, -t]]
+    at = Atoms(["C", "H", "H", "H", "H"], pos, cell=Cell.cubic(14, pbc=False))
+    out = analyze_populations(at, TBCalculator(HarrisonModel(), kT=0.05))
+    assert out["charges"][0] > 0           # C donates
+    assert np.all(out["charges"][1:] < 0)  # H gains
+    # symmetry: all hydrogens identical
+    np.testing.assert_allclose(out["charges"][1:], out["charges"][1],
+                               atol=1e-6)
+
+
+def test_bond_orders_follow_bond_graph():
+    g = graphene_sheet(2, 2)
+    out = analyze_populations(g, TBCalculator(XuCarbon()))
+    bo = out["bond_orders"]
+    np.testing.assert_allclose(bo, bo.T, atol=1e-12)
+    assert np.all(np.diag(bo) == 0.0)
+    nl = neighbor_list(g, 1.6)
+    bonded = bo[nl.i, nl.j]
+    # aromatic bonds: order between single and double (~4/3); Γ-only
+    # folding of the small cell splits them into symmetry classes, so
+    # assert the band rather than exact equality
+    assert np.all(bonded > 1.0) and np.all(bonded < 1.7)
+    assert bonded.mean() == pytest.approx(4.0 / 3.0, abs=0.25)
+    # non-bonded pairs carry much less
+    mask = np.ones_like(bo, dtype=bool)
+    mask[nl.i, nl.j] = mask[nl.j, nl.i] = False
+    np.fill_diagonal(mask, False)
+    assert bo[mask].max() < 0.3 * bonded.min()
+
+
+def test_population_shape_validation():
+    at = bulk_silicon()
+    with pytest.raises(ElectronicError):
+        mulliken_populations(at, GSPSilicon(), np.eye(10))
+    with pytest.raises(ElectronicError):
+        bond_order_matrix(at, GSPSilicon(), np.eye(10))
+
+
+def test_charges_respond_to_compression():
+    """Breaking symmetry moves charge; total stays fixed."""
+    at = rattle(bulk_silicon(), 0.15, seed=5)
+    out = analyze_populations(at, TBCalculator(GSPSilicon()))
+    assert np.abs(out["charges"]).max() > 0.01
+    assert out["charges"].sum() == pytest.approx(0.0, abs=1e-9)
+
+
+# ---------------------------------------------------------------- ribbons
+def test_zigzag_ribbon_geometry():
+    rib = zigzag_nanoribbon(4, cells=2)
+    assert len(rib) == 16
+    nl = neighbor_list(rib, 1.6)
+    np.testing.assert_allclose(nl.distances, 1.42, atol=1e-9)
+    coord = nl.coordination()
+    assert sorted(np.unique(coord)) == [2, 3]
+    # zigzag: 2 two-coordinated edge atoms per translational cell
+    assert int((coord == 2).sum()) == 4
+
+
+def test_armchair_ribbon_geometry():
+    rib = armchair_nanoribbon(5, cells=1)
+    assert len(rib) == 10
+    nl = neighbor_list(rib, 1.6)
+    np.testing.assert_allclose(nl.distances, 1.42, atol=1e-9)
+    assert list(rib.cell.pbc) == [True, False, False]
+
+
+def test_ribbon_width_validation():
+    with pytest.raises(GeometryError):
+        zigzag_nanoribbon(1)
+    with pytest.raises(GeometryError):
+        armchair_nanoribbon(1)
+
+
+def test_zigzag_edge_band_flat_near_fermi():
+    """The zigzag signature: near-zero HOMO-LUMO separation over the
+    inner BZ (the flat edge band), opening toward the zone edge."""
+    rib = zigzag_nanoribbon(4)
+    ks = [0.0, 0.2, 0.35, 0.5]
+    bands = band_structure(rib, XuCarbon(), [[k, 0, 0] for k in ks])
+    nocc = 4 * len(rib) // 2
+    gaps = bands[:, nocc] - bands[:, nocc - 1]
+    assert gaps[0] < 0.1          # flat band pinned at E_F
+    assert gaps[-1] > 1.0         # dispersive at X
+    assert gaps[0] < gaps[-1]
+
+
+def test_armchair_metallic_family():
+    """N = 5 armchair (3p+2 family) is metallic in nearest-neighbour TB."""
+    rib = armchair_nanoribbon(5)
+    bands = band_structure(rib, XuCarbon(),
+                           [[0.0, 0, 0], [0.25, 0, 0], [0.5, 0, 0]])
+    nocc = 4 * len(rib) // 2
+    gaps = bands[:, nocc] - bands[:, nocc - 1]
+    assert gaps.min() < 0.25

@@ -1,0 +1,112 @@
+"""Stillinger–Weber classical baseline: published properties + forces."""
+
+import numpy as np
+import pytest
+
+from repro.classical import StillingerWeber
+from repro.errors import ModelError
+from repro.geometry import Atoms, Cell, bulk_silicon, diamond_cubic, rattle, supercell
+from repro.geometry.transform import scale_volume
+from tests.helpers import numerical_forces
+
+
+def test_cohesive_energy_published_value():
+    """SW diamond silicon: E_coh = −4.3364 eV/atom at a = 5.431 Å."""
+    e = StillingerWeber().get_potential_energy(bulk_silicon()) / 8
+    assert e == pytest.approx(-4.3364, abs=0.002)
+
+
+def test_equilibrium_at_experimental_lattice_constant():
+    es = {a: StillingerWeber().get_potential_energy(diamond_cubic("Si", a=a))
+          for a in (5.36, 5.431, 5.50)}
+    assert es[5.431] < es[5.36]
+    assert es[5.431] < es[5.50]
+
+
+def test_zero_pressure_at_equilibrium():
+    p = StillingerWeber().compute(bulk_silicon())["pressure_gpa"]
+    assert abs(p) < 0.05
+
+
+def test_forces_match_numerical():
+    at = rattle(supercell(bulk_silicon(), (2, 1, 1)), 0.08, seed=3)
+    f = StillingerWeber().get_forces(at)
+    fn = numerical_forces(at, StillingerWeber, atom_indices=[0, 7, 13])
+    for i in (0, 7, 13):
+        np.testing.assert_allclose(f[i], fn[i], atol=1e-6)
+
+
+def test_newtons_third_law():
+    at = rattle(bulk_silicon(), 0.1, seed=5)
+    f = StillingerWeber().get_forces(at)
+    np.testing.assert_allclose(f.sum(axis=0), 0.0, atol=1e-12)
+
+
+def test_perfect_crystal_zero_force():
+    f = StillingerWeber().get_forces(bulk_silicon())
+    np.testing.assert_allclose(f, 0.0, atol=1e-12)
+
+
+def test_dimer_unbound_angle_term_absent():
+    """Two atoms: only the pair term contributes; the SW dimer minimum
+    sits at 2^(1/6)σ ≈ 2.35 Å with depth ε."""
+    def dimer_energy(d):
+        at = Atoms(["Si", "Si"], [[0, 0, 0], [d, 0, 0]],
+                   cell=Cell.cubic(20, pbc=False))
+        return StillingerWeber().get_potential_energy(at)
+
+    d_min = 2.0951 * 2 ** (1.0 / 6.0)
+    e_min = dimer_energy(d_min)
+    assert e_min == pytest.approx(-2.1683, abs=1e-3)
+    assert dimer_energy(d_min - 0.05) > e_min
+    assert dimer_energy(d_min + 0.05) > e_min
+
+
+def test_virial_pressure_consistent_with_dE_dV():
+    at = rattle(bulk_silicon(), 0.05, seed=6)
+    sw = StillingerWeber()
+    p = sw.get_pressure(at)
+    h = 1e-4
+    ep = StillingerWeber().get_potential_energy(scale_volume(at, 1 + h))
+    em = StillingerWeber().get_potential_energy(scale_volume(at, 1 - h))
+    p_num = -(ep - em) / (2 * h * at.cell.volume)
+    assert p == pytest.approx(p_num, abs=1e-5)
+
+
+def test_elastic_constants_near_published():
+    """SW: C11 = 161.6, C12 = 81.6, C44 = 60.3 GPa (with internal
+    relaxation) — finite-δ fits land within 10 %."""
+    from repro.analysis import born_stability_cubic, cubic_elastic_constants
+
+    ec = cubic_elastic_constants(bulk_silicon(), StillingerWeber)
+    assert ec["c11_gpa"] == pytest.approx(161.6, rel=0.10)
+    assert ec["c12_gpa"] == pytest.approx(81.6, rel=0.10)
+    assert ec["c44_gpa"] == pytest.approx(60.3, rel=0.10)
+    assert ec["c44_unrelaxed_gpa"] > ec["c44_gpa"]
+    assert born_stability_cubic(ec["c11"], ec["c12"], ec["c44"])
+
+
+def test_md_nve_conservation_with_sw():
+    """The SW calculator plugs straight into the MD driver."""
+    from repro.md import MDDriver, ThermoLog, VelocityVerlet, maxwell_boltzmann_velocities
+
+    at = supercell(bulk_silicon(), 2)
+    maxwell_boltzmann_velocities(at, 600.0, seed=9)
+    log = ThermoLog()
+    MDDriver(at, StillingerWeber(), VelocityVerlet(dt=1.0),
+             observers=[log]).run(150)
+    assert log.conserved_drift() < 5e-5
+
+
+def test_rejects_non_silicon():
+    with pytest.raises(ModelError):
+        StillingerWeber().get_potential_energy(diamond_cubic("C"))
+
+
+def test_cache_serves_forces_after_energy_only():
+    at = rattle(bulk_silicon(), 0.05, seed=10)
+    sw = StillingerWeber()
+    e = sw.get_potential_energy(at)
+    f = sw.get_forces(at)              # must not KeyError on cached result
+    assert f.shape == (8, 3)
+    assert sw.get_potential_energy(at) == e

@@ -1,0 +1,64 @@
+"""Trajectory container and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MDError
+from repro.geometry import bulk_silicon, rattle
+from repro.md import Trajectory
+
+
+def test_append_and_views():
+    traj = Trajectory()
+    a = bulk_silicon()
+    for k in range(4):
+        a.positions += 0.1
+        traj.append(a, step=k, time_fs=float(k), epot=-50.0 - k)
+    assert len(traj) == 4
+    assert traj.positions().shape == (4, 8, 3)
+    assert traj.velocities().shape == (4, 8, 3)
+    np.testing.assert_allclose(traj.times(), [0, 1, 2, 3])
+    np.testing.assert_allclose(traj.potential_energies(), [-50, -51, -52, -53])
+
+
+def test_frames_are_copies():
+    traj = Trajectory()
+    a = bulk_silicon()
+    traj.append(a)
+    a.positions += 5.0
+    np.testing.assert_allclose(traj.frames[0].positions,
+                               bulk_silicon().positions)
+
+
+def test_composition_mismatch_rejected():
+    traj = Trajectory()
+    traj.append(bulk_silicon())
+    from repro.geometry import diamond_cubic
+
+    with pytest.raises(MDError):
+        traj.append(diamond_cubic("C"))
+
+
+def test_atoms_at_reconstruction():
+    traj = Trajectory()
+    a = rattle(bulk_silicon(), 0.1, seed=1)
+    a.velocities[:] = 0.01
+    traj.append(a)
+    back = traj.atoms_at(0)
+    np.testing.assert_allclose(back.positions, a.positions)
+    np.testing.assert_allclose(back.velocities, a.velocities)
+    assert back.symbols == a.symbols
+    assert back.cell == a.cell
+
+
+def test_save_load_xyz_roundtrip(tmp_path):
+    traj = Trajectory()
+    a = bulk_silicon()
+    for k in range(3):
+        a.positions += 0.2
+        traj.append(a, step=k, time_fs=k * 1.0, epot=-1.0)
+    p = tmp_path / "t.xyz"
+    traj.save_xyz(p)
+    back = Trajectory.load_xyz(p)
+    assert len(back) == 3
+    np.testing.assert_allclose(back.positions(), traj.positions(), atol=1e-8)

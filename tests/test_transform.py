@@ -1,0 +1,108 @@
+"""Supercell, rattle, strain transforms."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import bulk_silicon, rattle, strain, supercell
+from repro.geometry.transform import scale_volume
+from repro.neighbors import neighbor_list
+
+
+def test_supercell_counts_and_volume():
+    at = supercell(bulk_silicon(), 2)
+    assert len(at) == 64
+    assert at.cell.volume == pytest.approx(8 * 5.431**3)
+
+
+def test_supercell_anisotropic():
+    at = supercell(bulk_silicon(), (2, 1, 1))
+    assert len(at) == 16
+    np.testing.assert_allclose(at.cell.lengths, [2 * 5.431, 5.431, 5.431])
+
+
+def test_supercell_preserves_local_structure():
+    at = supercell(bulk_silicon(), 2)
+    nl = neighbor_list(at, 2.5)
+    np.testing.assert_array_equal(nl.coordination(), 4)
+    np.testing.assert_allclose(nl.distances, 5.431 * np.sqrt(3) / 4, rtol=1e-12)
+
+
+def test_supercell_replicates_metadata():
+    base = bulk_silicon()
+    base.fixed[0] = True
+    base.velocities[1] = [0.1, 0, 0]
+    at = supercell(base, (2, 1, 1))
+    assert at.fixed.sum() == 2
+    assert np.count_nonzero(at.velocities[:, 0]) == 2
+
+
+def test_supercell_invalid_reps():
+    with pytest.raises(GeometryError):
+        supercell(bulk_silicon(), 0)
+
+
+def test_supercell_nonperiodic_axis_refused():
+    from repro.geometry import graphene_sheet
+
+    g = graphene_sheet(1, 1)
+    with pytest.raises(GeometryError, match="non-periodic"):
+        supercell(g, (1, 1, 2))
+    # but periodic axes replicate fine
+    g2 = supercell(g, (2, 2, 1))
+    assert len(g2) == 16
+
+
+def test_rattle_statistics_and_determinism():
+    base = bulk_silicon()
+    a = rattle(base, 0.05, seed=1)
+    b = rattle(base, 0.05, seed=1)
+    np.testing.assert_array_equal(a.positions, b.positions)
+    disp = a.positions - base.positions
+    assert 0.01 < np.std(disp) < 0.1
+
+
+def test_rattle_zero_stdev_identity():
+    base = bulk_silicon()
+    np.testing.assert_array_equal(rattle(base, 0.0, seed=1).positions,
+                                  base.positions)
+
+
+def test_rattle_respects_fixed():
+    base = bulk_silicon()
+    base.fixed[3] = True
+    out = rattle(base, 0.1, seed=2)
+    np.testing.assert_array_equal(out.positions[3], base.positions[3])
+
+
+def test_strain_isotropic_scales_volume():
+    at = strain(bulk_silicon(), 0.01)
+    assert at.cell.volume == pytest.approx(5.431**3 * 1.01**3)
+
+
+def test_strain_tensor_shear():
+    eps = np.zeros((3, 3))
+    eps[0, 1] = 0.02
+    at = strain(bulk_silicon(), eps)
+    # volume unchanged to first order for pure shear
+    assert at.cell.volume == pytest.approx(5.431**3, rel=1e-3)
+
+
+def test_strain_bad_tensor_shape():
+    with pytest.raises(GeometryError):
+        strain(bulk_silicon(), np.zeros((2, 2)))
+
+
+def test_scale_volume_exact():
+    at = scale_volume(bulk_silicon(), 1.1)
+    assert at.cell.volume == pytest.approx(5.431**3 * 1.1)
+    with pytest.raises(GeometryError):
+        scale_volume(bulk_silicon(), -1.0)
+
+
+def test_strain_scales_fractional_invariant():
+    base = bulk_silicon()
+    at = strain(base, 0.03)
+    f0 = base.cell.fractional(base.positions)
+    f1 = at.cell.fractional(at.positions)
+    np.testing.assert_allclose(f0, f1, atol=1e-12)

@@ -1,0 +1,77 @@
+"""Unit-system consistency tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+
+
+def test_force_to_acc_value():
+    # 1 eV/Å on 1 amu → 9.6485…e-3 Å/fs²
+    assert units.FORCE_TO_ACC == pytest.approx(9.648533e-3, rel=1e-5)
+
+
+def test_mass_vel2_inverse_of_force_to_acc():
+    assert units.MASS_VEL2_TO_EV * units.FORCE_TO_ACC == pytest.approx(1.0)
+
+
+def test_kb_value():
+    assert units.KB == pytest.approx(8.617333262e-5)
+
+
+def test_hbar_planck_relation():
+    assert units.H_PLANCK == pytest.approx(2 * math.pi * units.HBAR)
+
+
+def test_pressure_conversion_roundtrip():
+    assert units.EV_PER_A3_TO_GPA * units.GPA_TO_EV_PER_A3 == pytest.approx(1.0)
+    # 1 eV/Å³ ≈ 160.2 GPa
+    assert units.EV_PER_A3_TO_GPA == pytest.approx(160.2176, rel=1e-4)
+
+
+def test_mass_of_known_species():
+    assert units.mass_of("Si") == pytest.approx(28.0855)
+    assert units.mass_of("C") == pytest.approx(12.011)
+
+
+def test_mass_of_unknown_species_raises_with_listing():
+    with pytest.raises(KeyError, match="known species"):
+        units.mass_of("Xx")
+
+
+def test_symbols_numbers_consistency():
+    for sym, z in units.ATOMIC_NUMBERS.items():
+        assert units.ATOMIC_SYMBOLS[z] == sym
+        assert sym in units.ATOMIC_MASSES
+
+
+def test_kinetic_energy_scalar_case():
+    # one amu at 1 Å/fs: KE = 0.5 * MASS_VEL2_TO_EV
+    ke = units.kinetic_energy([1.0], [[1.0, 0.0, 0.0]])
+    assert ke == pytest.approx(0.5 * units.MASS_VEL2_TO_EV)
+
+
+def test_temperature_kinetic_roundtrip():
+    ndof = 300
+    t = 750.0
+    ekin = units.kinetic_from_temperature(t, ndof)
+    assert units.temperature_from_kinetic(ekin, ndof) == pytest.approx(t)
+
+
+def test_temperature_zero_dof():
+    assert units.temperature_from_kinetic(1.0, 0) == 0.0
+
+
+def test_equipartition_statistics():
+    # velocities drawn with sigma² = kB T F2A / m must average to T
+    rng = np.random.default_rng(0)
+    n = 20000
+    m = 28.0855
+    t = 1200.0
+    sigma = np.sqrt(units.KB * t * units.FORCE_TO_ACC / m)
+    v = rng.normal(0, sigma, size=(n, 3))
+    ekin = units.kinetic_energy(np.full(n, m), v)
+    t_est = units.temperature_from_kinetic(ekin, 3 * n)
+    assert t_est == pytest.approx(t, rel=0.03)

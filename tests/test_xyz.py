@@ -1,0 +1,100 @@
+"""XYZ / extended-XYZ round trips and error handling."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import IOFormatError
+from repro.geometry import Atoms, Cell, bulk_silicon, read_xyz, write_xyz
+from repro.geometry.xyz import iread_xyz
+
+
+def roundtrip(atoms):
+    buf = io.StringIO()
+    write_xyz(buf, atoms)
+    buf.seek(0)
+    return read_xyz(buf)
+
+
+def test_roundtrip_positions_symbols():
+    at = bulk_silicon()
+    back = roundtrip(at)
+    assert back.symbols == at.symbols
+    np.testing.assert_allclose(back.positions, at.positions, atol=1e-9)
+
+
+def test_roundtrip_cell_and_pbc():
+    at = Atoms(["C"], [[1, 2, 3]], cell=Cell(np.diag([4, 5, 6]),
+                                             pbc=(True, False, True)))
+    back = roundtrip(at)
+    np.testing.assert_allclose(back.cell.matrix, at.cell.matrix)
+    assert list(back.cell.pbc) == [True, False, True]
+
+
+def test_multi_frame_read(tmp_path):
+    p = tmp_path / "traj.xyz"
+    a = bulk_silicon()
+    write_xyz(p, a)
+    a2 = a.copy()
+    a2.positions += 0.1
+    write_xyz(p, a2, append=True)
+    frames = list(iread_xyz(str(p)))
+    assert len(frames) == 2
+    np.testing.assert_allclose(frames[1].positions - frames[0].positions, 0.1)
+
+
+def test_read_negative_index(tmp_path):
+    p = tmp_path / "t.xyz"
+    a = bulk_silicon()
+    write_xyz(p, a)
+    b = a.copy(); b.positions += 1.0
+    write_xyz(p, b, append=True)
+    last = read_xyz(str(p), index=-1)
+    np.testing.assert_allclose(last.positions, b.positions, atol=1e-9)
+
+
+def test_read_out_of_range_frame(tmp_path):
+    p = tmp_path / "t.xyz"
+    write_xyz(p, bulk_silicon())
+    with pytest.raises(IOFormatError, match="out of range"):
+        read_xyz(str(p), index=3)
+
+
+def test_empty_input_raises():
+    with pytest.raises(IOFormatError, match="no frames"):
+        read_xyz(io.StringIO(""))
+
+
+def test_malformed_count_raises():
+    with pytest.raises(IOFormatError, match="atom count"):
+        read_xyz(io.StringIO("abc\ncomment\n"))
+
+
+def test_truncated_frame_raises():
+    with pytest.raises(IOFormatError, match="truncated"):
+        read_xyz(io.StringIO("3\ncomment\nC 0 0 0\n"))
+
+
+def test_malformed_atom_line_raises():
+    with pytest.raises(IOFormatError, match="malformed"):
+        read_xyz(io.StringIO("1\ncomment\nC 0 0\n"))
+
+
+def test_bad_lattice_raises():
+    content = '1\nLattice="1 2 3"\nC 0 0 0\n'
+    with pytest.raises(IOFormatError, match="9 numbers"):
+        read_xyz(io.StringIO(content))
+
+
+def test_plain_xyz_without_lattice():
+    at = read_xyz(io.StringIO("1\njust a comment\nC 1.0 2.0 3.0\n"))
+    assert at.symbols == ["C"]
+    assert not at.cell.periodic
+
+
+def test_comment_preserved_fields(tmp_path):
+    p = tmp_path / "c.xyz"
+    write_xyz(p, bulk_silicon(), comment="step=5 time_fs=5.0")
+    text = p.read_text()
+    assert "step=5" in text and "Lattice=" in text
