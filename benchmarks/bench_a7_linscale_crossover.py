@@ -1,0 +1,116 @@
+"""A7 — The O(N) payoff: FOE-in-regions vs dense diagonalisation.
+
+The whole point of the localization-region subsystem: per-region work is
+independent of system size (fixed ``r_loc`` and expansion order), so a
+full energy+forces evaluation costs O(N) while the LAPACK path pays
+O(N³) in the eigensolve and the dense density-matrix contraction.  This
+benchmark measures both engines on growing diamond-Si supercells and
+
+1. fits the measured cost exponents (linscale must come out ~linear,
+   exponent < 1.3),
+2. locates the measured crossover size where the O(N) engine overtakes
+   exact diagonalisation,
+3. cross-checks accuracy against LAPACK at the benchmark settings.
+
+Expected shape: linscale exponent near 1; the diag exponent is ~1.7–2.1
+at these sizes (the O(N³) eigensolve only just starting to dominate the
+O(N²) assembly terms) but clearly separated from linear; crossover
+within the sizes measured here — hundreds of atoms, exactly where the
+1990s O(N) papers put it.
+"""
+
+import time
+
+import numpy as np
+
+from repro.bench import print_table, silicon_supercell
+from repro.linscale import LinearScalingCalculator
+from repro.tb import GSPSilicon, TBCalculator
+
+KT = 0.2
+R_LOC = 5.0
+ORDER = 120
+LIN_MULTIPLIERS = (2, 3, 4, 5)   # 64 … 1000 atoms
+DIAG_MULTIPLIERS = (2, 3, 4, 5)
+
+
+def _timed_compute(calc, atoms):
+    t0 = time.perf_counter()
+    res = calc.compute(atoms, forces=True)
+    return res, time.perf_counter() - t0
+
+
+def _fit_exponent(ns, ts):
+    return float(np.polyfit(np.log(ns), np.log(ts), 1)[0])
+
+
+def test_a7_linscale_crossover(benchmark):
+    rows = []
+    lin_times: dict[int, float] = {}
+    diag_times: dict[int, float] = {}
+
+    for m in sorted(set(LIN_MULTIPLIERS) | set(DIAG_MULTIPLIERS)):
+        at = silicon_supercell(m, rattle_amp=0.03, seed=13)
+        n = len(at)
+        t_lin = t_diag = float("nan")
+        err = float("nan")
+        if m in LIN_MULTIPLIERS:
+            lin = LinearScalingCalculator(GSPSilicon(), kT=KT, r_loc=R_LOC,
+                                          order=ORDER)
+            res_lin, t_lin = _timed_compute(lin, at)
+            lin_times[n] = t_lin
+        if m in DIAG_MULTIPLIERS:
+            diag = TBCalculator(GSPSilicon(), kT=KT)
+            res_diag, t_diag = _timed_compute(diag, at)
+            diag_times[n] = t_diag
+        if m in LIN_MULTIPLIERS and m in DIAG_MULTIPLIERS:
+            err = abs(res_lin["energy"] - res_diag["energy"]) / n
+        rows.append([n, 4 * n, t_diag, t_lin,
+                     t_diag / t_lin if t_lin == t_lin else float("nan"), err])
+
+    print_table(
+        f"A7a: O(N) FOE-in-regions vs LAPACK "
+        f"(r_loc = {R_LOC} Å, order = {ORDER}, kT = {KT} eV)",
+        ["N", "M", "t_diag (s)", "t_linscale (s)", "speedup",
+         "|ΔE|/atom (eV)"],
+        rows, float_fmt="{:.3g}")
+
+    lin_n = np.array(sorted(lin_times))
+    lin_t = np.array([lin_times[n] for n in lin_n])
+    diag_n = np.array(sorted(diag_times))
+    diag_t = np.array([diag_times[n] for n in diag_n])
+    p_lin = _fit_exponent(lin_n, lin_t)
+    p_diag = _fit_exponent(diag_n, diag_t)
+
+    # crossover from the two power-law fits: t = c · N^p
+    c_lin = float(np.exp(np.mean(np.log(lin_t) - p_lin * np.log(lin_n))))
+    c_diag = float(np.exp(np.mean(np.log(diag_t) - p_diag * np.log(diag_n))))
+    n_star = (c_lin / c_diag) ** (1.0 / (p_diag - p_lin))
+
+    print_table(
+        "A7b: fitted cost scaling and measured crossover",
+        ["quantity", "value"],
+        [["linscale exponent", p_lin],
+         ["diag exponent", p_diag],
+         ["crossover N* (atoms)", n_star],
+         ["largest-cell speedup", diag_t[-1] / lin_t[-1]]],
+        float_fmt="{:.4g}")
+
+    # --- shape assertions -------------------------------------------------
+    assert p_lin < 1.3, f"linscale must scale ~O(N), got N^{p_lin:.2f}"
+    assert p_diag > p_lin + 0.4, \
+        "dense growth must be clearly separated from the O(N) engine's"
+    assert diag_t[-1] > 2.0 * lin_t[-1], \
+        "O(N) engine must clearly beat diagonalisation on the largest cell"
+    assert n_star < max(diag_n), \
+        "measured crossover must lie inside the benchmarked range"
+    for row in rows:
+        if row[5] == row[5]:  # accuracy cross-check where both ran
+            assert row[5] < 0.5, "benchmark settings sanity"
+
+    at = silicon_supercell(2, rattle_amp=0.03, seed=13)
+    calc = LinearScalingCalculator(GSPSilicon(), kT=KT, r_loc=R_LOC,
+                                   order=ORDER)
+    benchmark.pedantic(
+        lambda: (calc.invalidate(), calc.compute(at, forces=True)),
+        rounds=3, iterations=1)

@@ -4,8 +4,10 @@ Reproduction of *"Tight binding molecular dynamics"* (Proceedings of
 Supercomputing 1994): a complete TBMD engine — Slater–Koster sp models,
 exact diagonalisation, Hellmann–Feynman forces, NVE/NVT dynamics,
 structural relaxation — together with the replicated-data / distributed
-parallelisation layer and its scaling evaluation.  See DESIGN.md for the
-system inventory and EXPERIMENTS.md for the reproduced evaluation.
+parallelisation layer and its scaling evaluation, and the O(N)
+localization-region electronic subsystem (:mod:`repro.linscale`).  See
+DESIGN.md for the system inventory; the reproduced evaluation lives in
+``benchmarks/``.
 
 Quick start::
 
@@ -22,8 +24,12 @@ Quick start::
 
 __version__ = "1.0.0"
 
-from repro import analysis, classical, geometry, md, neighbors, parallel, relax, tb, units
+from repro import (
+    analysis, classical, geometry, linscale, md, neighbors, parallel, relax,
+    tb, units,
+)
 from repro.geometry import Atoms, Cell
+from repro.linscale import LinearScalingCalculator
 from repro.tb import TBCalculator, get_model
 
 __all__ = [
@@ -31,6 +37,7 @@ __all__ = [
     "analysis",
     "classical",
     "geometry",
+    "linscale",
     "md",
     "neighbors",
     "parallel",
@@ -40,5 +47,6 @@ __all__ = [
     "Atoms",
     "Cell",
     "TBCalculator",
+    "LinearScalingCalculator",
     "get_model",
 ]

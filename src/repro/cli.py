@@ -5,9 +5,15 @@ without writing Python::
 
     python -m repro.cli models
     python -m repro.cli energy  structure.xyz --model gsp-si
+    python -m repro.cli energy  structure.xyz --solver linscale --r-loc 6 \
+                                --kt 0.1 --order 200
     python -m repro.cli relax   structure.xyz --model xu-c --fmax 0.02 -o out.xyz
     python -m repro.cli md      structure.xyz --steps 500 --temperature 1000 \
                                 --thermostat nose-hoover --traj run.xyz
+
+``--solver`` picks the electronic engine: ``diag`` (exact, O(N³)),
+``purification`` / ``foe`` (dense density-matrix kernels), or
+``linscale`` — the O(N) Fermi-operator-in-localization-regions path.
 
 Models: ``gsp-si``, ``xu-c``, ``harrison``, ``nonortho-si`` (tight
 binding) and ``sw-si`` (classical Stillinger–Weber baseline).
@@ -21,14 +27,45 @@ import sys
 from repro.errors import ReproError
 
 
-def _make_calculator(name: str, kT: float):
+def _make_calculator(name: str, kT: float, args=None):
+    solver = getattr(args, "solver", "diag") if args is not None else "diag"
     if name == "sw-si":
+        if solver != "diag":
+            raise ReproError(
+                "--solver applies to tight-binding models only (sw-si is "
+                "classical)"
+            )
         from repro.classical import StillingerWeber
 
         return StillingerWeber()
-    from repro.tb import TBCalculator, get_model
+    from repro.tb import get_model
 
-    return TBCalculator(get_model(name), kT=kT)
+    model = get_model(name)
+    if solver == "diag":
+        from repro.tb import TBCalculator
+
+        return TBCalculator(model, kT=kT)
+    if solver == "purification":
+        from repro.linscale import DensityMatrixCalculator
+
+        # the constructor rejects kT != 0 with a clear message
+        return DensityMatrixCalculator(model, method="purification", kT=kT)
+    if kT <= 0.0:
+        # the Fermi-operator solvers smear by construction
+        kT = 0.1
+        print(f"note: --solver {solver} needs kT > 0; using kT = {kT} eV")
+    if solver == "foe":
+        from repro.linscale import DensityMatrixCalculator
+
+        return DensityMatrixCalculator(model, method="foe", kT=kT,
+                                       order=args.order)
+    if solver == "linscale":
+        from repro.linscale import LinearScalingCalculator
+
+        return LinearScalingCalculator(model, kT=kT, r_loc=args.r_loc,
+                                       order=args.order,
+                                       nworkers=args.nworkers)
+    raise ReproError(f"unknown solver {solver!r}")  # pragma: no cover
 
 
 def cmd_models(_args) -> int:
@@ -41,13 +78,18 @@ def cmd_energy(args) -> int:
     from repro.geometry import read_xyz
 
     atoms = read_xyz(args.structure)
-    calc = _make_calculator(args.model, args.kt)
+    calc = _make_calculator(args.model, args.kt, args)
     res = calc.compute(atoms, forces=True)
     print(f"atoms            : {len(atoms)}")
     print(f"energy           : {res['energy']:.6f} eV "
           f"({res['energy'] / len(atoms):.6f} eV/atom)")
     if "gap" in res:
         print(f"HOMO-LUMO gap    : {res['gap']:.4f} eV")
+    if "n_regions" in res:
+        stats = res["region_stats"]
+        print(f"O(N) regions     : {res['n_regions']} "
+              f"(max {stats['atoms_max']} atoms), order {res['order']}, "
+              f"r_loc {res['r_loc']:.2f} Å")
     import numpy as np
 
     print(f"max |force|      : {np.abs(res['forces']).max():.6f} eV/Å")
@@ -61,7 +103,7 @@ def cmd_relax(args) -> int:
     from repro.relax import conjugate_gradient, fire_relax, steepest_descent
 
     atoms = read_xyz(args.structure)
-    calc = _make_calculator(args.model, args.kt)
+    calc = _make_calculator(args.model, args.kt, args)
     relaxer = {"cg": conjugate_gradient, "fire": fire_relax,
                "sd": steepest_descent}[args.method]
     res = relaxer(atoms, calc, fmax=args.fmax, max_steps=args.max_steps)
@@ -82,7 +124,7 @@ def cmd_md(args) -> int:
     from repro.md.observers import ProgressPrinter, XYZWriter
 
     atoms = read_xyz(args.structure)
-    calc = _make_calculator(args.model, args.kt)
+    calc = _make_calculator(args.model, args.kt, args)
     if args.temperature > 0:
         maxwell_boltzmann_velocities(atoms, args.temperature, seed=args.seed)
     if args.thermostat == "none":
@@ -124,6 +166,18 @@ def build_parser() -> argparse.ArgumentParser:
                                  "sw-si"])
         sp.add_argument("--kt", type=float, default=0.0,
                         help="electronic temperature (eV)")
+        sp.add_argument("--solver", default="diag",
+                        choices=["diag", "purification", "foe", "linscale"],
+                        help="electronic solver: exact diagonalisation, "
+                             "dense purification/FOE, or the O(N) "
+                             "localization-region path")
+        sp.add_argument("--r-loc", type=float, default=6.0, dest="r_loc",
+                        help="localization radius in Å (linscale)")
+        sp.add_argument("--order", type=int, default=200,
+                        help="Chebyshev expansion order (foe/linscale)")
+        sp.add_argument("--nworkers", type=int, default=1,
+                        help="process-pool workers for region solves "
+                             "(linscale)")
 
     pe = sub.add_parser("energy", help="single-point energy and forces")
     add_common(pe)

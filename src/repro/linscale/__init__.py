@@ -1,0 +1,50 @@
+"""Linear-scaling electronic structure (Goedecker–Colombo O(N) TBMD).
+
+The subsystem that removes the O(N³) eigensolve from the MD step:
+
+* :mod:`~repro.linscale.sparse_hamiltonian` — CSR Hamiltonian assembly
+  straight from the neighbour list (bit-equal to the dense builder);
+* :mod:`~repro.linscale.regions` — per-atom localization regions
+  (core + halo subgraphs of the neighbour graph within ``r_loc``);
+* :mod:`~repro.linscale.foe_local` — the Chebyshev Fermi-operator
+  expansion evaluated region-by-region: moments → μ, core density rows →
+  band energy, entropy, Mulliken populations, Hellmann–Feynman forces;
+* :mod:`~repro.linscale.calculator` — :class:`LinearScalingCalculator`
+  (drop-in for :class:`~repro.tb.calculator.TBCalculator` in MD,
+  relaxation and the CLI) and :class:`DensityMatrixCalculator` (dense
+  purification / global FOE behind the same interface).
+"""
+
+from repro.linscale.calculator import (
+    DensityMatrixCalculator,
+    LinearScalingCalculator,
+)
+from repro.linscale.foe_local import (
+    RegionFOEResult,
+    chemical_potential_from_moments,
+    solve_density_regions,
+    sparse_band_forces,
+)
+from repro.linscale.regions import (
+    LocalizationRegion,
+    extract_regions,
+    region_statistics,
+)
+from repro.linscale.sparse_hamiltonian import (
+    build_sparse_hamiltonian,
+    hamiltonian_fill_fraction,
+)
+
+__all__ = [
+    "LinearScalingCalculator",
+    "DensityMatrixCalculator",
+    "RegionFOEResult",
+    "solve_density_regions",
+    "sparse_band_forces",
+    "chemical_potential_from_moments",
+    "LocalizationRegion",
+    "extract_regions",
+    "region_statistics",
+    "build_sparse_hamiltonian",
+    "hamiltonian_fill_fraction",
+]

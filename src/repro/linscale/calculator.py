@@ -1,0 +1,369 @@
+"""Calculators built on density matrices instead of eigen-spectra.
+
+:class:`LinearScalingCalculator` is the O(N) production path: sparse
+Hamiltonian → localization regions → FOE-in-regions → Hellmann–Feynman
+forces from core density rows.  It is API-compatible with
+:class:`~repro.tb.calculator.TBCalculator` (``compute`` /
+``get_potential_energy`` / ``get_forces`` / ``get_stress`` …), so the MD
+driver, the relaxers and the CLI run unchanged on top of it; the only
+deliberate gap is anything needing an eigen-spectrum (eigenvalues,
+HOMO/LUMO gap), which an O(N) method never produces.
+
+:class:`DensityMatrixCalculator` wraps the *dense* O(N)-family kernels —
+Palser–Manolopoulos purification (zero temperature) and the global
+Chebyshev FOE (finite temperature) — behind the same interface, which is
+what the CLI's ``--solver purification|foe`` flags dispatch to and what
+the crossover benchmark compares against.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+from repro.errors import ElectronicError, ModelError
+from repro.neighbors.verlet import VerletList
+from repro.tb.chebyshev import fermi_operator_expansion
+from repro.tb.forces import band_forces, repulsive_energy_forces
+from repro.tb.hamiltonian import build_hamiltonian
+from repro.tb.purification import purify_density_matrix
+from repro.units import EV_PER_A3_TO_GPA, KB
+from repro.utils.timing import PhaseTimer
+
+from repro.linscale.foe_local import solve_density_regions, sparse_band_forces
+from repro.linscale.regions import extract_regions, region_statistics
+from repro.linscale.sparse_hamiltonian import build_sparse_hamiltonian
+
+
+class _DensityMatrixCalculatorBase:
+    """Shared cache, force/stress assembly and getters.
+
+    Subclasses implement ``_key(atoms)`` (what invalidates the cache) and
+    ``compute(atoms, forces)``; everything else — the results cache, the
+    virial → stress/pressure tail, and the TBCalculator-compatible getter
+    surface — lives here once.
+    """
+
+    model = None
+    timer: PhaseTimer
+
+    def _key(self, atoms) -> tuple:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def invalidate(self) -> None:
+        """Drop the cached results (e.g. after mutating model parameters)."""
+        self._cache_key = None
+        self._results = {}
+
+    def _cached(self, key, forces: bool) -> dict | None:
+        if key == getattr(self, "_cache_key", None) and \
+                (not forces or "forces" in self._results):
+            return self._results
+        return None
+
+    def _store(self, key, res: dict) -> dict:
+        self._cache_key = key
+        self._results = res
+        return res
+
+    def _attach_forces(self, res: dict, atoms, fband, frep, vband, vrep
+                       ) -> None:
+        """Total forces, virial, and — for periodic cells — stress/pressure."""
+        res["forces"] = fband + frep
+        res["virial"] = vband + vrep
+        if atoms.cell.fully_periodic:
+            vol = atoms.cell.volume
+            res["stress"] = res["virial"] / vol
+            res["pressure"] = float(-np.trace(res["virial"]) / (3 * vol))
+            res["pressure_gpa"] = res["pressure"] * EV_PER_A3_TO_GPA
+
+    # -- convenience getters (TBCalculator-compatible) ---------------------
+    def get_potential_energy(self, atoms) -> float:
+        """Total energy (eV): band-structure + repulsive."""
+        return self.compute(atoms, forces=False)["energy"]
+
+    def get_free_energy(self, atoms) -> float:
+        """Mermin free energy E − T·S_el (equals energy where S is not
+        expanded)."""
+        return self.compute(atoms, forces=False)["free_energy"]
+
+    def get_forces(self, atoms) -> np.ndarray:
+        """(N, 3) forces in eV/Å."""
+        return self.compute(atoms, forces=True)["forces"]
+
+    def get_stress(self, atoms) -> np.ndarray:
+        """3×3 potential stress tensor in eV/Å³ (periodic cells only)."""
+        res = self.compute(atoms, forces=True)
+        if "stress" not in res:
+            raise ModelError("stress requires a fully periodic cell")
+        return res["stress"]
+
+    def get_pressure(self, atoms) -> float:
+        """Potential pressure −tr(virial)/3V in eV/Å³."""
+        res = self.compute(atoms, forces=True)
+        if "pressure" not in res:
+            raise ModelError("pressure requires a fully periodic cell")
+        return res["pressure"]
+
+    def get_eigenvalues(self, atoms):
+        raise ModelError(
+            "density-matrix calculators never build an eigen-spectrum; use "
+            "TBCalculator for eigenvalues / gaps"
+        )
+
+
+class LinearScalingCalculator(_DensityMatrixCalculatorBase):
+    """O(N) tight-binding calculator (FOE in localization regions).
+
+    Parameters
+    ----------
+    model :
+        An *orthogonal* :class:`~repro.tb.models.base.TBModel`.
+    kT :
+        Electronic temperature in eV; must be > 0 (the Fermi operator is
+        expanded, not diagonalised).  Accuracy vs the exact smeared
+        diagonalisation is controlled by *r_loc* and *order* together.
+    r_loc :
+        Localization radius in Å (≥ ``model.cutoff``).  Defaults to
+        1.5 × cutoff — a few bonding shells, the regime the paper's
+        accuracy tables use.
+    order :
+        Chebyshev expansion order; needed order grows like
+        (spectral width)/kT.
+    nworkers, executor :
+        Region solves are batched through the process pool
+        (:func:`repro.parallel.pool.map_tasks`).
+    """
+
+    def __init__(self, model, kT: float = 0.1, r_loc: float | None = None,
+                 order: int = 150, nworkers: int = 1, executor=None,
+                 neighbor_method: str = "auto", skin: float = 0.5):
+        if not model.orthogonal:
+            raise ElectronicError(
+                "LinearScalingCalculator supports orthogonal models only "
+                "(no S-metric FOE)"
+            )
+        if kT <= 0:
+            raise ElectronicError(
+                "LinearScalingCalculator needs kT > 0 — the Fermi operator "
+                "is expanded at finite electronic temperature"
+            )
+        self.model = model
+        self.kT = float(kT)
+        self.r_loc = float(r_loc) if r_loc is not None else 1.5 * model.cutoff
+        if self.r_loc < model.cutoff:
+            raise ElectronicError(
+                f"r_loc = {self.r_loc} Å must be >= model cutoff "
+                f"{model.cutoff} Å"
+            )
+        self.order = int(order)
+        self.nworkers = int(nworkers)
+        self.executor = executor
+        self._own_pool = None
+        self.timer = PhaseTimer()
+        self._vlist = VerletList(rcut=model.cutoff, skin=skin,
+                                 method=neighbor_method)
+        self._vlist_loc = VerletList(rcut=self.r_loc, skin=skin,
+                                     method=neighbor_method)
+        self.invalidate()
+
+    def _region_executor(self):
+        """The executor region solves run on — user-supplied, or one pool
+        kept alive for the calculator's lifetime (an MD run must not pay
+        process spawn every step)."""
+        if self.executor is not None:
+            return self.executor
+        if self.nworkers > 1 and self._own_pool is None:
+            self._own_pool = ProcessPoolExecutor(max_workers=self.nworkers)
+        return self._own_pool
+
+    def close(self) -> None:
+        """Shut down the calculator-owned worker pool (no-op otherwise)."""
+        if self._own_pool is not None:
+            self._own_pool.shutdown()
+            self._own_pool = None
+
+    def __del__(self):  # pragma: no cover - interpreter-exit ordering
+        with contextlib.suppress(Exception):
+            self.close()
+
+    def _key(self, atoms) -> tuple:
+        return (
+            atoms.positions.tobytes(),
+            atoms.cell.matrix.tobytes(),
+            tuple(atoms.symbols),
+            self.kT,
+            self.r_loc,
+            self.order,
+        )
+
+    def compute(self, atoms, forces: bool = True) -> dict:
+        """Evaluate and return the full results dict.
+
+        Keys: ``energy``, ``free_energy``, ``band_energy``,
+        ``repulsive_energy``, ``fermi_level``, ``entropy``,
+        ``populations``, ``charges``, ``n_regions``, ``region_stats``,
+        ``order``, ``r_loc``, ``n_orbitals``, ``n_pairs`` and — with
+        ``forces=True`` — ``forces``, ``virial``, ``stress`` (periodic
+        cells), ``pressure``.
+        """
+        key = self._key(atoms)
+        cached = self._cached(key, forces)
+        if cached is not None:
+            return cached
+
+        model = self.model
+        model.check_species(atoms.symbols)
+
+        with self.timer.phase("neighbors"):
+            nl = self._vlist.update(atoms)
+            nl_loc = self._vlist_loc.update(atoms)
+
+        with self.timer.phase("hamiltonian"):
+            H, _ = build_sparse_hamiltonian(atoms, model, nl)
+
+        with self.timer.phase("regions"):
+            regions = extract_regions(atoms, model, self.r_loc, nl=nl_loc)
+
+        with self.timer.phase("foe"):
+            nelec = model.total_electrons(atoms.symbols)
+            foe = solve_density_regions(
+                H, regions, nelec, self.kT, order=self.order,
+                nworkers=self.nworkers, executor=self._region_executor(),
+                with_rho=forces)
+
+        with self.timer.phase("repulsive"):
+            erep, frep, vrep = repulsive_energy_forces(atoms, model, nl)
+
+        z = np.array([model.n_electrons(s) for s in atoms.symbols])
+        energy = foe.band_energy + erep
+        res = {
+            "band_energy": foe.band_energy,
+            "repulsive_energy": erep,
+            "energy": energy,
+            "free_energy": energy - (self.kT / KB) * foe.entropy,
+            "fermi_level": foe.mu,
+            "entropy": foe.entropy,
+            "populations": foe.populations,
+            "charges": z - foe.populations,
+            "n_electrons": foe.n_electrons,
+            "n_regions": foe.n_regions,
+            "region_stats": region_statistics(regions),
+            "order": foe.order,
+            "r_loc": self.r_loc,
+            "spectral_bounds": foe.spectral_bounds,
+            "n_orbitals": H.shape[0],
+            "n_pairs": nl.n_pairs,
+        }
+
+        if forces:
+            with self.timer.phase("forces"):
+                fband, vband = sparse_band_forces(atoms, model, nl, foe.rho)
+                self._attach_forces(res, atoms, fband, frep, vband, vrep)
+        return self._store(key, res)
+
+    def get_charges(self, atoms) -> np.ndarray:
+        """Mulliken charges q_i = Z_i − population_i (|e|)."""
+        return self.compute(atoms, forces=False)["charges"]
+
+    def __repr__(self) -> str:
+        return (f"LinearScalingCalculator(model={self.model.name!r}, "
+                f"kT={self.kT} eV, r_loc={self.r_loc:.2f} Å, "
+                f"order={self.order}, nworkers={self.nworkers})")
+
+
+class DensityMatrixCalculator(_DensityMatrixCalculatorBase):
+    """Dense density-matrix calculator: purification or global FOE.
+
+    ``method="purification"`` (Palser–Manolopoulos, kT = 0, gapped
+    systems) or ``method="foe"`` (global Chebyshev expansion, kT > 0).
+    Orthogonal models only.  Same getter surface as the other
+    calculators; ``free_energy`` equals ``energy`` (purification is
+    zero-temperature; the dense FOE does not expand the entropy).
+    """
+
+    def __init__(self, model, method: str = "purification", kT: float = 0.0,
+                 order: int = 200, threshold: float = 0.0,
+                 neighbor_method: str = "auto", skin: float = 0.5):
+        if not model.orthogonal:
+            raise ElectronicError(
+                "density-matrix calculators support orthogonal models only"
+            )
+        if method not in ("purification", "foe"):
+            raise ElectronicError(f"unknown density-matrix method {method!r}")
+        if method == "purification" and kT != 0.0:
+            raise ElectronicError(
+                "purification is a zero-temperature method; drop the "
+                "electronic temperature or use the FOE for kT > 0"
+            )
+        if method == "foe" and kT <= 0.0:
+            raise ElectronicError("the FOE needs kT > 0")
+        self.model = model
+        self.method = method
+        self.kT = float(kT)
+        self.order = int(order)
+        self.threshold = float(threshold)
+        self.timer = PhaseTimer()
+        self._vlist = VerletList(rcut=model.cutoff, skin=skin,
+                                 method=neighbor_method)
+        self.invalidate()
+
+    def _key(self, atoms) -> tuple:
+        return (atoms.positions.tobytes(), atoms.cell.matrix.tobytes(),
+                tuple(atoms.symbols), self.method, self.kT, self.order,
+                self.threshold)
+
+    def compute(self, atoms, forces: bool = True) -> dict:
+        key = self._key(atoms)
+        cached = self._cached(key, forces)
+        if cached is not None:
+            return cached
+        model = self.model
+        model.check_species(atoms.symbols)
+
+        with self.timer.phase("neighbors"):
+            nl = self._vlist.update(atoms)
+        with self.timer.phase("hamiltonian"):
+            H, _ = build_hamiltonian(atoms, model, nl)
+        nelec = model.total_electrons(atoms.symbols)
+
+        with self.timer.phase("density_matrix"):
+            if self.method == "purification":
+                pur = purify_density_matrix(H, nelec,
+                                            threshold=self.threshold)
+                rho = pur.dense_rho_spin_summed()
+                band = pur.band_energy
+                extra = {"iterations": pur.iterations,
+                         "idempotency_error": pur.idempotency_error}
+            else:
+                foe = fermi_operator_expansion(H, nelec, self.kT,
+                                               order=self.order)
+                rho = foe["rho"]
+                band = foe["band_energy"]
+                extra = {"fermi_level": foe["mu"], "order": foe["order"]}
+
+        with self.timer.phase("repulsive"):
+            erep, frep, vrep = repulsive_energy_forces(atoms, model, nl)
+
+        energy = band + erep
+        res = {
+            "band_energy": band,
+            "repulsive_energy": erep,
+            "energy": energy,
+            "free_energy": energy,
+            "method": self.method,
+            "n_orbitals": H.shape[0],
+            "n_pairs": nl.n_pairs,
+            **extra,
+        }
+        if forces:
+            with self.timer.phase("forces"):
+                fband, vband = band_forces(atoms, model, nl, rho)
+                self._attach_forces(res, atoms, fband, frep, vband, vrep)
+        return self._store(key, res)
+
+    def __repr__(self) -> str:
+        return (f"DensityMatrixCalculator(model={self.model.name!r}, "
+                f"method={self.method!r}, kT={self.kT} eV)")

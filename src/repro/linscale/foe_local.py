@@ -1,0 +1,360 @@
+"""Fermi-operator expansion evaluated inside localization regions.
+
+The O(N) electronic kernel of Goedecker & Colombo (1994): instead of one
+Chebyshev polynomial of the *global* Hamiltonian (dense FOE,
+:mod:`repro.tb.chebyshev`), run the two-term recursion independently in
+every localization region, keeping only the density-matrix rows of each
+region's core atom.  Each region solve is a block matvec chain
+``v_{k+1} = 2 H̃_loc v_k − v_{k−1}`` on the core basis columns — the
+block-partitioned matvec idiom — and regions are independent, so they
+batch through the process pool.
+
+Two passes per evaluation:
+
+1. **Moments** — per region, the scalar Chebyshev moments
+   ``m_k = Σ_{μ∈core} [T_k(H̃)]_{μμ}`` and energy moments
+   ``e_k = Σ_{μ∈core} [T_k(H̃) H]_{μμ}``.  Summed over regions these give
+   the electron count ``N(μ) = Σ_k c_k(μ) M_k`` (μ found by bisection at
+   scalar cost — no matrix work per trial), the band energy, the
+   electronic entropy, and per-atom Mulliken populations.
+2. **Density rows** — with μ fixed, re-run the recursion accumulating
+   ``ρ_rows = Σ_k c_k v_k`` for the core orbitals.  Stacked over regions
+   these rows form a sparse approximation ρ̂ of the global density matrix
+   (every orbital is the core of exactly one region); the symmetrised
+   ``(ρ̂ + ρ̂ᵀ)/2`` feeds the Hellmann–Feynman force contraction.
+
+All scalar functions are expanded with the shared helpers in
+:mod:`repro.tb.chebyshev`, on one global ``(center, span)`` scaling from
+tight Lanczos bounds of the sparse H (submatrix spectra interlace, so
+every region is covered).  Orthogonal models only, like purification.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ElectronicError
+from repro.neighbors.base import NeighborList
+from repro.parallel.decomposition import block_partition
+from repro.parallel.pool import map_tasks
+from repro.tb.chebyshev import entropy_coefficients, fermi_coefficients
+from repro.tb.hamiltonian import orbital_offsets, pair_species_groups
+from repro.tb.purification import lanczos_spectral_bounds
+from repro.tb.slater_koster import sk_block_gradients
+from repro.linscale.regions import LocalizationRegion
+from repro.linscale.sparse_hamiltonian import block_index_grids
+
+
+# ---------------------------------------------------------------------------
+# Per-region kernels (pure, picklable — they run inside pool workers)
+# ---------------------------------------------------------------------------
+
+def _region_moments(h_sub: np.ndarray, core_local: np.ndarray,
+                    center: float, span: float, order: int
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Chebyshev moments (m_k, e_k) of one region's core orbitals."""
+    n = h_sub.shape[0]
+    nc = len(core_local)
+    v = np.zeros((n, nc))
+    v[core_local, np.arange(nc)] = 1.0
+    h_cols = h_sub[:, core_local]
+
+    m = np.zeros(order + 1)
+    e = np.zeros(order + 1)
+    m[0] = float(nc)
+    e[0] = float(np.sum(v * h_cols))
+
+    h_tilde = (h_sub - center * np.eye(n)) / span
+    v_prev = v
+    v_cur = h_tilde @ v
+    if order >= 1:
+        m[1] = float(v_cur[core_local, np.arange(nc)].sum())
+        e[1] = float(np.sum(v_cur * h_cols))
+    for k in range(2, order + 1):
+        v_next = 2.0 * (h_tilde @ v_cur) - v_prev
+        m[k] = float(v_next[core_local, np.arange(nc)].sum())
+        e[k] = float(np.sum(v_next * h_cols))
+        v_prev, v_cur = v_cur, v_next
+    return m, e
+
+
+def _region_density_rows(h_sub: np.ndarray, core_local: np.ndarray,
+                         center: float, span: float, coeffs: np.ndarray
+                         ) -> np.ndarray:
+    """Core rows of ρ_loc = Σ c_k T_k(H̃_loc), shape (n_core, n_region)."""
+    n = h_sub.shape[0]
+    nc = len(core_local)
+    v = np.zeros((n, nc))
+    v[core_local, np.arange(nc)] = 1.0
+
+    out = coeffs[0] * v
+    h_tilde = (h_sub - center * np.eye(n)) / span
+    v_prev = v
+    v_cur = h_tilde @ v
+    if len(coeffs) > 1:
+        out = out + coeffs[1] * v_cur
+    for k in range(2, len(coeffs)):
+        v_next = 2.0 * (h_tilde @ v_cur) - v_prev
+        out += coeffs[k] * v_next
+        v_prev, v_cur = v_cur, v_next
+    return out.T
+
+
+def _moments_worker(args):
+    """One chunk: extract each region's dense H_loc from the (shared)
+    sparse H and run the moment recursion — densifying inside the worker
+    keeps peak memory at one region instead of all of them."""
+    H, specs, center, span, order = args
+    return [_region_moments(H[orbitals][:, orbitals].toarray(), core_local,
+                            center, span, order)
+            for orbitals, core_local in specs]
+
+
+def _density_worker(args):
+    H, specs, center, span, coeffs = args
+    return [_region_density_rows(H[orbitals][:, orbitals].toarray(),
+                                 core_local, center, span, coeffs)
+            for orbitals, core_local in specs]
+
+
+# ---------------------------------------------------------------------------
+# Chemical potential from aggregated moments
+# ---------------------------------------------------------------------------
+
+def chemical_potential_from_moments(moments: np.ndarray, center: float,
+                                    span: float, kT: float,
+                                    n_electrons: float,
+                                    bracket: tuple[float, float],
+                                    tol: float = 1e-10,
+                                    max_iter: int = 100) -> float:
+    """Bisect μ so that ``Σ_k c_k(μ) M_k = n_electrons``.
+
+    Each trial is one scalar coefficient evaluation (O(K²) flops), so the
+    μ search costs nothing next to the region recursions.
+    """
+    lo, hi = float(bracket[0]), float(bracket[1])
+    order = len(moments) - 1
+
+    def count(mu):
+        return float(fermi_coefficients(center, span, mu, kT, order)
+                     @ moments)
+
+    if count(lo) > n_electrons or count(hi) < n_electrons:
+        raise ElectronicError(
+            f"μ bracket [{lo:.3f}, {hi:.3f}] eV does not contain "
+            f"{n_electrons} electrons"
+        )
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        c = count(mid)
+        if abs(c - n_electrons) < tol * max(1.0, n_electrons):
+            return mid
+        if c < n_electrons:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+# ---------------------------------------------------------------------------
+# The region solve
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RegionFOEResult:
+    """Everything the O(N) electronic step produces.
+
+    ``rho`` is the symmetrised spin-summed sparse density matrix built
+    from core rows (``None`` when the solve was run energy-only);
+    ``populations`` are per-atom Mulliken electron populations
+    (Σ = ``n_electrons``); ``entropy`` is in eV/K.
+    """
+
+    rho: sp.csr_matrix | None
+    band_energy: float
+    mu: float
+    entropy: float
+    populations: np.ndarray
+    n_electrons: float
+    order: int
+    spectral_bounds: tuple[float, float]
+    n_regions: int
+
+
+def solve_density_regions(H, regions: list[LocalizationRegion],
+                          n_electrons: float, kT: float, order: int = 150,
+                          mu: float | None = None, nworkers: int = 1,
+                          executor=None, with_rho: bool = True
+                          ) -> RegionFOEResult:
+    """FOE-in-regions density matrix from a sparse Hamiltonian.
+
+    Parameters
+    ----------
+    H :
+        Real symmetric Hamiltonian, scipy sparse (dense accepted and
+        converted).  Orthogonal basis assumed.
+    regions :
+        Output of :func:`repro.linscale.regions.extract_regions`; their
+        core orbitals must tile all of H exactly once.
+    n_electrons :
+        Spin-summed electron count; μ is bisected from region moments
+        unless given.
+    kT :
+        Electronic temperature in eV; must be > 0 (the expansion order
+        needed grows with spectral width / kT).
+    order :
+        Chebyshev order K.
+    nworkers, executor :
+        Region batches are fanned out through
+        :func:`repro.parallel.pool.map_tasks`.
+    with_rho :
+        ``False`` skips the second (density-rows) pass entirely — band
+        energy, entropy, μ and populations all come from the moments, so
+        energy-only evaluations cost half the Chebyshev work and return
+        ``rho=None``.
+    """
+    if kT <= 0:
+        raise ElectronicError("FOE-in-regions needs kT > 0")
+    if order < 2:
+        raise ElectronicError("expansion order must be >= 2")
+    H = sp.csr_matrix(H)
+    m_total = H.shape[0]
+    n_core_total = sum(len(r.core_local) for r in regions)
+    if n_core_total != m_total:
+        raise ElectronicError(
+            f"regions cover {n_core_total} core orbitals but H has "
+            f"{m_total}; every orbital must be the core of exactly one region"
+        )
+
+    emin, emax = lanczos_spectral_bounds(H)
+    span = 0.5 * (emax - emin) * 1.01
+    center = 0.5 * (emax + emin)
+    if span <= 0:
+        raise ElectronicError("degenerate spectral bounds")
+
+    # workers receive (sparse H, region specs) and densify one region at a
+    # time; H travels once per chunk, so a pool of nworkers gets exactly
+    # nworkers chunks (regions are near-equal, block partition balances),
+    # while the inline/injected-executor path chunks finer so an external
+    # pool of unknown width can load-balance
+    specs = [(r.orbitals, r.core_local) for r in regions]
+    nchunks = nworkers if nworkers > 1 else min(len(regions), 8)
+    chunks = [c for c in block_partition(len(regions), nchunks) if len(c)]
+
+    own_pool = None
+    if executor is None and nworkers > 1:
+        # one pool for both passes instead of a spawn per map_tasks call
+        own_pool = ProcessPoolExecutor(max_workers=nworkers)
+        executor = own_pool
+    try:
+        # -- pass 1: moments → μ, band energy, entropy, populations --------
+        tasks = [(H, [specs[i] for i in c], center, span, order)
+                 for c in chunks]
+        per_region = [mo for chunk in
+                      map_tasks(_moments_worker, tasks, nworkers, executor)
+                      for mo in chunk]
+        m_per = np.stack([m for m, _ in per_region])      # (R, K+1)
+        e_per = np.stack([e for _, e in per_region])
+        m_sum = m_per.sum(axis=0)
+        e_sum = e_per.sum(axis=0)
+
+        if mu is None:
+            mu = chemical_potential_from_moments(
+                m_sum, center, span, kT, n_electrons,
+                bracket=(emin - 10.0 * kT, emax + 10.0 * kT))
+
+        coeffs = fermi_coefficients(center, span, mu, kT, order)
+        band_energy = float(coeffs @ e_sum)
+        entropy = float(entropy_coefficients(center, span, mu, kT, order)
+                        @ m_sum)
+        populations = m_per @ coeffs
+
+        # -- pass 2: core density rows → sparse ρ --------------------------
+        rho = None
+        if with_rho:
+            tasks = [(H, [specs[i] for i in c], center, span, coeffs)
+                     for c in chunks]
+            rows_per_region = [rr for chunk in
+                               map_tasks(_density_worker, tasks, nworkers,
+                                         executor)
+                               for rr in chunk]
+    finally:
+        if own_pool is not None:
+            own_pool.shutdown()
+
+    if with_rho:
+        coo_r, coo_c, coo_d = [], [], []
+        for region, rho_rows in zip(regions, rows_per_region):
+            core_global = region.orbitals[region.core_local]
+            coo_r.append(np.repeat(core_global, region.n_orbitals))
+            coo_c.append(np.tile(region.orbitals, len(core_global)))
+            coo_d.append(rho_rows.ravel())
+        rho_hat = sp.coo_matrix(
+            (np.concatenate(coo_d),
+             (np.concatenate(coo_r), np.concatenate(coo_c))),
+            shape=(m_total, m_total)).tocsr()
+        rho = 0.5 * (rho_hat + rho_hat.T).tocsr()
+
+    return RegionFOEResult(
+        rho=rho, band_energy=band_energy, mu=float(mu), entropy=entropy,
+        populations=populations, n_electrons=float(populations.sum()),
+        order=order, spectral_bounds=(emin, emax), n_regions=len(regions))
+
+
+# ---------------------------------------------------------------------------
+# Hellmann–Feynman forces from the sparse density matrix
+# ---------------------------------------------------------------------------
+
+def _gather_blocks(rho: sp.csr_matrix, rows: np.ndarray, cols: np.ndarray
+                   ) -> np.ndarray:
+    """Dense (P, ni, nj) ρ blocks gathered from a sparse matrix."""
+    flat = np.asarray(rho[rows.ravel(), cols.ravel()]).ravel()
+    return flat.reshape(rows.shape)
+
+
+def sparse_band_forces(atoms, model, nl: NeighborList, rho: sp.csr_matrix
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Band forces (N, 3) and virial (3, 3) from a *sparse* symmetric ρ.
+
+    The sparse twin of :func:`repro.tb.forces.band_forces` (orthogonal
+    models only): identical contraction ``g = 2 Σ ρ_ab ∂B_ab`` per
+    half-list bond, with ρ blocks gathered from CSR instead of fancy
+    dense indexing.  Every needed block lies inside ρ's sparsity pattern
+    because r_loc ≥ the model cutoff.
+    """
+    if not model.orthogonal:
+        raise ElectronicError(
+            "sparse band forces support orthogonal models only"
+        )
+    symbols = atoms.symbols
+    offsets, _ = orbital_offsets(symbols, model)
+    n = len(atoms)
+    forces = np.zeros((n, 3))
+    virial = np.zeros((3, 3))
+    if nl.n_pairs == 0:
+        return forces, virial
+
+    for (sa, sb), pidx in pair_species_groups(symbols, nl).items():
+        r = nl.distances[pidx]
+        vec = nl.vectors[pidx]
+        u = vec / r[:, None]
+        ni, nj = model.norb(sa), model.norb(sb)
+        oi = offsets[nl.i[pidx]]
+        oj = offsets[nl.j[pidx]]
+
+        V, dV = model.hopping(sa, sb, r)
+        G = sk_block_gradients(u, r, V, dV)[:, :, :ni, :nj]
+
+        rows, cols = block_index_grids(oi, oj, ni, nj)
+        rho_blk = _gather_blocks(rho, rows, cols)
+        g = 2.0 * np.einsum("pab,pcab->pc", rho_blk, G)
+
+        np.add.at(forces, nl.i[pidx], g)
+        np.add.at(forces, nl.j[pidx], -g)
+        virial += np.einsum("pc,pd->cd", g, vec)
+
+    return forces, virial

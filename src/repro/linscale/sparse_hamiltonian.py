@@ -1,0 +1,131 @@
+"""Sparse (CSR) tight-binding Hamiltonian assembly.
+
+The dense builder in :mod:`repro.tb.hamiltonian` allocates M×M even
+though a short-ranged TB Hamiltonian has O(M) nonzeros — the wall every
+O(N) method hits first.  This module assembles the *same* matrix straight
+from the half neighbour list as scipy CSR: each bond contributes its
+Slater–Koster block and the block's transpose as COO triplets, periodic
+image duplicates summing on conversion (the sparse analogue of the
+``np.add.at`` scatter).
+
+The result equals the dense builder to summation order of image
+duplicates (~1 ulp; asserted in ``tests/test_linscale.py``), so every
+downstream consumer — purification, the dense FOE, and the
+localization-region engine — can switch representation freely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.errors import ModelError
+from repro.neighbors.base import NeighborList
+from repro.tb.hamiltonian import orbital_offsets, pair_species_groups
+from repro.tb.slater_koster import sk_blocks
+
+
+def block_index_grids(oi: np.ndarray, oj: np.ndarray, ni: int, nj: int
+                      ) -> tuple[np.ndarray, np.ndarray]:
+    """(P, ni, nj) row/column index grids for per-pair orbital blocks.
+
+    The sparse analogue of the broadcast inside
+    :func:`repro.tb.hamiltonian._scatter_blocks`, shared by the CSR
+    assembly here and the sparse force gather in
+    :mod:`repro.linscale.foe_local`.
+    """
+    rows = (oi[:, None, None] + np.arange(ni)[None, :, None]
+            + np.zeros((1, 1, nj), dtype=int))
+    cols = (oj[:, None, None] + np.arange(nj)[None, None, :]
+            + np.zeros((1, ni, 1), dtype=int))
+    return rows, cols
+
+
+def _block_triplets(blocks: np.ndarray, oi: np.ndarray, oj: np.ndarray,
+                    ni: int, nj: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO triplets for (P, ni, nj) blocks *and* their transposes."""
+    rows, cols = block_index_grids(oi, oj, ni, nj)
+    blocks_t = np.swapaxes(blocks, 1, 2)
+    r = np.concatenate([rows.ravel(), np.swapaxes(cols, 1, 2).ravel()])
+    c = np.concatenate([cols.ravel(), np.swapaxes(rows, 1, 2).ravel()])
+    d = np.concatenate([blocks.ravel(), blocks_t.ravel()])
+    return r, c, d
+
+
+def build_sparse_hamiltonian(atoms, model, nl: NeighborList,
+                             with_overlap: bool | None = None
+                             ) -> tuple[sp.csr_matrix, sp.csr_matrix | None]:
+    """Assemble the Γ-point Hamiltonian (and overlap) in CSR form.
+
+    Returns ``(H, S)`` with ``S`` ``None`` for orthogonal models; both are
+    real symmetric and numerically identical to
+    :func:`repro.tb.hamiltonian.build_hamiltonian`.
+    """
+    symbols = atoms.symbols
+    model.check_species(symbols)
+    offsets, m = orbital_offsets(symbols, model)
+
+    if with_overlap is None:
+        with_overlap = not model.orthogonal
+
+    h_rows, h_cols, h_data = [], [], []
+    s_rows, s_cols, s_data = [], [], []
+
+    # on-site terms (and the unit overlap diagonal)
+    for idx, sym in enumerate(symbols):
+        e = model.onsite(sym)
+        o = offsets[idx]
+        h_rows.append(np.arange(o, o + len(e)))
+        h_cols.append(np.arange(o, o + len(e)))
+        h_data.append(np.asarray(e, dtype=float))
+    if with_overlap:
+        s_rows.append(np.arange(m))
+        s_cols.append(np.arange(m))
+        s_data.append(np.ones(m))
+
+    for (sa, sb), pidx in pair_species_groups(symbols, nl).items():
+        r = nl.distances[pidx]
+        u = nl.vectors[pidx] / r[:, None]
+        ni, nj = model.norb(sa), model.norb(sb)
+        oi = offsets[nl.i[pidx]]
+        oj = offsets[nl.j[pidx]]
+
+        V, _ = model.hopping(sa, sb, r)
+        blocks = sk_blocks(u, V)[:, :ni, :nj]
+        rr, cc, dd = _block_triplets(blocks, oi, oj, ni, nj)
+        h_rows.append(rr)
+        h_cols.append(cc)
+        h_data.append(dd)
+
+        if with_overlap:
+            ov = model.overlap(sa, sb, r)
+            if ov is None:
+                raise ModelError(
+                    f"model {model.name!r} requested with overlap but "
+                    f"returns none for pair ({sa}, {sb})"
+                )
+            sblocks = sk_blocks(u, ov[0])[:, :ni, :nj]
+            rr, cc, dd = _block_triplets(sblocks, oi, oj, ni, nj)
+            s_rows.append(rr)
+            s_cols.append(cc)
+            s_data.append(dd)
+
+    H = sp.coo_matrix(
+        (np.concatenate(h_data),
+         (np.concatenate(h_rows), np.concatenate(h_cols))),
+        shape=(m, m)).tocsr()
+    H.sum_duplicates()
+    if not with_overlap:
+        return H, None
+    S = sp.coo_matrix(
+        (np.concatenate(s_data),
+         (np.concatenate(s_rows), np.concatenate(s_cols))),
+        shape=(m, m)).tocsr()
+    S.sum_duplicates()
+    return H, S
+
+
+def hamiltonian_fill_fraction(H: sp.spmatrix) -> float:
+    """nnz / M² — how much the dense builder over-allocates."""
+    m = H.shape[0]
+    return H.nnz / float(m * m) if m else 0.0

@@ -87,6 +87,22 @@ class NeighborList:
         fi, fj, _, _ = self.full()
         return fj[fi == atom]
 
+    def neighbors_by_atom(self) -> list[np.ndarray]:
+        """Per-atom arrays of *unique* bonded atom indices.
+
+        One pass over the full (directed) list instead of N calls to
+        :meth:`neighbors_of`; periodic image multiplicity is collapsed, so
+        ``out[a]`` is exactly the set of atoms within ``rcut`` of *a* (an
+        atom bonded only to its own images contributes itself).  This is
+        the graph the localization-region extraction consumes.
+        """
+        fi, fj, _, _ = self.full()
+        order = np.argsort(fi, kind="stable")
+        fi_s, fj_s = fi[order], fj[order]
+        starts = np.searchsorted(fi_s, np.arange(self.natoms + 1))
+        return [np.unique(fj_s[starts[a]:starts[a + 1]])
+                for a in range(self.natoms)]
+
     def max_distance(self) -> float:
         return float(self.distances.max()) if self.n_pairs else 0.0
 

@@ -30,7 +30,7 @@ from repro.parallel.replicated import (
 )
 from repro.parallel.jacobi import distributed_jacobi_model, round_robin_pairs
 from repro.parallel.scaling import strong_scaling, weak_scaling, amdahl_speedup
-from repro.parallel.pool import parallel_build_hamiltonian, parallel_repulsive
+from repro.parallel.pool import map_tasks, parallel_build_hamiltonian, parallel_repulsive
 from repro.parallel.kpoints import kpoint_parallel_time, kpoint_speedup
 
 __all__ = [
@@ -49,6 +49,7 @@ __all__ = [
     "strong_scaling",
     "weak_scaling",
     "amdahl_speedup",
+    "map_tasks",
     "parallel_build_hamiltonian",
     "parallel_repulsive",
     "kpoint_parallel_time",

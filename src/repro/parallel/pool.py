@@ -23,6 +23,28 @@ from repro.tb.hamiltonian import orbital_offsets, pair_species_groups, _scatter_
 from repro.tb.slater_koster import sk_blocks
 
 
+def map_tasks(worker, tasks, nworkers: int = 1, executor=None) -> list:
+    """Map a pure picklable *worker* over *tasks*, preserving order.
+
+    The one dispatch policy every pool consumer shares (H assembly,
+    repulsion, and the localization-region solves of
+    :mod:`repro.linscale.foe_local`):
+
+    * ``executor`` given — use it (tests inject serial executors; a caller
+      can keep one ``ProcessPoolExecutor`` alive across MD steps);
+    * ``nworkers == 1`` — run inline, no IPC;
+    * otherwise — a fresh ``ProcessPoolExecutor(nworkers)``.
+    """
+    if nworkers < 1:
+        raise ParallelError("nworkers must be >= 1")
+    if executor is not None:
+        return list(executor.map(worker, tasks))
+    if nworkers == 1:
+        return [worker(t) for t in tasks]
+    with ProcessPoolExecutor(max_workers=nworkers) as pool:
+        return list(pool.map(worker, tasks))
+
+
 def _hopping_block_worker(args):
     """Compute SK blocks for one chunk of one species group (pure)."""
     model, sa, sb, r, u, ni, nj = args
@@ -70,15 +92,8 @@ def parallel_build_hamiltonian(atoms, model, nl: NeighborList,
             tasks.append(((sa, sb, ni, nj, sel),
                           (model, sa, sb, r, u, ni, nj)))
 
-    if executor is None and nworkers > 1:
-        with ProcessPoolExecutor(max_workers=nworkers) as pool:
-            results = list(pool.map(_hopping_block_worker,
-                                    [t[1] for t in tasks]))
-    elif executor is not None:
-        results = list(executor.map(_hopping_block_worker,
-                                    [t[1] for t in tasks]))
-    else:
-        results = [_hopping_block_worker(t[1]) for t in tasks]
+    results = map_tasks(_hopping_block_worker, [t[1] for t in tasks],
+                        nworkers=nworkers, executor=executor)
 
     for (meta, _), blocks in zip(tasks, results):
         sa, sb, ni, nj, sel = meta
@@ -110,13 +125,8 @@ def parallel_repulsive(atoms, model, nl: NeighborList, nworkers: int = 2,
             sel = pidx[chunk]
             tasks.append(((sa, sb, sel), (model, sa, sb, nl.distances[sel])))
 
-    if executor is None and nworkers > 1:
-        with ProcessPoolExecutor(max_workers=nworkers) as pool:
-            results = list(pool.map(_repulsion_worker, [t[1] for t in tasks]))
-    elif executor is not None:
-        results = list(executor.map(_repulsion_worker, [t[1] for t in tasks]))
-    else:
-        results = [_repulsion_worker(t[1]) for t in tasks]
+    results = map_tasks(_repulsion_worker, [t[1] for t in tasks],
+                        nworkers=nworkers, executor=executor)
 
     x = np.zeros(n)
     phi_all = np.empty(nl.n_pairs)

@@ -26,8 +26,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ElectronicError
-from repro.tb.occupations import fermi_function
-from repro.tb.purification import spectral_bounds
+from repro.tb.occupations import entropy_density, fermi_function
+from repro.tb.purification import lanczos_spectral_bounds
 
 
 def chebyshev_coefficients(func, order: int) -> np.ndarray:
@@ -47,6 +47,44 @@ def chebyshev_coefficients(func, order: int) -> np.ndarray:
         c[k] = 2.0 / m * float(np.sum(fx * np.cos(k * theta)))
     c[0] *= 0.5
     return c
+
+
+def scaled_coefficients(func, center: float, span: float, order: int
+                        ) -> np.ndarray:
+    """Coefficients of ``func(ε)`` as a polynomial in ``(H − center)/span``.
+
+    The shared rescaling contract of every Fermi-operator consumer: the
+    dense FOE below and the localization-region engine
+    (:mod:`repro.linscale.foe_local`) expand the *same* scalar functions on
+    the *same* axis, so a chemical potential bisected from region moments
+    is directly comparable to the dense one.
+    """
+    return chebyshev_coefficients(lambda x: func(center + span * x), order)
+
+
+def fermi_coefficients(center: float, span: float, mu: float, kT: float,
+                       order: int) -> np.ndarray:
+    """Chebyshev coefficients of the spin-summed Fermi function f(ε; μ, kT)."""
+    if kT <= 0:
+        raise ElectronicError("Fermi expansion needs kT > 0")
+    return scaled_coefficients(lambda e: fermi_function(e, mu, kT),
+                               center, span, order)
+
+
+def entropy_coefficients(center: float, span: float, mu: float, kT: float,
+                         order: int) -> np.ndarray:
+    """Chebyshev coefficients of the electronic-entropy density (eV/K).
+
+    Expands :func:`repro.tb.occupations.entropy_density` as a function of
+    energy, so ``tr s(H) = S`` matches
+    :func:`repro.tb.occupations.electronic_entropy` summed over the exact
+    spectrum.
+    """
+    if kT <= 0:
+        raise ElectronicError("entropy expansion needs kT > 0")
+    return scaled_coefficients(
+        lambda eps: entropy_density(fermi_function(eps, mu, kT)),
+        center, span, order)
 
 
 def evaluate_matrix_polynomial(H_tilde: np.ndarray, coeffs: np.ndarray
@@ -88,7 +126,10 @@ def fermi_operator_expansion(H: np.ndarray, n_electrons: float, kT: float,
         raise ElectronicError(f"H must be square, got {H.shape}")
     if kT <= 0:
         raise ElectronicError("FOE needs kT > 0 (use purification at zero T)")
-    emin, emax = spectral_bounds(H)
+    # tight Lanczos bounds: with Gershgorin's ~2.5×-too-wide window the
+    # expansion rings at low kT (ρ eigenvalues overshoot [0, 2]) unless
+    # the order is raised proportionally
+    emin, emax = lanczos_spectral_bounds(H)
     # pad the bounds so T_k stays in its stable domain
     span = 0.5 * (emax - emin) * 1.01
     center = 0.5 * (emax + emin)
@@ -96,9 +137,8 @@ def fermi_operator_expansion(H: np.ndarray, n_electrons: float, kT: float,
         raise ElectronicError("degenerate spectral bounds")
 
     def rho_for(mu_val, k_order):
-        def f_scaled(x):
-            return fermi_function(center + span * x, mu_val, kT) / 2.0
-        coeffs = chebyshev_coefficients(f_scaled, k_order)
+        # spinless expansion: half the spin-summed Fermi coefficients
+        coeffs = 0.5 * fermi_coefficients(center, span, mu_val, kT, k_order)
         h_tilde = (H - center * np.eye(n)) / span
         return evaluate_matrix_polynomial(h_tilde, coeffs)
 

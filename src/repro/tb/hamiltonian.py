@@ -63,13 +63,21 @@ def _scatter_blocks(mat: np.ndarray, blocks: np.ndarray,
 
 
 def build_hamiltonian(atoms, model, nl: NeighborList,
-                      with_overlap: bool | None = None
+                      with_overlap: bool | None = None,
+                      sparse: bool = False
                       ) -> tuple[np.ndarray, np.ndarray | None]:
     """Assemble the real symmetric Γ-point Hamiltonian (M×M, eV).
 
     Returns ``(H, S)``; ``S`` is ``None`` for orthogonal models, else the
-    overlap matrix with unit diagonal.
+    overlap matrix with unit diagonal.  With ``sparse=True`` both come
+    back as scipy CSR (numerically identical entries), assembled in O(M)
+    memory by :mod:`repro.linscale.sparse_hamiltonian`.
     """
+    if sparse:
+        from repro.linscale.sparse_hamiltonian import build_sparse_hamiltonian
+
+        return build_sparse_hamiltonian(atoms, model, nl,
+                                        with_overlap=with_overlap)
     symbols = atoms.symbols
     model.check_species(symbols)
     offsets, m = orbital_offsets(symbols, model)

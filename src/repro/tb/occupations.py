@@ -93,6 +93,23 @@ def find_fermi_level(eigenvalues: np.ndarray, n_electrons: float, kT: float,
     return 0.5 * (lo + hi)
 
 
+def entropy_density(occupations: np.ndarray) -> np.ndarray:
+    """Per-state entropy  s = −2 k_B [x ln x + (1−x) ln(1−x)],  x = f/2.
+
+    In eV/K per state; summing (with weights) gives the electronic
+    entropy, and expanding it as a function of energy is how the
+    Fermi-operator kernels obtain S as a trace
+    (:func:`repro.tb.chebyshev.entropy_coefficients`).
+    """
+    x = np.clip(np.asarray(occupations, dtype=float) / 2.0, 0.0, 1.0)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        term = np.where((x > 0) & (x < 1),
+                        x * np.log(np.where(x > 0, x, 1.0))
+                        + (1 - x) * np.log(np.where(x < 1, 1 - x, 1.0)),
+                        0.0)
+    return -2.0 * KB * term
+
+
 def electronic_entropy(occupations: np.ndarray,
                        weights: np.ndarray | None = None) -> float:
     """Electronic entropy  S = −2 k_B Σ w [x ln x + (1−x) ln(1−x)],  x = f/2.
@@ -100,14 +117,9 @@ def electronic_entropy(occupations: np.ndarray,
     Returned in eV/K; multiply by T for the −TS term of the Mermin free
     energy.
     """
-    x = np.clip(np.asarray(occupations, dtype=float) / 2.0, 0.0, 1.0)
-    w = np.ones_like(x) if weights is None else np.asarray(weights, dtype=float)
-    with np.errstate(divide="ignore", invalid="ignore"):
-        term = np.where((x > 0) & (x < 1),
-                        x * np.log(np.where(x > 0, x, 1.0))
-                        + (1 - x) * np.log(np.where(x < 1, 1 - x, 1.0)),
-                        0.0)
-    return float(-2.0 * KB * np.sum(w * term))
+    s = entropy_density(occupations)
+    w = np.ones_like(s) if weights is None else np.asarray(weights, dtype=float)
+    return float(np.sum(w * s))
 
 
 def fermi_dirac_occupations(eigenvalues: np.ndarray, n_electrons: float,
