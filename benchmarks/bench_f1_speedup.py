@@ -1,7 +1,7 @@
 """F1 — Strong-scaling speedup vs processor count (replicated data).
 
 Reproduces the headline scaling figure on a Paragon-class machine model
-calibrated with measured host phase timings (see DESIGN.md substitution
+calibrated with measured host phase timings (see docs/architecture.md substitution
 table).  Expected shape:
 
 * with the *replicated* eigensolver, speedup saturates at the Amdahl

@@ -6,7 +6,7 @@ exact diagonalisation, Hellmann–Feynman forces, NVE/NVT dynamics,
 structural relaxation — together with the replicated-data / distributed
 parallelisation layer and its scaling evaluation, and the O(N)
 localization-region electronic subsystem (:mod:`repro.linscale`).  See
-DESIGN.md for the system inventory; the reproduced evaluation lives in
+docs/architecture.md for the system inventory; the reproduced evaluation lives in
 ``benchmarks/``.
 
 Quick start::
@@ -30,6 +30,7 @@ from repro import (
 )
 from repro.geometry import Atoms, Cell
 from repro.linscale import LinearScalingCalculator
+from repro.state import CalculatorState, ChangeReport
 from repro.tb import TBCalculator, get_model
 
 __all__ = [
@@ -46,6 +47,8 @@ __all__ = [
     "units",
     "Atoms",
     "Cell",
+    "CalculatorState",
+    "ChangeReport",
     "TBCalculator",
     "LinearScalingCalculator",
     "get_model",

@@ -54,17 +54,19 @@ def _make_calculator(name: str, kT: float, args=None):
         # the Fermi-operator solvers smear by construction
         kT = 0.1
         print(f"note: --solver {solver} needs kT > 0; using kT = {kT} eV")
+    reuse = not getattr(args, "no_reuse", False)
     if solver == "foe":
         from repro.linscale import DensityMatrixCalculator
 
         return DensityMatrixCalculator(model, method="foe", kT=kT,
-                                       order=args.order)
+                                       order=args.order, reuse=reuse)
     if solver == "linscale":
         from repro.linscale import LinearScalingCalculator
 
         return LinearScalingCalculator(model, kT=kT, r_loc=args.r_loc,
                                        order=args.order,
-                                       nworkers=args.nworkers)
+                                       nworkers=args.nworkers,
+                                       reuse=reuse)
     raise ReproError(f"unknown solver {solver!r}")  # pragma: no cover
 
 
@@ -178,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--nworkers", type=int, default=1,
                         help="process-pool workers for region solves "
                              "(linscale)")
+        sp.add_argument("--no-reuse", action="store_true", dest="no_reuse",
+                        help="disable step-to-step state reuse (neighbor "
+                             "lists, Hamiltonian pattern, regions, spectral "
+                             "window, warm μ) in the foe/linscale solvers — "
+                             "rebuild everything every step")
 
     pe = sub.add_parser("energy", help="single-point energy and forces")
     add_common(pe)

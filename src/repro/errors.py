@@ -28,6 +28,16 @@ class ElectronicError(ReproError):
     """Electronic-structure failure: occupation count, μ bisection, solver."""
 
 
+class SpectralWindowError(ElectronicError):
+    """A cached Chebyshev expansion window no longer contains the spectrum.
+
+    Raised by the Fermi-operator kernels when the a-posteriori moment
+    check detects recursion divergence (|T_k| must stay ≤ 1 on a valid
+    window).  Callers recover by refreshing the spectral bounds and
+    re-solving — the error signals stale *state*, not bad physics.
+    """
+
+
 class ConvergenceError(ReproError):
     """An iterative algorithm (relaxation, SCF-like loop, μ search) failed
     to converge within its iteration budget."""

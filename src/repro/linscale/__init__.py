@@ -23,6 +23,7 @@ from repro.linscale.foe_local import (
     RegionFOEResult,
     chemical_potential_from_moments,
     solve_density_regions,
+    solve_density_regions_fused,
     sparse_band_forces,
 )
 from repro.linscale.regions import (
@@ -31,6 +32,7 @@ from repro.linscale.regions import (
     region_statistics,
 )
 from repro.linscale.sparse_hamiltonian import (
+    SparseHamiltonianBuilder,
     build_sparse_hamiltonian,
     hamiltonian_fill_fraction,
 )
@@ -40,11 +42,13 @@ __all__ = [
     "DensityMatrixCalculator",
     "RegionFOEResult",
     "solve_density_regions",
+    "solve_density_regions_fused",
     "sparse_band_forces",
     "chemical_potential_from_moments",
     "LocalizationRegion",
     "extract_regions",
     "region_statistics",
+    "SparseHamiltonianBuilder",
     "build_sparse_hamiltonian",
     "hamiltonian_fill_fraction",
 ]

@@ -9,11 +9,35 @@ driver, the relaxers and the CLI run unchanged on top of it; the only
 deliberate gap is anything needing an eigen-spectrum (eigenvalues,
 HOMO/LUMO gap), which an O(N) method never produces.
 
+With ``reuse=True`` (the default) the calculator keeps **persistent
+step-to-step state** — the MD fast path:
+
+* skin-based Verlet neighbour lists (rebuilt only on > skin/2 drift or
+  any cell change),
+* the sparse-Hamiltonian pattern, with value-only rewrites and
+  dirty-row updates when only some atoms moved,
+* the localization regions (rebuilt only when the r_loc bond graph
+  changes),
+* the Chebyshev spectral window (Lanczos bounds, padded; refreshed on
+  neighbour-list rebuilds and guarded a posteriori),
+* the chemical potential (linear extrapolation of the last two steps
+  warm-starts the next solve).
+
+When a warm μ is available, force evaluations use the *fused*
+single-pass FOE (:func:`repro.linscale.foe_local.solve_density_regions_fused`)
+— one Chebyshev recursion instead of two, with a μ-Taylor correction —
+which roughly halves the per-step cost.  All reuse decisions flow
+through the shared :class:`repro.state.CalculatorState` contract, so a
+cell, species or parameter change always falls back to a full cold
+rebuild.  ``reuse=False`` restores the rebuild-everything-per-step
+behaviour (benchmark baseline).
+
 :class:`DensityMatrixCalculator` wraps the *dense* O(N)-family kernels —
 Palser–Manolopoulos purification (zero temperature) and the global
 Chebyshev FOE (finite temperature) — behind the same interface, which is
 what the CLI's ``--solver purification|foe`` flags dispatch to and what
-the crossover benchmark compares against.
+the crossover benchmark compares against.  It shares the same state
+protocol and reuses its spectral bounds and μ across steps.
 """
 
 from __future__ import annotations
@@ -23,24 +47,48 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
-from repro.errors import ElectronicError, ModelError
+from repro.errors import ElectronicError, ModelError, SpectralWindowError
 from repro.neighbors.verlet import VerletList
+from repro.state import CalculatorState
 from repro.tb.chebyshev import fermi_operator_expansion
 from repro.tb.forces import band_forces, repulsive_energy_forces
 from repro.tb.hamiltonian import build_hamiltonian
-from repro.tb.purification import purify_density_matrix
+from repro.tb.purification import (
+    lanczos_spectral_bounds,
+    purify_density_matrix,
+    spectral_bounds,
+)
 from repro.units import EV_PER_A3_TO_GPA, KB
 from repro.utils.timing import PhaseTimer
 
-from repro.linscale.foe_local import solve_density_regions, sparse_band_forces
+from repro.linscale.foe_local import (
+    build_region_gather_maps,
+    solve_density_regions,
+    solve_density_regions_fused,
+    sparse_band_forces,
+)
 from repro.linscale.regions import extract_regions, region_statistics
-from repro.linscale.sparse_hamiltonian import build_sparse_hamiltonian
+from repro.linscale.sparse_hamiltonian import SparseHamiltonianBuilder
+
+
+def _padded_lanczos_window(H) -> tuple[float, float]:
+    """Tight Lanczos bounds + drift pad — the cached Chebyshev window.
+
+    The pad absorbs spectral drift while the window is reused between
+    refreshes; the a-posteriori moment guards catch the rare case of the
+    spectrum escaping anyway.  One formula for every calculator, so the
+    dense and O(N) engines expand on identical windows.
+    """
+    emin, emax = lanczos_spectral_bounds(H)
+    pad = 0.02 * (emax - emin) + 0.2
+    return (emin - pad, emax + pad)
 
 
 class _DensityMatrixCalculatorBase:
     """Shared cache, force/stress assembly and getters.
 
-    Subclasses implement ``_key(atoms)`` (what invalidates the cache) and
+    Subclasses own a :class:`repro.state.CalculatorState` (``_state``), a
+    ``_params()`` tuple (what invalidates the electronic state) and
     ``compute(atoms, forces)``; everything else — the results cache, the
     virial → stress/pressure tail, and the TBCalculator-compatible getter
     surface — lives here once.
@@ -49,23 +97,37 @@ class _DensityMatrixCalculatorBase:
     model = None
     timer: PhaseTimer
 
-    def _key(self, atoms) -> tuple:  # pragma: no cover - overridden
+    def _params(self) -> tuple:  # pragma: no cover - overridden
         raise NotImplementedError
 
-    def invalidate(self) -> None:
-        """Drop the cached results (e.g. after mutating model parameters)."""
-        self._cache_key = None
-        self._results = {}
+    def _reset_persistent(self) -> None:  # pragma: no cover - overridden
+        """Drop step-to-step caches (lists, patterns, windows, μ)."""
 
-    def _cached(self, key, forces: bool) -> dict | None:
-        if key == getattr(self, "_cache_key", None) and \
+    def invalidate(self) -> None:
+        """Forget everything — cached results *and* persistent state.
+
+        Call after mutating model parameters in place; normal structural
+        changes are detected automatically through the state protocol.
+        """
+        self._state = CalculatorState()
+        self._results = {}
+        self._cache_key = None
+        self._reset_persistent()
+
+    def _cached(self, report, forces: bool) -> dict | None:
+        """Cached results, only when they were *stored* for the current
+        state generation — a compute that raised after the snapshot was
+        taken leaves ``_cache_key`` behind the generation, so a retry at
+        the same geometry recomputes instead of serving stale data."""
+        if not report.any_change and self._results and \
+                self._cache_key == self._state.snapshot_id and \
                 (not forces or "forces" in self._results):
             return self._results
         return None
 
-    def _store(self, key, res: dict) -> dict:
-        self._cache_key = key
+    def _store(self, res: dict) -> dict:
         self._results = res
+        self._cache_key = self._state.snapshot_id
         return res
 
     def _attach_forces(self, res: dict, atoms, fband, frep, vband, vrep
@@ -135,11 +197,23 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
     nworkers, executor :
         Region solves are batched through the process pool
         (:func:`repro.parallel.pool.map_tasks`).
+    neighbor_method, skin :
+        Verlet-list construction (builder choice, skin margin in Å).
+    reuse :
+        Keep persistent step-to-step state (neighbour lists, Hamiltonian
+        pattern, regions, spectral window, μ) and use the fused
+        single-pass FOE when warm — the MD fast path.  ``False`` rebuilds
+        everything on every call (the pre-fast-path behaviour, kept as
+        the benchmark baseline).
+    rho_tol :
+        Acceptable μ-Taylor remainder in the fused density matrix; the
+        fused solve falls back to an exact second pass beyond it.
     """
 
     def __init__(self, model, kT: float = 0.1, r_loc: float | None = None,
                  order: int = 150, nworkers: int = 1, executor=None,
-                 neighbor_method: str = "auto", skin: float = 0.5):
+                 neighbor_method: str = "auto", skin: float = 0.5,
+                 reuse: bool = True, rho_tol: float = 1e-10):
         if not model.orthogonal:
             raise ElectronicError(
                 "LinearScalingCalculator supports orthogonal models only "
@@ -161,13 +235,38 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self.order = int(order)
         self.nworkers = int(nworkers)
         self.executor = executor
+        self.reuse = bool(reuse)
+        self.rho_tol = float(rho_tol)
         self._own_pool = None
         self.timer = PhaseTimer()
+        self._neighbor_method = neighbor_method
+        self._skin = float(skin)
         self._vlist = VerletList(rcut=model.cutoff, skin=skin,
                                  method=neighbor_method)
         self._vlist_loc = VerletList(rcut=self.r_loc, skin=skin,
                                      method=neighbor_method)
+        self._hbuilder = SparseHamiltonianBuilder(model)
+        self._counters = {"cache_hits": 0, "foe_cold": 0, "foe_fused": 0,
+                          "foe_fallback": 0, "window_refreshes": 0,
+                          "window_invalidations": 0, "region_rebuilds": 0,
+                          "region_reuses": 0}
         self.invalidate()
+
+    def _params(self) -> tuple:
+        return (self.kT, self.r_loc, self.order)
+
+    def _reset_persistent(self) -> None:
+        """Drop every step-to-step cache; the next compute is cold."""
+        self._vlist.reset()
+        self._vlist_loc.reset()
+        self._hbuilder.reset()
+        self._regions = None
+        self._regions_sig = None
+        self._window = None
+        self._mu_hist: list[float] = []
+        self._last_solve_mode = "none"
+        self._gmaps = None
+        self._gmaps_key = (None, None)
 
     def _region_executor(self):
         """The executor region solves run on — user-supplied, or one pool
@@ -189,30 +288,108 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         with contextlib.suppress(Exception):
             self.close()
 
-    def _key(self, atoms) -> tuple:
-        return (
-            atoms.positions.tobytes(),
-            atoms.cell.matrix.tobytes(),
-            tuple(atoms.symbols),
-            self.kT,
-            self.r_loc,
-            self.order,
+    # -- persistent-state helpers ------------------------------------------
+    def _get_regions(self, atoms, nl_loc):
+        """Cached localization regions, rebuilt only when the r_loc bond
+        graph (the filtered pair arrays) changed."""
+        sig_ok = (
+            self._regions is not None
+            and np.array_equal(self._regions_sig[0], nl_loc.i)
+            and np.array_equal(self._regions_sig[1], nl_loc.j)
         )
+        if sig_ok:
+            self._counters["region_reuses"] += 1
+            return self._regions
+        self._counters["region_rebuilds"] += 1
+        self._regions = extract_regions(atoms, self.model, self.r_loc,
+                                        nl=nl_loc)
+        self._regions_sig = (nl_loc.i.copy(), nl_loc.j.copy())
+        return self._regions
 
+    def _refresh_window(self, H) -> tuple[float, float]:
+        """Recompute and cache the padded Chebyshev window (refreshed on
+        neighbour-list rebuilds; see :func:`_padded_lanczos_window`)."""
+        self._window = _padded_lanczos_window(H)
+        self._counters["window_refreshes"] += 1
+        return self._window
+
+    #: cap on cached densification-map memory (bytes); beyond it the
+    #: fused solve falls back to CSR slicing — maps cost O(Σ n_region²),
+    #: which would eventually rival the sparse problem itself
+    GATHER_MAP_BYTES_MAX = 256 * 1024 * 1024
+
+    def _gather_maps(self, H, regions):
+        """Cached per-region densification maps (inline solves only).
+
+        Valid exactly while both the CSR structure (``H.indices`` is the
+        builder's cached array on pattern hits) and the region list are
+        the cached objects; rebuilt otherwise.  Skipped for pooled
+        solves (the maps would have to be shipped to workers) and for
+        systems whose maps would exceed :data:`GATHER_MAP_BYTES_MAX`.
+        """
+        if self.nworkers != 1 or self.executor is not None:
+            return None
+        nbytes = 4 * sum(r.n_orbitals ** 2 for r in regions)
+        if nbytes > self.GATHER_MAP_BYTES_MAX:
+            return None
+        if self._gmaps is None or \
+                self._gmaps_key != (id(H.indices), id(regions)):
+            self._gmaps = build_region_gather_maps(H, regions)
+            # holding H.indices/regions refs keeps the ids stable
+            self._gmaps_key = (id(H.indices), id(regions))
+            self._gmaps_anchor = (H.indices, regions)
+        return self._gmaps
+
+    def _mu_guess(self) -> float | None:
+        """Warm μ: linear extrapolation of the last two converged values."""
+        if not self._mu_hist:
+            return None
+        if len(self._mu_hist) >= 2:
+            return 2.0 * self._mu_hist[-1] - self._mu_hist[-2]
+        return self._mu_hist[-1]
+
+    def state_report(self) -> dict:
+        """Reuse diagnostics: what was rebuilt vs recycled so far.
+
+        Keys: ``neighbors`` / ``neighbors_loc`` (Verlet build/reuse
+        counts), ``hamiltonian`` (pattern builds vs value rewrites),
+        ``regions``, ``window``, ``foe`` (cold / fused / fallback
+        counts), ``cache_hits``.
+        """
+        c = self._counters
+        return {
+            "reuse": self.reuse,
+            "neighbors": self._vlist.stats(),
+            "neighbors_loc": self._vlist_loc.stats(),
+            "hamiltonian": self._hbuilder.stats(),
+            "regions": {"rebuilds": c["region_rebuilds"],
+                        "reuses": c["region_reuses"]},
+            "window": {"refreshes": c["window_refreshes"],
+                       "invalidations": c["window_invalidations"]},
+            "foe": {"cold": c["foe_cold"], "fused": c["foe_fused"],
+                    "fallback": c["foe_fallback"]},
+            "cache_hits": c["cache_hits"],
+        }
+
+    # -- main evaluation ----------------------------------------------------
     def compute(self, atoms, forces: bool = True) -> dict:
         """Evaluate and return the full results dict.
 
         Keys: ``energy``, ``free_energy``, ``band_energy``,
         ``repulsive_energy``, ``fermi_level``, ``entropy``,
         ``populations``, ``charges``, ``n_regions``, ``region_stats``,
-        ``order``, ``r_loc``, ``n_orbitals``, ``n_pairs`` and — with
-        ``forces=True`` — ``forces``, ``virial``, ``stress`` (periodic
-        cells), ``pressure``.
+        ``order``, ``r_loc``, ``n_orbitals``, ``n_pairs``, ``fastpath``
+        and — with ``forces=True`` — ``forces``, ``virial``, ``stress``
+        (periodic cells), ``pressure``.  Energies in eV, forces in eV/Å,
+        stress/pressure in eV/Å³, entropy in eV/K.
         """
-        key = self._key(atoms)
-        cached = self._cached(key, forces)
+        report = self._state.observe(atoms, params=self._params())
+        cached = self._cached(report, forces)
         if cached is not None:
+            self._counters["cache_hits"] += 1
             return cached
+        if not self.reuse or report.needs_full_reset:
+            self._reset_persistent()
 
         model = self.model
         model.check_species(atoms.symbols)
@@ -222,17 +399,23 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             nl_loc = self._vlist_loc.update(atoms)
 
         with self.timer.phase("hamiltonian"):
-            H, _ = build_sparse_hamiltonian(atoms, model, nl)
+            moved = report.moved if self.reuse else None
+            H = self._hbuilder.build(atoms, nl, moved=moved)
 
         with self.timer.phase("regions"):
-            regions = extract_regions(atoms, model, self.r_loc, nl=nl_loc)
+            regions = self._get_regions(atoms, nl_loc)
+
+        if self.reuse and (self._window is None
+                           or self._vlist.last_update_rebuilt
+                           or self._vlist_loc.last_update_rebuilt):
+            # without reuse the two-pass solve computes its own bounds;
+            # refreshing here too would double the Lanczos work
+            with self.timer.phase("bounds"):
+                self._refresh_window(H)
 
         with self.timer.phase("foe"):
-            nelec = model.total_electrons(atoms.symbols)
-            foe = solve_density_regions(
-                H, regions, nelec, self.kT, order=self.order,
-                nworkers=self.nworkers, executor=self._region_executor(),
-                with_rho=forces)
+            foe = self._solve(H, regions, atoms, with_rho=forces)
+        self._mu_hist = (self._mu_hist + [foe.mu])[-2:]
 
         with self.timer.phase("repulsive"):
             erep, frep, vrep = repulsive_energy_forces(atoms, model, nl)
@@ -256,13 +439,63 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             "spectral_bounds": foe.spectral_bounds,
             "n_orbitals": H.shape[0],
             "n_pairs": nl.n_pairs,
+            "fastpath": {"mode": self._last_solve_mode,
+                         "mu_shift": foe.mu_shift,
+                         "used_fallback": foe.used_fallback},
         }
 
         if forces:
             with self.timer.phase("forces"):
                 fband, vband = sparse_band_forces(atoms, model, nl, foe.rho)
                 self._attach_forces(res, atoms, fband, frep, vband, vrep)
-        return self._store(key, res)
+        return self._store(res)
+
+    def _solve(self, H, regions, atoms, with_rho: bool):
+        """Dispatch cold / warm / fused FOE, with stale-window recovery."""
+        nelec = self.model.total_electrons(atoms.symbols)
+        executor = self._region_executor()
+        mu_guess = self._mu_guess() if self.reuse else None
+
+        if self.reuse and with_rho and mu_guess is not None and \
+                self._window is not None:
+            try:
+                foe = solve_density_regions_fused(
+                    H, regions, nelec, self.kT, order=self.order,
+                    window=self._window, mu_guess=mu_guess,
+                    nworkers=self.nworkers, executor=executor,
+                    rho_tol=self.rho_tol,
+                    gather_maps=self._gather_maps(H, regions))
+                if foe.used_fallback:
+                    self._counters["foe_fallback"] += 1
+                    self._last_solve_mode = "fused+fallback"
+                else:
+                    self._counters["foe_fused"] += 1
+                    self._last_solve_mode = "fused"
+                return foe
+            except SpectralWindowError:
+                self._counters["window_invalidations"] += 1
+                self._refresh_window(H)
+                # fall through to the verified two-pass solve
+
+        bracket = None
+        if self.reuse and mu_guess is not None:
+            bracket = (mu_guess - 10.0 * self.kT, mu_guess + 10.0 * self.kT)
+        window = self._window if self.reuse else None
+        try:
+            foe = solve_density_regions(
+                H, regions, nelec, self.kT, order=self.order,
+                nworkers=self.nworkers, executor=executor,
+                with_rho=with_rho, window=window, mu_bracket=bracket)
+        except SpectralWindowError:
+            self._counters["window_invalidations"] += 1
+            self._refresh_window(H)
+            foe = solve_density_regions(
+                H, regions, nelec, self.kT, order=self.order,
+                nworkers=self.nworkers, executor=executor,
+                with_rho=with_rho, window=self._window, mu_bracket=bracket)
+        self._counters["foe_cold"] += 1
+        self._last_solve_mode = "two-pass"
+        return foe
 
     def get_charges(self, atoms) -> np.ndarray:
         """Mulliken charges q_i = Z_i − population_i (|e|)."""
@@ -271,7 +504,8 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
     def __repr__(self) -> str:
         return (f"LinearScalingCalculator(model={self.model.name!r}, "
                 f"kT={self.kT} eV, r_loc={self.r_loc:.2f} Å, "
-                f"order={self.order}, nworkers={self.nworkers})")
+                f"order={self.order}, nworkers={self.nworkers}, "
+                f"reuse={self.reuse})")
 
 
 class DensityMatrixCalculator(_DensityMatrixCalculatorBase):
@@ -282,11 +516,16 @@ class DensityMatrixCalculator(_DensityMatrixCalculatorBase):
     Orthogonal models only.  Same getter surface as the other
     calculators; ``free_energy`` equals ``energy`` (purification is
     zero-temperature; the dense FOE does not expand the entropy).
+
+    Step-to-step reuse: spectral bounds are cached across calls and
+    refreshed on neighbour-list rebuilds; the FOE warm-starts its μ
+    search from the last converged value.  ``reuse=False`` disables both.
     """
 
     def __init__(self, model, method: str = "purification", kT: float = 0.0,
                  order: int = 200, threshold: float = 0.0,
-                 neighbor_method: str = "auto", skin: float = 0.5):
+                 neighbor_method: str = "auto", skin: float = 0.5,
+                 reuse: bool = True):
         if not model.orthogonal:
             raise ElectronicError(
                 "density-matrix calculators support orthogonal models only"
@@ -305,21 +544,38 @@ class DensityMatrixCalculator(_DensityMatrixCalculatorBase):
         self.kT = float(kT)
         self.order = int(order)
         self.threshold = float(threshold)
+        self.reuse = bool(reuse)
         self.timer = PhaseTimer()
         self._vlist = VerletList(rcut=model.cutoff, skin=skin,
                                  method=neighbor_method)
         self.invalidate()
 
-    def _key(self, atoms) -> tuple:
-        return (atoms.positions.tobytes(), atoms.cell.matrix.tobytes(),
-                tuple(atoms.symbols), self.method, self.kT, self.order,
-                self.threshold)
+    def _params(self) -> tuple:
+        return (self.method, self.kT, self.order, self.threshold)
+
+    def _reset_persistent(self) -> None:
+        self._vlist.reset()
+        self._bounds = None
+        self._mu_prev = None
+
+    def state_report(self) -> dict:
+        """Reuse diagnostics (Verlet stats, cached bounds, warm μ)."""
+        return {
+            "reuse": self.reuse,
+            "neighbors": self._vlist.stats(),
+            "bounds_cached": self._bounds is not None,
+            "mu_warm": self._mu_prev is not None,
+        }
 
     def compute(self, atoms, forces: bool = True) -> dict:
-        key = self._key(atoms)
-        cached = self._cached(key, forces)
+        report = self._state.observe(atoms, params=self._params())
+        cached = self._cached(report, forces)
         if cached is not None:
             return cached
+        if not self.reuse or report.needs_full_reset or report.cell_changed:
+            # dense spectral-bound caches have no a-posteriori guard, so a
+            # cell change (which can shift the spectrum) resets them
+            self._reset_persistent()
         model = self.model
         model.check_species(atoms.symbols)
 
@@ -329,19 +585,39 @@ class DensityMatrixCalculator(_DensityMatrixCalculatorBase):
             H, _ = build_hamiltonian(atoms, model, nl)
         nelec = model.total_electrons(atoms.symbols)
 
+        if self._bounds is None or self._vlist.last_update_rebuilt:
+            with self.timer.phase("bounds"):
+                if self.method == "purification":
+                    self._bounds = spectral_bounds(H)
+                else:
+                    self._bounds = _padded_lanczos_window(H)
+
         with self.timer.phase("density_matrix"):
             if self.method == "purification":
                 pur = purify_density_matrix(H, nelec,
-                                            threshold=self.threshold)
+                                            threshold=self.threshold,
+                                            bounds=self._bounds)
                 rho = pur.dense_rho_spin_summed()
                 band = pur.band_energy
                 extra = {"iterations": pur.iterations,
                          "idempotency_error": pur.idempotency_error}
             else:
-                foe = fermi_operator_expansion(H, nelec, self.kT,
-                                               order=self.order)
+                try:
+                    foe = fermi_operator_expansion(H, nelec, self.kT,
+                                                   order=self.order,
+                                                   bounds=self._bounds,
+                                                   mu_guess=self._mu_prev)
+                except SpectralWindowError:
+                    # cached window went stale between Verlet rebuilds:
+                    # refresh the bounds and re-solve once
+                    self._bounds = _padded_lanczos_window(H)
+                    foe = fermi_operator_expansion(H, nelec, self.kT,
+                                                   order=self.order,
+                                                   bounds=self._bounds,
+                                                   mu_guess=self._mu_prev)
                 rho = foe["rho"]
                 band = foe["band_energy"]
+                self._mu_prev = foe["mu"]
                 extra = {"fermi_level": foe["mu"], "order": foe["order"]}
 
         with self.timer.phase("repulsive"):
@@ -362,7 +638,7 @@ class DensityMatrixCalculator(_DensityMatrixCalculatorBase):
             with self.timer.phase("forces"):
                 fband, vband = band_forces(atoms, model, nl, rho)
                 self._attach_forces(res, atoms, fband, frep, vband, vrep)
-        return self._store(key, res)
+        return self._store(res)
 
     def __repr__(self) -> str:
         return (f"DensityMatrixCalculator(model={self.model.name!r}, "

@@ -9,7 +9,15 @@ region's core atom.  Each region solve is a block matvec chain
 block-partitioned matvec idiom — and regions are independent, so they
 batch through the process pool.
 
-Two passes per evaluation:
+The paper's central objects (Goedecker & Colombo, PRL 73, 122 (1994)):
+the finite-temperature density matrix as the Fermi operator of the
+Hamiltonian, ``ρ = f((H − μ)/kT)`` (Eq. 1), its Chebyshev expansion
+``ρ ≈ Σ_k c_k T_k(H̃)`` (Eq. 3), and the truncation of each column of ρ
+to a localization region, which is what turns the expansion O(N).
+
+Two evaluation strategies are provided:
+
+**Reference two-pass** (:func:`solve_density_regions`):
 
 1. **Moments** — per region, the scalar Chebyshev moments
    ``m_k = Σ_{μ∈core} [T_k(H̃)]_{μμ}`` and energy moments
@@ -23,10 +31,26 @@ Two passes per evaluation:
    (every orbital is the core of exactly one region); the symmetrised
    ``(ρ̂ + ρ̂ᵀ)/2`` feeds the Hellmann–Feynman force contraction.
 
+**Fused single-pass** (:func:`solve_density_regions_fused`) — the MD fast
+path.  The matvec chain is the same for both passes, so with a good μ
+guess (last step's value) one recursion can produce *everything*: the
+moments **and** a small stack of density-row accumulants — rows of
+``f(H)``, ``∂f/∂μ(H)``, … at the guessed μ.  After the pass, the *exact*
+μ is bisected from the (exact) moments and the density rows are corrected
+by a μ-Taylor series; the remainder is O((Δμ/kT)⁴), checked against a
+tolerance, with an automatic second-pass fallback when the guess was too
+far off.  Energies, entropy and populations always come from the exact
+moments, so only ρ (hence forces) carries the — bounded — Taylor error.
+This halves the dominant cost of an MD step.
+
 All scalar functions are expanded with the shared helpers in
 :mod:`repro.tb.chebyshev`, on one global ``(center, span)`` scaling from
 tight Lanczos bounds of the sparse H (submatrix spectra interlace, so
-every region is covered).  Orthogonal models only, like purification.
+every region is covered).  Callers may pass a *cached* window; validity
+is then checked a posteriori from the moments (``|m_k| ≤ n_core`` on a
+valid window) and a stale window raises
+:class:`~repro.errors.SpectralWindowError`.  Orthogonal models only,
+like purification.
 """
 
 from __future__ import annotations
@@ -37,11 +61,16 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.errors import ElectronicError
+from repro.errors import ElectronicError, SpectralWindowError
 from repro.neighbors.base import NeighborList
 from repro.parallel.decomposition import block_partition
 from repro.parallel.pool import map_tasks
-from repro.tb.chebyshev import entropy_coefficients, fermi_coefficients
+from repro.tb.chebyshev import (
+    entropy_coefficients,
+    fermi_coefficients,
+    fermi_mu_derivative_coefficients,
+    solve_mu_from_moments,
+)
 from repro.tb.hamiltonian import orbital_offsets, pair_species_groups
 from repro.tb.purification import lanczos_spectral_bounds
 from repro.tb.slater_koster import sk_block_gradients
@@ -104,6 +133,74 @@ def _region_density_rows(h_sub: np.ndarray, core_local: np.ndarray,
     return out.T
 
 
+def _region_fused(h_sub: np.ndarray, core_local: np.ndarray,
+                  center: float, span: float, deriv_coeffs: np.ndarray,
+                  block: int = 24
+                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """One Chebyshev recursion → moments *and* μ-Taylor density accumulants.
+
+    Parameters
+    ----------
+    deriv_coeffs :
+        (S, K+1) coefficient stack from
+        :func:`repro.tb.chebyshev.fermi_mu_derivative_coefficients` — row
+        *s* expands ∂ˢf/∂μˢ at the guessed μ.
+    block :
+        Iterates are buffered in blocks of this many k-steps so moment
+        extraction and the S accumulations happen as a handful of BLAS
+        calls per block instead of per k (the per-k numpy call overhead
+        is comparable to the matvec at typical region sizes).
+
+    Returns
+    -------
+    ``(m, e, outs)`` — moments (K+1,), energy moments (K+1,), and the
+    accumulant stack (S, n_region, n_core) with
+    ``outs[s] = Σ_k c^{(s)}_k T_k(H̃) v₀``.
+    """
+    n = h_sub.shape[0]
+    nc = len(core_local)
+    s_stack, k1 = deriv_coeffs.shape
+    order = k1 - 1
+    ar = np.arange(nc)
+
+    v0 = np.zeros((n, nc))
+    v0[core_local, ar] = 1.0
+    h_cols = np.ascontiguousarray(h_sub[:, core_local])
+    h_tilde = (h_sub - center * np.eye(n)) / span
+
+    m = np.empty(k1)
+    e = np.empty(k1)
+    outs = np.zeros((s_stack, n, nc))
+    block = max(3, min(block, k1))
+    buf = np.empty((block, n, nc))
+    v_prev = v0
+    v_cur = v0            # placeholder until k = 1 exists
+
+    kpos = 0
+    while kpos <= order:
+        jmax = min(block, order + 1 - kpos)
+        for j in range(jmax):
+            k = kpos + j
+            if k == 0:
+                buf[j] = v0
+            elif k == 1:
+                np.matmul(h_tilde, v0, out=buf[j])
+            else:
+                np.matmul(h_tilde, v_cur, out=buf[j])
+                buf[j] *= 2.0
+                buf[j] -= v_prev
+            if k >= 1:
+                v_prev, v_cur = v_cur, buf[j]
+        chunk = buf[:jmax]
+        m[kpos:kpos + jmax] = chunk[:, core_local, ar].sum(axis=1)
+        e[kpos:kpos + jmax] = np.tensordot(chunk, h_cols,
+                                           axes=([1, 2], [0, 1]))
+        outs += np.tensordot(deriv_coeffs[:, kpos:kpos + jmax], chunk,
+                             axes=([1], [0]))
+        kpos += jmax
+    return m, e, outs
+
+
 def _moments_worker(args):
     """One chunk: extract each region's dense H_loc from the (shared)
     sparse H and run the moment recursion — densifying inside the worker
@@ -121,6 +218,57 @@ def _density_worker(args):
             for orbitals, core_local in specs]
 
 
+def _fused_worker(args):
+    H, specs, center, span, deriv_coeffs = args
+    return [_region_fused(H[orbitals][:, orbitals].toarray(), core_local,
+                          center, span, deriv_coeffs)
+            for orbitals, core_local in specs]
+
+
+def build_region_gather_maps(H: sp.csr_matrix,
+                             regions: list[LocalizationRegion]
+                             ) -> list[np.ndarray]:
+    """Per-region dense gather maps into (padded) ``H.data``.
+
+    Regions overlap heavily (every atom sits in ~tens of halos), so
+    densifying each region by CSR slicing re-walks the same sparse rows
+    over and over — the dominant non-recursion cost of a fast-path step.
+    These maps amortise that walk: ``maps[r]`` is an (n, n) int32 array
+    with ``h_sub = data_pad[maps[r]]`` where
+    ``data_pad = append(H.data, 0.0)`` (the last slot backs structural
+    zeros).  Maps depend only on the CSR *structure* and the region
+    orbital lists, both of which the fast path already caches — rebuild
+    them when either changes.
+
+    Memory is O(Σ n_region²) int32 — the same order as one set of dense
+    region Hamiltonians — so callers cap total map size and fall back to
+    CSR slicing beyond it (see
+    :meth:`~repro.linscale.calculator.LinearScalingCalculator`).
+    """
+    H = sp.csr_matrix(H)
+    indptr, indices = H.indptr, H.indices
+    nil = len(H.data)
+    maps = []
+    for region in regions:
+        orb = region.orbitals
+        n = len(orb)
+        lo = indptr[orb]
+        counts = indptr[orb + 1] - lo
+        total = int(counts.sum())
+        # flat indices into H.data of every stored element in these rows
+        offsets = np.concatenate(([0], np.cumsum(counts[:-1])))
+        flat = np.repeat(lo - offsets, counts) + np.arange(total)
+        row_rep = np.repeat(np.arange(n), counts)
+        cols = indices[flat]
+        pos = np.searchsorted(orb, cols)
+        pos_c = np.minimum(pos, n - 1)
+        ok = orb[pos_c] == cols
+        m = np.full((n, n), nil, dtype=np.int32)
+        m[row_rep[ok], pos_c[ok]] = flat[ok]
+        maps.append(m)
+    return maps
+
+
 # ---------------------------------------------------------------------------
 # Chemical potential from aggregated moments
 # ---------------------------------------------------------------------------
@@ -131,33 +279,30 @@ def chemical_potential_from_moments(moments: np.ndarray, center: float,
                                     bracket: tuple[float, float],
                                     tol: float = 1e-10,
                                     max_iter: int = 100) -> float:
-    """Bisect μ so that ``Σ_k c_k(μ) M_k = n_electrons``.
+    """Solve ``Σ_k c_k(μ) M_k = n_electrons`` for μ (bisection + Newton).
 
-    Each trial is one scalar coefficient evaluation (O(K²) flops), so the
-    μ search costs nothing next to the region recursions.
+    Thin wrapper over the shared
+    :func:`repro.tb.chebyshev.solve_mu_from_moments` — the dense FOE and
+    the region engine use the *same* μ search, with the same bracket-
+    independent Newton polish, so warm-started and cold searches return
+    identical chemical potentials.
     """
-    lo, hi = float(bracket[0]), float(bracket[1])
-    order = len(moments) - 1
+    return solve_mu_from_moments(moments, center, span, kT, n_electrons,
+                                 bracket=bracket, tol=tol,
+                                 max_iter=max_iter)
 
-    def count(mu):
-        return float(fermi_coefficients(center, span, mu, kT, order)
-                     @ moments)
 
-    if count(lo) > n_electrons or count(hi) < n_electrons:
-        raise ElectronicError(
-            f"μ bracket [{lo:.3f}, {hi:.3f}] eV does not contain "
-            f"{n_electrons} electrons"
-        )
-    for _ in range(max_iter):
-        mid = 0.5 * (lo + hi)
-        c = count(mid)
-        if abs(c - n_electrons) < tol * max(1.0, n_electrons):
-            return mid
-        if c < n_electrons:
-            lo = mid
-        else:
-            hi = mid
-    return 0.5 * (lo + hi)
+def _find_mu(moments: np.ndarray, center: float, span: float, kT: float,
+             n_electrons: float, full_bracket: tuple[float, float],
+             warm_bracket: tuple[float, float] | None = None) -> float:
+    """μ search with an optional warm bracket (previous step's μ ± pad).
+
+    The warm bracket is verified (and silently widened to the full
+    spectral bracket when stale) inside the shared solver.
+    """
+    return solve_mu_from_moments(moments, center, span, kT, n_electrons,
+                                 bracket=full_bracket,
+                                 warm_bracket=warm_bracket)
 
 
 # ---------------------------------------------------------------------------
@@ -171,7 +316,10 @@ class RegionFOEResult:
     ``rho`` is the symmetrised spin-summed sparse density matrix built
     from core rows (``None`` when the solve was run energy-only);
     ``populations`` are per-atom Mulliken electron populations
-    (Σ = ``n_electrons``); ``entropy`` is in eV/K.
+    (Σ = ``n_electrons``); ``entropy`` is in eV/K.  ``mu_shift`` is the
+    distance from the warm-start guess to the converged μ (0.0 for cold
+    solves) and ``used_fallback`` records that a fused solve had to run
+    the second density pass after all.
     """
 
     rho: sp.csr_matrix | None
@@ -183,14 +331,88 @@ class RegionFOEResult:
     order: int
     spectral_bounds: tuple[float, float]
     n_regions: int
+    mu_shift: float = 0.0
+    used_fallback: bool = False
+
+
+def _scaled_window(emin: float, emax: float) -> tuple[float, float]:
+    """(center, span) of the Chebyshev variable, with the stability pad."""
+    span = 0.5 * (emax - emin) * 1.01
+    center = 0.5 * (emax + emin)
+    if span <= 0:
+        raise ElectronicError("degenerate spectral bounds")
+    return center, span
+
+
+def _validate_regions(H, regions: list[LocalizationRegion]) -> sp.csr_matrix:
+    H = sp.csr_matrix(H)
+    m_total = H.shape[0]
+    n_core_total = sum(len(r.core_local) for r in regions)
+    if n_core_total != m_total:
+        raise ElectronicError(
+            f"regions cover {n_core_total} core orbitals but H has "
+            f"{m_total}; every orbital must be the core of exactly one region"
+        )
+    return H
+
+def _chunk_specs(regions: list[LocalizationRegion], nworkers: int
+                 ) -> tuple[list, list]:
+    """Region (orbitals, core_local) specs and their pool chunking.
+
+    Workers receive (sparse H, region specs) and densify one region at a
+    time; H travels once per chunk, so a pool of nworkers gets exactly
+    nworkers chunks (regions are near-equal, block partition balances),
+    while the inline/injected-executor path chunks finer so an external
+    pool of unknown width can load-balance.
+    """
+    specs = [(r.orbitals, r.core_local) for r in regions]
+    nchunks = nworkers if nworkers > 1 else min(len(regions), 8)
+    chunks = [c for c in block_partition(len(regions), nchunks) if len(c)]
+    return specs, chunks
+
+
+def _check_window(m_per: np.ndarray, regions: list[LocalizationRegion],
+                  window: tuple[float, float]) -> None:
+    """A-posteriori window validity from the moments.
+
+    On a valid window every region eigenvalue maps into [−1, 1], so
+    ``|m_k| ≤ n_core`` exactly; outside it T_k grows exponentially and
+    the moments blow through that bound within a few k.  Cheap (the
+    moments already exist) and reliable for any meaningful violation.
+    """
+    nc_per = m_per[:, 0]
+    if np.any(np.abs(m_per) > nc_per[:, None] * 1.5 + 1.0):
+        raise SpectralWindowError(
+            f"cached spectral window {window} no longer contains the "
+            "Hamiltonian spectrum (Chebyshev moments exceed the n_core "
+            "bound); refresh the Lanczos bounds and re-solve"
+        )
+
+
+def _assemble_rho(regions: list[LocalizationRegion], rows_per_region: list,
+                  m_total: int) -> sp.csr_matrix:
+    """Stack core rows into the symmetrised sparse ρ̂."""
+    coo_r, coo_c, coo_d = [], [], []
+    for region, rho_rows in zip(regions, rows_per_region):
+        core_global = region.orbitals[region.core_local]
+        coo_r.append(np.repeat(core_global, region.n_orbitals))
+        coo_c.append(np.tile(region.orbitals, len(core_global)))
+        coo_d.append(rho_rows.ravel())
+    rho_hat = sp.coo_matrix(
+        (np.concatenate(coo_d),
+         (np.concatenate(coo_r), np.concatenate(coo_c))),
+        shape=(m_total, m_total)).tocsr()
+    return 0.5 * (rho_hat + rho_hat.T).tocsr()
 
 
 def solve_density_regions(H, regions: list[LocalizationRegion],
                           n_electrons: float, kT: float, order: int = 150,
                           mu: float | None = None, nworkers: int = 1,
-                          executor=None, with_rho: bool = True
+                          executor=None, with_rho: bool = True,
+                          window: tuple[float, float] | None = None,
+                          mu_bracket: tuple[float, float] | None = None
                           ) -> RegionFOEResult:
-    """FOE-in-regions density matrix from a sparse Hamiltonian.
+    """FOE-in-regions density matrix from a sparse Hamiltonian (two-pass).
 
     Parameters
     ----------
@@ -216,34 +438,26 @@ def solve_density_regions(H, regions: list[LocalizationRegion],
         energy, entropy, μ and populations all come from the moments, so
         energy-only evaluations cost half the Chebyshev work and return
         ``rho=None``.
+    window :
+        Optional precomputed spectral bounds ``(emin, emax)``; skips the
+        Lanczos solves.  A stale window (spectrum escaped it) raises
+        :class:`~repro.errors.SpectralWindowError` via the moment check.
+    mu_bracket :
+        Optional warm μ bracket (e.g. last step's μ ± a few kT); verified
+        and widened automatically when it no longer brackets the count.
     """
     if kT <= 0:
         raise ElectronicError("FOE-in-regions needs kT > 0")
     if order < 2:
         raise ElectronicError("expansion order must be >= 2")
-    H = sp.csr_matrix(H)
+    H = _validate_regions(H, regions)
     m_total = H.shape[0]
-    n_core_total = sum(len(r.core_local) for r in regions)
-    if n_core_total != m_total:
-        raise ElectronicError(
-            f"regions cover {n_core_total} core orbitals but H has "
-            f"{m_total}; every orbital must be the core of exactly one region"
-        )
 
-    emin, emax = lanczos_spectral_bounds(H)
-    span = 0.5 * (emax - emin) * 1.01
-    center = 0.5 * (emax + emin)
-    if span <= 0:
-        raise ElectronicError("degenerate spectral bounds")
+    cached_window = window is not None
+    emin, emax = window if cached_window else lanczos_spectral_bounds(H)
+    center, span = _scaled_window(emin, emax)
 
-    # workers receive (sparse H, region specs) and densify one region at a
-    # time; H travels once per chunk, so a pool of nworkers gets exactly
-    # nworkers chunks (regions are near-equal, block partition balances),
-    # while the inline/injected-executor path chunks finer so an external
-    # pool of unknown width can load-balance
-    specs = [(r.orbitals, r.core_local) for r in regions]
-    nchunks = nworkers if nworkers > 1 else min(len(regions), 8)
-    chunks = [c for c in block_partition(len(regions), nchunks) if len(c)]
+    specs, chunks = _chunk_specs(regions, nworkers)
 
     own_pool = None
     if executor is None and nworkers > 1:
@@ -259,13 +473,15 @@ def solve_density_regions(H, regions: list[LocalizationRegion],
                       for mo in chunk]
         m_per = np.stack([m for m, _ in per_region])      # (R, K+1)
         e_per = np.stack([e for _, e in per_region])
+        if cached_window:
+            _check_window(m_per, regions, (emin, emax))
         m_sum = m_per.sum(axis=0)
         e_sum = e_per.sum(axis=0)
 
         if mu is None:
-            mu = chemical_potential_from_moments(
-                m_sum, center, span, kT, n_electrons,
-                bracket=(emin - 10.0 * kT, emax + 10.0 * kT))
+            mu = _find_mu(m_sum, center, span, kT, n_electrons,
+                          full_bracket=(emin - 10.0 * kT, emax + 10.0 * kT),
+                          warm_bracket=mu_bracket)
 
         coeffs = fermi_coefficients(center, span, mu, kT, order)
         band_energy = float(coeffs @ e_sum)
@@ -287,22 +503,135 @@ def solve_density_regions(H, regions: list[LocalizationRegion],
             own_pool.shutdown()
 
     if with_rho:
-        coo_r, coo_c, coo_d = [], [], []
-        for region, rho_rows in zip(regions, rows_per_region):
-            core_global = region.orbitals[region.core_local]
-            coo_r.append(np.repeat(core_global, region.n_orbitals))
-            coo_c.append(np.tile(region.orbitals, len(core_global)))
-            coo_d.append(rho_rows.ravel())
-        rho_hat = sp.coo_matrix(
-            (np.concatenate(coo_d),
-             (np.concatenate(coo_r), np.concatenate(coo_c))),
-            shape=(m_total, m_total)).tocsr()
-        rho = 0.5 * (rho_hat + rho_hat.T).tocsr()
+        rho = _assemble_rho(regions, rows_per_region, m_total)
 
     return RegionFOEResult(
         rho=rho, band_energy=band_energy, mu=float(mu), entropy=entropy,
         populations=populations, n_electrons=float(populations.sum()),
         order=order, spectral_bounds=(emin, emax), n_regions=len(regions))
+
+
+def solve_density_regions_fused(H, regions: list[LocalizationRegion],
+                                n_electrons: float, kT: float,
+                                order: int = 150, *,
+                                window: tuple[float, float],
+                                mu_guess: float,
+                                nworkers: int = 1, executor=None,
+                                rho_tol: float = 1e-10,
+                                gather_maps: list[np.ndarray] | None = None
+                                ) -> RegionFOEResult:
+    """Single-pass FOE-in-regions with μ-Taylor correction (MD fast path).
+
+    One Chebyshev recursion per region produces the moments *and* a stack
+    of density-row accumulants — rows of f(H), ∂f/∂μ(H), ∂²f/∂μ²(H),
+    ∂³f/∂μ³(H) at ``mu_guess``.  The exact μ is then bisected from the
+    moments (identical to the two-pass result) and the density rows are
+    corrected to third order in Δμ = μ − μ_guess.  Energies, entropy and
+    populations are evaluated at the exact μ and carry **no** Taylor
+    error; ρ carries a remainder of O((Δμ/kT)⁴)/24, kept below *rho_tol*
+    by falling back to an explicit second density pass when the guess was
+    too far off (``used_fallback=True`` in the result).
+
+    Parameters
+    ----------
+    window :
+        Cached spectral bounds ``(emin, emax)`` — required (a fast path
+        without a cached window has nothing to reuse; use
+        :func:`solve_density_regions` for cold solves).  Stale windows
+        raise :class:`~repro.errors.SpectralWindowError`.
+    mu_guess :
+        Warm start, e.g. last MD step's μ (or a linear extrapolation).
+    rho_tol :
+        Bound on the acceptable μ-Taylor remainder in ρ; sets the
+        fallback threshold ``|Δμ| ≤ kT · (24·rho_tol)^{1/4}``.
+    gather_maps :
+        Optional cached :func:`build_region_gather_maps` output; the
+        inline (``nworkers == 1``, no executor) path then densifies each
+        region with one fancy gather instead of CSR slicing.  Ignored on
+        the pooled path, where shipping the maps would cost more than
+        they save.
+
+    Returns
+    -------
+    :class:`RegionFOEResult` with ``rho`` always present.
+    """
+    if kT <= 0:
+        raise ElectronicError("FOE-in-regions needs kT > 0")
+    if order < 2:
+        raise ElectronicError("expansion order must be >= 2")
+    H = _validate_regions(H, regions)
+    m_total = H.shape[0]
+
+    emin, emax = window
+    center, span = _scaled_window(emin, emax)
+    deriv_coeffs = fermi_mu_derivative_coefficients(
+        center, span, float(mu_guess), kT, order, nderiv=3)
+
+    specs, chunks = _chunk_specs(regions, nworkers)
+
+    own_pool = None
+    if executor is None and nworkers > 1:
+        own_pool = ProcessPoolExecutor(max_workers=nworkers)
+        executor = own_pool
+    try:
+        if gather_maps is not None and executor is None and nworkers == 1:
+            data_pad = np.append(H.data, 0.0)
+            per_region = [
+                _region_fused(data_pad[m], core_local, center, span,
+                              deriv_coeffs)
+                for m, (_, core_local) in zip(gather_maps, specs)
+            ]
+        else:
+            tasks = [(H, [specs[i] for i in c], center, span, deriv_coeffs)
+                     for c in chunks]
+            per_region = [r for chunk in
+                          map_tasks(_fused_worker, tasks, nworkers, executor)
+                          for r in chunk]
+        m_per = np.stack([m for m, _, _ in per_region])
+        e_per = np.stack([e for _, e, _ in per_region])
+        _check_window(m_per, regions, (emin, emax))
+        m_sum = m_per.sum(axis=0)
+        e_sum = e_per.sum(axis=0)
+
+        mu = _find_mu(m_sum, center, span, kT, n_electrons,
+                      full_bracket=(emin - 10.0 * kT, emax + 10.0 * kT),
+                      warm_bracket=(mu_guess - 10.0 * kT,
+                                    mu_guess + 10.0 * kT))
+        dmu = mu - float(mu_guess)
+
+        coeffs = fermi_coefficients(center, span, mu, kT, order)
+        band_energy = float(coeffs @ e_sum)
+        entropy = float(entropy_coefficients(center, span, mu, kT, order)
+                        @ m_sum)
+        populations = m_per @ coeffs
+
+        mu_shift_tol = kT * (24.0 * rho_tol) ** 0.25
+        used_fallback = abs(dmu) > mu_shift_tol
+        if used_fallback:
+            # guess too far off: pay the explicit second pass (exact)
+            tasks = [(H, [specs[i] for i in c], center, span, coeffs)
+                     for c in chunks]
+            rows_per_region = [rr for chunk in
+                               map_tasks(_density_worker, tasks, nworkers,
+                                         executor)
+                               for rr in chunk]
+        else:
+            w = np.array([1.0, dmu, 0.5 * dmu * dmu,
+                          dmu * dmu * dmu / 6.0])
+            rows_per_region = [
+                np.tensordot(w, outs, axes=([0], [0])).T
+                for _, _, outs in per_region
+            ]
+    finally:
+        if own_pool is not None:
+            own_pool.shutdown()
+
+    rho = _assemble_rho(regions, rows_per_region, m_total)
+    return RegionFOEResult(
+        rho=rho, band_energy=band_energy, mu=float(mu), entropy=entropy,
+        populations=populations, n_electrons=float(populations.sum()),
+        order=order, spectral_bounds=(emin, emax), n_regions=len(regions),
+        mu_shift=float(dmu), used_fallback=used_fallback)
 
 
 # ---------------------------------------------------------------------------
@@ -322,9 +651,12 @@ def sparse_band_forces(atoms, model, nl: NeighborList, rho: sp.csr_matrix
 
     The sparse twin of :func:`repro.tb.forces.band_forces` (orthogonal
     models only): identical contraction ``g = 2 Σ ρ_ab ∂B_ab`` per
-    half-list bond, with ρ blocks gathered from CSR instead of fancy
-    dense indexing.  Every needed block lies inside ρ's sparsity pattern
-    because r_loc ≥ the model cutoff.
+    half-list bond — the Hellmann–Feynman force ``F_i = −Tr(ρ ∂H/∂R_i)``
+    of the paper, evaluated bond-by-bond — with ρ blocks gathered from
+    CSR instead of fancy dense indexing.  Every needed block lies inside
+    ρ's sparsity pattern because r_loc ≥ the model cutoff.
+
+    Units: forces in eV/Å, virial in eV.
     """
     if not model.orthogonal:
         raise ElectronicError(

@@ -1,10 +1,11 @@
 """Localization regions: per-atom subgraphs of the neighbour graph.
 
-The core idea of Goedecker & Colombo's O(N) scheme: the density matrix of
-a gapped system decays exponentially, so the rows of ρ belonging to atom
-*a* can be computed inside a *localization region* — every atom within a
-radius ``r_loc`` of *a* — instead of the full system.  The region splits
-into
+The core idea of Goedecker & Colombo's O(N) scheme (PRL 73, 122 (1994)):
+the density matrix ``ρ = f((H − μ)/kT)`` (their Eq. 1) of a gapped
+system decays exponentially with distance, so the rows of ρ belonging to
+atom *a* can be computed inside a *localization region* — every atom
+within a radius ``r_loc`` (Å) of *a* — instead of the full system.  The
+region splits into
 
 * the **core**: atom *a* itself, whose ρ rows are kept;
 * the **halo**: the surrounding atoms, present only so that the Chebyshev
@@ -76,14 +77,29 @@ def extract_regions(atoms, model, r_loc: float,
 
     Parameters
     ----------
+    atoms :
+        The structure; regions partition its orbitals (every orbital is
+        the core of exactly one region).
+    model :
+        Tight-binding model supplying ``norb`` per species and the
+        Hamiltonian ``cutoff`` (Å).
     r_loc :
-        Localization radius (Å).  Must be ≥ ``model.cutoff`` so that every
+        Localization radius (Å) — the halo truncation of the paper's
+        localization ansatz; accuracy converges exponentially in it for
+        gapped systems.  Must be ≥ ``model.cutoff`` so that every
         Hamiltonian neighbour of a core atom sits inside its region —
         otherwise core rows of ρ would miss bonded columns and the band
         energy/forces would be wrong even in the exact limit.
     nl :
         Optional pre-built neighbour list at cutoff ``r_loc`` (an MD loop
         reuses its Verlet list); built on demand otherwise.
+    method :
+        Neighbour-builder choice when *nl* is not given
+        ("auto" / "brute" / "cell").
+
+    Returns
+    -------
+    list[LocalizationRegion], one per atom, in atom order.
     """
     if r_loc < model.cutoff:
         raise ElectronicError(

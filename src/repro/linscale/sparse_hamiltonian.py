@@ -129,3 +129,201 @@ def hamiltonian_fill_fraction(H: sp.spmatrix) -> float:
     """nnz / M² — how much the dense builder over-allocates."""
     m = H.shape[0]
     return H.nnz / float(m * m) if m else 0.0
+
+
+class SparseHamiltonianBuilder:
+    """Incremental CSR assembler for MD: reuse the pattern, rewrite values.
+
+    :func:`build_sparse_hamiltonian` pays the full COO → CSR conversion
+    (lexsort, duplicate merge, structure allocation) on every call even
+    though the *sparsity pattern* of a TB Hamiltonian only changes when a
+    bond crosses the cutoff — rare between MD steps, and detectable by
+    comparing the neighbour-list pair arrays.  This builder caches, per
+    pattern:
+
+    * the species-pair groups and their orbital block index layout,
+    * the lexsort permutation and duplicate-merge boundaries mapping raw
+      block triplets onto unique CSR slots,
+    * the CSR ``indices`` / ``indptr`` structure itself,
+    * the constant on-site data and the last hopping blocks per group.
+
+    A pattern *hit* then costs only the Slater–Koster value recomputation
+    plus one gather/reduce into the cached structure; and when only a
+    subset of atoms moved (``moved`` mask — numerical phonons, partial
+    relaxations, frozen regions), hopping is re-evaluated **only for the
+    bonds whose neighbour environment changed** — the incremental
+    row-rewrite of the MD fast path.  The assembled matrix equals
+    :func:`build_sparse_hamiltonian` to duplicate-summation order
+    (≤ ~1 ulp).
+
+    Orthogonal models only (the O(N) pipeline's contract); the overlap
+    path stays on the full builder.
+    """
+
+    def __init__(self, model):
+        if not model.orthogonal:
+            raise ModelError(
+                "SparseHamiltonianBuilder supports orthogonal models only; "
+                "use build_sparse_hamiltonian for S-metric models"
+            )
+        self.model = model
+        self.n_pattern_builds = 0
+        self.n_value_updates = 0
+        self.n_partial_updates = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop the cached pattern (next :meth:`build` is a full build)."""
+        self._sig_i: np.ndarray | None = None
+        self._sig_j: np.ndarray | None = None
+        self._symbols: tuple | None = None
+        self._groups: list | None = None
+        self._perm = None            # lexsort permutation of raw triplets
+        self._starts = None          # reduceat boundaries of unique slots
+        self._indices = None         # cached CSR structure
+        self._indptr = None
+        self._m = 0
+        self._raw = None             # raw triplet data vector (layout-fixed)
+        self._onsite_len = 0
+
+    def stats(self) -> dict:
+        """Assembly counters: pattern builds vs value-only rewrites."""
+        return {"pattern_builds": self.n_pattern_builds,
+                "value_updates": self.n_value_updates,
+                "partial_updates": self.n_partial_updates}
+
+    # -- full (pattern) build ----------------------------------------------
+    def _build_pattern(self, atoms, nl: NeighborList) -> sp.csr_matrix:
+        symbols = atoms.symbols
+        model = self.model
+        offsets, m = orbital_offsets(symbols, model)
+
+        onsite = np.concatenate(
+            [np.asarray(model.onsite(s), dtype=float) for s in symbols])
+        rows = [np.arange(m)]
+        cols = [np.arange(m)]
+
+        groups = []
+        cursor = m
+        for (sa, sb), pidx in pair_species_groups(symbols, nl).items():
+            ni, nj = model.norb(sa), model.norb(sb)
+            oi = offsets[nl.i[pidx]]
+            oj = offsets[nl.j[pidx]]
+            rgrid, cgrid = block_index_grids(oi, oj, ni, nj)
+            rows.append(np.concatenate(
+                [rgrid.ravel(), np.swapaxes(cgrid, 1, 2).ravel()]))
+            cols.append(np.concatenate(
+                [cgrid.ravel(), np.swapaxes(rgrid, 1, 2).ravel()]))
+            seg_len = 2 * len(pidx) * ni * nj
+            groups.append({
+                "sa": sa, "sb": sb, "pidx": pidx, "ni": ni, "nj": nj,
+                "slice": slice(cursor, cursor + seg_len),
+                "blocks": None,
+            })
+            cursor += seg_len
+
+        r = np.concatenate(rows)
+        c = np.concatenate(cols)
+        perm = np.lexsort((c, r))
+        rs, cs = r[perm], c[perm]
+        is_first = np.ones(len(rs), dtype=bool)
+        if len(rs) > 1:
+            is_first[1:] = (rs[1:] != rs[:-1]) | (cs[1:] != cs[:-1])
+        starts = np.flatnonzero(is_first)
+        indices = cs[starts]
+        counts = np.bincount(rs[starts], minlength=m)
+        indptr = np.concatenate(([0], np.cumsum(counts)))
+
+        self._sig_i = nl.i.copy()
+        self._sig_j = nl.j.copy()
+        self._symbols = tuple(symbols)
+        self._groups = groups
+        self._perm = perm
+        self._starts = starts
+        self._indices = indices.astype(np.int32, copy=False)
+        self._indptr = indptr.astype(np.int32, copy=False)
+        self._m = m
+        self._raw = np.empty(cursor)
+        self._raw[:m] = onsite
+        self._onsite_len = m
+        self.n_pattern_builds += 1
+
+        self._write_group_values(nl, dirty=None)
+        return self._emit()
+
+    # -- value paths --------------------------------------------------------
+    def _write_group_values(self, nl: NeighborList,
+                            dirty: np.ndarray | None) -> None:
+        """(Re)compute SK blocks and write them into the raw data vector.
+
+        ``dirty`` is a boolean mask over the *pair* axis; ``None`` means
+        recompute every bond.  Clean bonds keep their cached block values
+        — their endpoints did not move, so their vectors are unchanged.
+        """
+        model = self.model
+        for g in self._groups:
+            pidx = g["pidx"]
+            sel = None if dirty is None else np.flatnonzero(dirty[pidx])
+            if sel is not None and len(sel) == 0 and g["blocks"] is not None:
+                continue
+            if sel is None or g["blocks"] is None or \
+                    len(sel) * 2 >= len(pidx):
+                take = pidx
+                dst = None
+            else:
+                take = pidx[sel]
+                dst = sel
+            r = nl.distances[take]
+            u = nl.vectors[take] / r[:, None]
+            V, _ = model.hopping(g["sa"], g["sb"], r)
+            blocks = sk_blocks(u, V)[:, :g["ni"], :g["nj"]]
+            if dst is None:
+                g["blocks"] = blocks
+            else:
+                g["blocks"][dst] = blocks
+            seg = self._raw[g["slice"]]
+            half = seg.shape[0] // 2
+            seg[:half] = g["blocks"].ravel()
+            seg[half:] = np.swapaxes(g["blocks"], 1, 2).ravel()
+
+    def _emit(self) -> sp.csr_matrix:
+        data = np.add.reduceat(self._raw[self._perm], self._starts) \
+            if len(self._starts) else np.zeros(0)
+        H = sp.csr_matrix((data, self._indices, self._indptr),
+                          shape=(self._m, self._m))
+        return H
+
+    def build(self, atoms, nl: NeighborList,
+              moved: np.ndarray | None = None) -> sp.csr_matrix:
+        """Assemble H; value-only rewrite when the bond pattern is cached.
+
+        Parameters
+        ----------
+        atoms, nl :
+            Structure and its half neighbour list at the model cutoff.
+        moved :
+            Optional boolean (N,) mask of atoms whose positions changed
+            since the previous call (from
+            :meth:`repro.state.CalculatorState.observe`).  On a pattern
+            hit, only bonds touching a moved atom are re-evaluated.
+        """
+        pattern_hit = (
+            self._groups is not None
+            and self._symbols == tuple(atoms.symbols)
+            and np.array_equal(self._sig_i, nl.i)
+            and np.array_equal(self._sig_j, nl.j)
+        )
+        if not pattern_hit:
+            return self._build_pattern(atoms, nl)
+
+        dirty = None
+        if moved is not None and moved.any() and not moved.all():
+            dirty = moved[nl.i] | moved[nl.j]
+            self.n_partial_updates += 1
+        elif moved is not None and not moved.any():
+            # nothing moved: the cached values are exactly current
+            self.n_value_updates += 1
+            return self._emit()
+        self.n_value_updates += 1
+        self._write_group_values(nl, dirty=dirty)
+        return self._emit()

@@ -3,7 +3,19 @@
 The driver owns no physics — it initialises the integrator, steps it, and
 fans out a per-step data record to observers.  Observer signature:
 ``observer(step, atoms, data)`` with ``data`` containing at least
-``epot``, ``ekin``, ``etot``, ``temperature``, ``conserved``, ``time_fs``.
+``epot``, ``ekin``, ``etot``, ``temperature``, ``conserved``, ``time_fs``
+(energies in eV, temperature in K, time in fs).
+
+The driver is also where the MD fast path pays off: calculators keep
+persistent step-to-step state (Verlet skin lists, Hamiltonian patterns,
+localization regions, the chemical potential — see
+:mod:`repro.state`), and because the driver evolves ``atoms`` in place
+and asks for energy *and* forces in one ``compute`` per step, every
+consecutive step is a positions-only change that the calculators absorb
+incrementally.  When the calculator exposes ``state_report()`` (all
+pytbmd calculators do), each data record carries it under
+``data["calc_report"]`` so observers and post-run analysis can audit
+rebuild-vs-reuse behaviour.
 """
 
 from __future__ import annotations
@@ -56,7 +68,20 @@ class MDDriver:
 
     # -- main loop ---------------------------------------------------------------
     def run(self, nsteps: int) -> dict:
-        """Advance *nsteps*; returns the last step's data record."""
+        """Advance the trajectory by *nsteps* integrator steps.
+
+        The first call initialises the integrator (one extra force
+        evaluation) and emits a step-0 snapshot to the observers; calls
+        compose, so ``run(5); run(5)`` equals ``run(10)``.
+
+        Returns
+        -------
+        dict — the last step's data record: ``step``, ``time_fs`` (fs),
+        ``epot`` / ``ekin`` / ``etot`` / ``conserved`` (eV),
+        ``temperature`` (K), ``results`` (the calculator's full results
+        dict) and ``calc_report`` (rebuild-vs-reuse diagnostics) when
+        the calculator provides one.
+        """
         if nsteps < 0:
             raise MDError("nsteps must be >= 0")
         if not self._initialized:
@@ -83,7 +108,7 @@ class MDDriver:
     def _record(self, res: dict) -> dict:
         epot = res["energy"]
         ekin = self.atoms.kinetic_energy()
-        return {
+        data = {
             "step": self.step_count,
             "time_fs": self.step_count * self.integrator.dt,
             "epot": epot,
@@ -93,6 +118,9 @@ class MDDriver:
             "conserved": self.integrator.conserved_quantity(self.atoms, epot),
             "results": res,
         }
+        if hasattr(self.calc, "state_report"):
+            data["calc_report"] = self.calc.state_report()
+        return data
 
     def _notify(self, data: dict) -> None:
         for obs, interval in self.observers:

@@ -4,6 +4,18 @@ MD codes of the TBMD era avoided rebuilding the neighbour list every step
 by searching to ``rcut + skin`` and reusing the list until any atom has
 moved more than ``skin/2`` since the last build — the classic sufficient
 condition for no bond to have entered the true cutoff unseen.
+
+This implementation additionally survives *cell* changes (NPT, cell
+relaxation) without rebuilding every step: at build time each cached
+pair's integer periodic-image shift ``S`` is recovered, so a refresh can
+recompute every bond vector **exactly** as ``r_j − r_i + S·h`` for the
+current positions *and* current lattice vectors ``h``.  The rebuild
+criterion then combines atomic drift with a conservative bound on the
+image displacement induced by the accumulated cell change.  Reusing a
+skin list across a cell change *without* remapping is the classic silent
+stale-neighbour-list bug (image bond vectors frozen at the old lattice);
+when the shifts cannot be recovered (exotic singular cells) any cell
+change forces a rebuild instead.
 """
 
 from __future__ import annotations
@@ -41,44 +53,125 @@ class VerletList:
         self.rcut = float(rcut)
         self.skin = float(skin)
         self.method = method
-        self._list: NeighborList | None = None
-        self._ref_positions: np.ndarray | None = None
         self.n_builds = 0
         self.n_updates = 0
+        self.reset()
+
+    def reset(self) -> None:
+        """Drop the cached list so the next :meth:`update` rebuilds.
+
+        Build/update counters are kept — they describe the lifetime of the
+        object, not of one list.
+        """
+        self._list: NeighborList | None = None
+        self._full: NeighborList | None = None
+        self._ref_positions: np.ndarray | None = None
+        self._ref_cell: np.ndarray | None = None
+        self._shifts: np.ndarray | None = None
+        self._translations: np.ndarray | None = None
+        self._shift_max = 0.0
+        self.last_update_rebuilt = False
+
+    def _recover_shifts(self, nl: NeighborList, atoms) -> None:
+        """Integer image shifts S with ``vectors = r_j − r_i + S·h``.
+
+        Recovered by projecting the periodic translation onto the inverse
+        lattice and verified by a round trip; unrecoverable shifts (at
+        ~1e-9 Å) disable cell-change remapping, falling back to
+        rebuild-on-any-cell-change.
+        """
+        t = nl.vectors - (atoms.positions[nl.j] - atoms.positions[nl.i])
+        self._translations = t
+        h = np.asarray(atoms.cell.matrix, dtype=float)
+        try:
+            s = np.rint(t @ np.linalg.pinv(h))
+        except np.linalg.LinAlgError:  # pragma: no cover - defensive
+            self._shifts = None
+            self._shift_max = 0.0
+            return
+        if len(s) and np.max(np.abs(s @ h - t)) > 1e-9:
+            self._shifts = None
+            self._shift_max = 0.0
+            return
+        self._shifts = s
+        # largest shift-vector 2-norm over cached pairs; the √3 headroom
+        # in the rebuild bound covers unseen candidate images one shell
+        # beyond anything cached
+        self._shift_max = float(np.max(np.linalg.norm(s, axis=1))) \
+            if len(s) else 0.0
 
     def needs_rebuild(self, atoms) -> bool:
-        """True when any atom has drifted > skin/2 since the last build."""
+        """True when the cached skin list can no longer be trusted.
+
+        Rebuild triggers: no cached list, a changed atom count, a cell
+        change that cannot be remapped through the stored image shifts,
+        or combined drift — ``2·max|Δr_i| + (‖S‖₂,max + √3)·‖Δh‖₂``
+        (atomic motion plus a bound on the image displacement from the
+        accumulated cell change, with headroom for candidate images one
+        shell beyond any cached shift) — exceeding the skin.
+        """
         if self._list is None or self._ref_positions is None:
             return True
         if len(atoms) != len(self._ref_positions):
             return True
+        dcell = np.asarray(atoms.cell.matrix, dtype=float) - self._ref_cell
+        cell_disp = 0.0
+        if np.any(dcell != 0.0):
+            if self._shifts is None:
+                return True
+            cell_disp = (self._shift_max + np.sqrt(3.0)) \
+                * float(np.linalg.norm(dcell, 2))
         disp = atoms.positions - self._ref_positions
         # Displacements are physical (unwrapped MD trajectories); no MIC.
-        max_disp2 = float(np.max(np.einsum("ij,ij->i", disp, disp)))
-        return max_disp2 > (0.5 * self.skin) ** 2
+        max_disp = float(np.sqrt(
+            np.max(np.einsum("ij,ij->i", disp, disp))))
+        return 2.0 * max_disp + cell_disp > self.skin
+
+    def stats(self) -> dict:
+        """Reuse counters: ``{"builds", "updates", "reused"}``."""
+        return {"builds": self.n_builds, "updates": self.n_updates,
+                "reused": self.n_updates - self.n_builds}
 
     def update(self, atoms) -> NeighborList:
         """Return a current neighbour list, rebuilding if necessary.
 
         The returned list is built with cutoff ``rcut + skin`` and then
-        *filtered* to the true cutoff using current positions, so distances
-        and vectors are always exact for the present configuration.
+        *filtered* to the true cutoff using current positions (and the
+        current cell), so distances and vectors are always exact for the
+        present configuration.
         """
         self.n_updates += 1
         if self.needs_rebuild(atoms):
             self._full = neighbor_list(atoms, self.rcut + self.skin,
                                        method=self.method)
             self._ref_positions = atoms.positions.copy()
+            self._ref_cell = np.array(atoms.cell.matrix, copy=True)
+            self._recover_shifts(self._full, atoms)
             self.n_builds += 1
+            self.last_update_rebuilt = True
             self._list = self._filter(self._full, atoms)
         else:
+            self.last_update_rebuilt = False
             self._list = self._refresh(self._full, atoms)
         return self._list
 
     def _refresh(self, skin_list: NeighborList, atoms) -> NeighborList:
-        """Recompute bond vectors for current positions, then filter."""
-        disp = atoms.positions - self._ref_positions
-        vec = skin_list.vectors + disp[skin_list.j] - disp[skin_list.i]
+        """Recompute bond vectors for current positions/cell, then filter.
+
+        ``r_j − r_i + S·h`` is exact for the present geometry — including
+        after cell changes, where the old composite-vector shortcut would
+        silently keep image translations of the stale lattice.
+        """
+        vec = atoms.positions[skin_list.j] - atoms.positions[skin_list.i]
+        if len(vec):
+            if self._shifts is not None:
+                vec = vec + self._shifts @ np.asarray(atoms.cell.matrix,
+                                                      dtype=float)
+            else:
+                # shift recovery failed: cell is pinned to the build-time
+                # lattice (needs_rebuild forces a rebuild on any change),
+                # so the stored translations are still exact
+                vec = vec + self._translations
         dist = np.linalg.norm(vec, axis=1)
         refreshed = NeighborList(i=skin_list.i, j=skin_list.j, vectors=vec,
                                  distances=dist, rcut=skin_list.rcut,

@@ -2,7 +2,7 @@
 
 This package reproduces the *parallelisation* content of the paper.  The
 container this reproduction runs in exposes a single CPU, so multi-node
-speedups cannot be *measured*; instead (see DESIGN.md, substitution table):
+speedups cannot be *measured*; instead (see docs/architecture.md, substitution table):
 
 * the decomposition algorithms (replicated-data MD step, row-striped
   Hamiltonian assembly, distributed block-Jacobi diagonalisation) are

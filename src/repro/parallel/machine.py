@@ -5,7 +5,7 @@ per-node floating-point rate, per-message latency, and point-to-point
 bandwidth.  The presets are order-of-magnitude archetypes of the machines
 1994 parallel-TBMD papers evaluated on — good enough to reproduce the
 *shape* of their scaling curves (which is all this reproduction claims;
-see DESIGN.md).
+see docs/architecture.md).
 """
 
 from __future__ import annotations

@@ -1,12 +1,13 @@
 """Structural relaxation: steepest descent, conjugate gradients, FIRE."""
 
-from repro.relax.base import RelaxationResult, max_force
+from repro.relax.base import RelaxationResult, energy_and_forces, max_force
 from repro.relax.steepest import steepest_descent
 from repro.relax.cg import conjugate_gradient
 from repro.relax.fire import fire_relax
 
 __all__ = [
     "RelaxationResult",
+    "energy_and_forces",
     "max_force",
     "steepest_descent",
     "conjugate_gradient",

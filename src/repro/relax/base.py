@@ -30,6 +30,20 @@ class RelaxationResult:
                 f"E = {self.energy:.6f} eV, fmax = {self.fmax:.2e} eV/Å)")
 
 
+def energy_and_forces(atoms, calc) -> tuple[float, np.ndarray]:
+    """One electronic solve for both energy and masked forces.
+
+    Calling ``get_potential_energy`` *then* ``get_forces`` costs two full
+    electronic solves on calculators whose energy-only path skips the
+    density matrix (the O(N) FOE evaluates half the Chebyshev work for
+    energy-only requests, so the cached energy result cannot be upgraded
+    to forces for free).  A single ``compute(forces=True)`` returns both
+    from one solve — every relaxer step goes through here.
+    """
+    res = calc.compute(atoms, forces=True)
+    return res["energy"], masked_forces(atoms, res["forces"])
+
+
 def max_force(forces: np.ndarray, fixed: np.ndarray | None = None) -> float:
     """Largest per-atom force norm over the free atoms (eV/Å)."""
     f = np.asarray(forces)

@@ -11,7 +11,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConvergenceError
-from repro.relax.base import RelaxationResult, masked_forces, max_force
+from repro.relax.base import (
+    RelaxationResult, energy_and_forces, masked_forces, max_force,
+)
 
 
 def conjugate_gradient(atoms, calc, fmax: float = 0.05, max_steps: int = 500,
@@ -27,8 +29,7 @@ def conjugate_gradient(atoms, calc, fmax: float = 0.05, max_steps: int = 500,
     armijo :
         Sufficient-decrease coefficient of the line search.
     """
-    energy = calc.get_potential_energy(atoms)
-    f = masked_forces(atoms, calc.get_forces(atoms))
+    energy, f = energy_and_forces(atoms, calc)
     g = -f.ravel()                      # gradient
     d = -g.copy()                       # search direction (= force)
     e_hist = [energy]

@@ -13,7 +13,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ConvergenceError
-from repro.relax.base import RelaxationResult, masked_forces, max_force
+from repro.relax.base import (
+    RelaxationResult, energy_and_forces, max_force,
+)
 from repro.units import FORCE_TO_ACC
 
 
@@ -30,8 +32,7 @@ def fire_relax(atoms, calc, fmax: float = 0.05, max_steps: int = 2000,
     v = np.zeros_like(atoms.positions)
     alpha = alpha0
     n_pos = 0
-    energy = calc.get_potential_energy(atoms)
-    f = masked_forces(atoms, calc.get_forces(atoms))
+    energy, f = energy_and_forces(atoms, calc)
     e_hist = [energy]
     f_hist = [max_force(f, atoms.fixed)]
     dt_cur = dt
@@ -68,8 +69,7 @@ def fire_relax(atoms, calc, fmax: float = 0.05, max_steps: int = 2000,
         if max_dr > max_disp:
             dr *= max_disp / max_dr
         atoms.positions += dr
-        energy = calc.get_potential_energy(atoms)
-        f = masked_forces(atoms, calc.get_forces(atoms))
+        energy, f = energy_and_forces(atoms, calc)
         e_hist.append(energy)
         f_hist.append(max_force(f, atoms.fixed))
 

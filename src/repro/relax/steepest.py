@@ -8,7 +8,9 @@ close to them — which is exactly the comparison the CG/FIRE tests draw.
 from __future__ import annotations
 
 from repro.errors import ConvergenceError
-from repro.relax.base import RelaxationResult, masked_forces, max_force
+from repro.relax.base import (
+    RelaxationResult, energy_and_forces, masked_forces, max_force,
+)
 
 
 def steepest_descent(atoms, calc, fmax: float = 0.05, max_steps: int = 1000,
@@ -22,8 +24,7 @@ def steepest_descent(atoms, calc, fmax: float = 0.05, max_steps: int = 1000,
     step :
         Initial displacement scale in Å per unit force.
     """
-    e_prev = calc.get_potential_energy(atoms)
-    f = masked_forces(atoms, calc.get_forces(atoms))
+    e_prev, f = energy_and_forces(atoms, calc)
     e_hist, f_hist = [e_prev], [max_force(f, atoms.fixed)]
     alpha = step
     it = 0

@@ -1,0 +1,189 @@
+"""Shared calculator-state protocol: *what changed since the last call*.
+
+Every calculator in pytbmd (``TBCalculator``, ``LinearScalingCalculator``,
+``DensityMatrixCalculator``) caches expensive per-structure machinery —
+neighbour lists, sparse Hamiltonian patterns, localization regions,
+Chebyshev spectral windows, the chemical potential.  For the cache to be
+both *fast* and *safe*, every calculator needs the same answer to one
+question on every ``compute`` call: **what changed since last time?**
+
+:class:`CalculatorState` is that single source of truth.  It snapshots
+positions, cell, species and a parameter tuple, and classifies each call
+into a :class:`ChangeReport`:
+
+========================  =================================================
+change                    consequence (the invalidation contract)
+========================  =================================================
+nothing                   cached results are returned as-is
+positions only            *fast path*: Verlet-list refresh, value-only
+                          Hamiltonian rewrite, cached regions/window/μ
+cell                      fast path with ``moved=None`` (every matrix
+                          element is rewritten — periodic-image bond
+                          vectors all change); the Verlet layer remaps
+                          its image shifts exactly, and consumers whose
+                          caches are not self-validating (e.g. dense
+                          spectral bounds) must reset on
+                          ``cell_changed`` themselves
+species / natoms          *full reset*: every persistent structure is
+                          rebuilt
+parameters (kT, order…)   *full reset* of the electronic state
+========================  =================================================
+
+MD, the relaxers and the CLI all drive calculators through this one
+contract, so a structure mutated by any of them (in place or by
+replacement) is always detected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChangeReport:
+    """Classification of one ``observe`` call against the last snapshot.
+
+    Attributes
+    ----------
+    first_call :
+        No snapshot existed (fresh or reset state).
+    natoms_changed, species_changed, cell_changed, positions_changed :
+        Which structural ingredients differ from the snapshot.
+    params_changed :
+        The calculator-parameter tuple passed to ``observe`` differs.
+    moved :
+        Boolean (N,) mask of atoms whose position changed — the input to
+        dirty-row Hamiltonian updates.  ``None`` whenever a per-atom
+        dirty set cannot be trusted (first call, atom count or species
+        changed, or a cell change — which moves every periodic-image
+        bond regardless of atomic displacements); consumers treat
+        ``None`` as "everything is dirty".
+    max_displacement :
+        Largest per-atom displacement in Å since the snapshot (0.0 when
+        ``moved`` is ``None``).
+    snapshot_id :
+        Generation counter of the observed state: bumped by every
+        observation that *changed* something (including the first), and
+        stable across repeated no-change observations.  Calculators
+        stamp their results cache with it and treat the cache as valid
+        only when the stamp still matches — so a compute that raises
+        mid-solve (after the snapshot was taken) can never be mistaken
+        for having produced results for the new geometry.
+    """
+
+    first_call: bool
+    natoms_changed: bool
+    species_changed: bool
+    cell_changed: bool
+    positions_changed: bool
+    params_changed: bool
+    moved: np.ndarray | None
+    max_displacement: float
+    snapshot_id: int
+
+    @property
+    def any_change(self) -> bool:
+        """True when cached *results* must be recomputed."""
+        return (self.first_call or self.natoms_changed
+                or self.species_changed or self.cell_changed
+                or self.positions_changed or self.params_changed)
+
+    @property
+    def needs_full_reset(self) -> bool:
+        """True when persistent *state* (lists, patterns, windows, μ) is
+        stale beyond repair and must be rebuilt from scratch.
+
+        Position-only motion is deliberately excluded — it is exactly the
+        change the fast path is built to absorb.  Cell changes are also
+        excluded: the Verlet layer remaps image shifts exactly, pattern
+        and region caches are validated by pair-array comparison, and the
+        Chebyshev window is guarded a posteriori — calculators whose
+        caches lack such self-validation check ``cell_changed``
+        explicitly.
+        """
+        return (self.first_call or self.natoms_changed
+                or self.species_changed or self.params_changed)
+
+
+class CalculatorState:
+    """Snapshot-and-diff tracker behind every calculator cache.
+
+    Usage::
+
+        state = CalculatorState()
+        report = state.observe(atoms, params=(kT, order))
+        if not report.any_change:
+            return cached_results
+        if report.needs_full_reset:
+            rebuild_everything()
+        # else: positions-only fast path, report.moved says which atoms
+
+    ``observe`` always *updates* the snapshot (copies, so in-place
+    mutation of ``atoms`` between calls is detected).
+    """
+
+    def __init__(self):
+        self.reset()
+
+    def reset(self) -> None:
+        """Forget the snapshot; the next ``observe`` reports a first call."""
+        self._positions: np.ndarray | None = None
+        self._cell: np.ndarray | None = None
+        self._symbols: tuple | None = None
+        self._params: tuple | None = None
+        self._snapshot_id: int = 0
+
+    @property
+    def snapshot_id(self) -> int:
+        """Generation of the current state (0 = no snapshot yet);
+        advances only when an observation detects a change."""
+        return self._snapshot_id
+
+    def observe(self, atoms, params: tuple = ()) -> ChangeReport:
+        """Diff *atoms* (+ *params*) against the snapshot, then update it."""
+        pos = np.asarray(atoms.positions, dtype=float)
+        cell = np.asarray(atoms.cell.matrix, dtype=float)
+        symbols = tuple(atoms.symbols)
+        params = tuple(params)
+
+        first = self._positions is None
+        natoms_changed = (not first) and len(symbols) != len(self._symbols)
+        species_changed = (not first) and not natoms_changed \
+            and symbols != self._symbols
+        cell_changed = (not first) and not np.array_equal(cell, self._cell)
+        params_changed = (not first) and params != self._params
+
+        moved: np.ndarray | None = None
+        positions_changed = False
+        max_disp = 0.0
+        if not (first or natoms_changed or species_changed):
+            delta = pos - self._positions
+            changed_rows = np.any(delta != 0.0, axis=1)
+            positions_changed = bool(changed_rows.any())
+            if positions_changed:
+                max_disp = float(np.sqrt(
+                    np.max(np.einsum("ij,ij->i", delta, delta))))
+            if not cell_changed:
+                moved = changed_rows
+
+        self._positions = pos.copy()
+        self._cell = cell.copy()
+        self._symbols = symbols
+        self._params = params
+        if (first or natoms_changed or species_changed or cell_changed
+                or positions_changed or params_changed):
+            self._snapshot_id += 1
+
+        return ChangeReport(
+            first_call=first,
+            natoms_changed=natoms_changed,
+            species_changed=species_changed,
+            cell_changed=cell_changed,
+            positions_changed=positions_changed,
+            params_changed=params_changed,
+            moved=moved,
+            max_displacement=max_disp,
+            snapshot_id=self._snapshot_id,
+        )

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import ElectronicError, ModelError
 from repro.neighbors.verlet import VerletList
+from repro.state import CalculatorState
 from repro.tb.eigensolvers import get_solver
 from repro.tb.forces import band_forces, density_matrices, repulsive_energy_forces
 from repro.tb.hamiltonian import build_hamiltonian, build_hamiltonian_k
@@ -68,23 +69,22 @@ class TBCalculator:
         self.timer = PhaseTimer()
         self._vlist = VerletList(rcut=model.cutoff, skin=skin,
                                  method=neighbor_method)
+        self._state = CalculatorState()
         self._cache_key = None
         self._results: dict = {}
 
     # -- caching ---------------------------------------------------------------
-    def _key(self, atoms) -> tuple:
-        return (
-            atoms.positions.tobytes(),
-            atoms.cell.matrix.tobytes(),
-            tuple(atoms.symbols),
-            self.kT,
-            self.solver_name,
-        )
-
     def invalidate(self) -> None:
         """Drop the cached results (e.g. after mutating model parameters)."""
+        self._state.reset()
+        self._vlist.reset()
         self._cache_key = None
         self._results = {}
+
+    def state_report(self) -> dict:
+        """Reuse diagnostics (shared calculator-state protocol)."""
+        return {"neighbors": self._vlist.stats(),
+                "snapshot_id": self._state.snapshot_id}
 
     # -- main evaluation ----------------------------------------------------------
     def compute(self, atoms, forces: bool = True) -> dict:
@@ -95,15 +95,24 @@ class TBCalculator:
         ``fermi_level``, ``entropy``, ``homo``, ``lumo``, ``gap``, and —
         in Γ-mode with ``forces=True`` — ``forces``, ``virial``,
         ``stress`` (periodic cells), ``pressure``.
+
+        Structure and parameter changes are detected through the shared
+        :class:`repro.state.CalculatorState` contract; an unchanged
+        structure returns the cached results without any matrix work.
         """
-        key = self._key(atoms)
-        if key == self._cache_key and (not forces or "forces" in self._results):
+        report = self._state.observe(atoms, params=(self.kT,
+                                                    self.solver_name))
+        # the _cache_key stamp guards against serving results stored for
+        # an older geometry after a compute raised mid-solve
+        if not report.any_change and self._results and \
+                self._cache_key == self._state.snapshot_id and \
+                (not forces or "forces" in self._results):
             return self._results
         if self.kpts_frac is not None:
             res = self._compute_kpoints(atoms)
         else:
             res = self._compute_gamma(atoms, forces)
-        self._cache_key = key
+        self._cache_key = self._state.snapshot_id
         self._results = res
         return res
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import ElectronicError
+from repro.errors import ElectronicError, SpectralWindowError
 from repro.tb.occupations import entropy_density, fermi_function
 from repro.tb.purification import lanczos_spectral_bounds
 
@@ -87,6 +87,136 @@ def entropy_coefficients(center: float, span: float, mu: float, kT: float,
         center, span, order)
 
 
+def _fermi_mu_derivative(eps: np.ndarray, mu: float, kT: float,
+                         nderiv: int) -> np.ndarray:
+    """∂ⁿf/∂μⁿ of the spin-summed Fermi function, numerically safe.
+
+    Everything is expressed through the logistic ``σ = f/2`` evaluated by
+    the overflow-safe :func:`repro.tb.occupations.fermi_function`, using
+    ``dσ/dx = −σ(1−σ)`` with ``x = (ε − μ)/kT`` and ``d/dμ = −(1/kT) d/dx``.
+    """
+    f = fermi_function(eps, mu, kT)
+    if nderiv == 0:
+        return f
+    sig = 0.5 * f
+    g = sig * (1.0 - sig)
+    if nderiv == 1:
+        return 2.0 * g / kT
+    if nderiv == 2:
+        return 2.0 * g * (1.0 - 2.0 * sig) / kT**2
+    if nderiv == 3:
+        return 2.0 * g * ((1.0 - 2.0 * sig) ** 2 - 2.0 * g) / kT**3
+    raise ElectronicError(f"Fermi μ-derivative order {nderiv} not implemented")
+
+
+def fermi_mu_derivative_coefficients(center: float, span: float, mu: float,
+                                     kT: float, order: int,
+                                     nderiv: int = 3) -> np.ndarray:
+    """Stacked Chebyshev coefficients of f, ∂f/∂μ, …, ∂ⁿf/∂μⁿ.
+
+    Returns a ``(nderiv + 1, order + 1)`` array whose row *s* expands the
+    *s*-th μ-derivative of the spin-summed Fermi function on the shared
+    ``(center, span)`` window.  This is the coefficient stack of the MD
+    fast path's *fused* single-pass FOE: one Chebyshev recursion
+    accumulates density rows **and** their μ-Taylor corrections, so the
+    chemical potential can be refined *after* the matrix work without a
+    second pass (the Taylor remainder is O((Δμ/kT)^{nderiv+1})).
+    """
+    if kT <= 0:
+        raise ElectronicError("Fermi expansion needs kT > 0")
+    return np.stack([
+        scaled_coefficients(lambda e, s=s: _fermi_mu_derivative(e, mu, kT, s),
+                            center, span, order)
+        for s in range(nderiv + 1)
+    ])
+
+
+def chebyshev_trace_moments(H: np.ndarray, center: float, span: float,
+                            order: int) -> np.ndarray:
+    """Trace moments ``m_k = tr T_k(H̃)`` of the rescaled Hamiltonian.
+
+    One two-term matrix recursion (the cost of a single density build)
+    turns every subsequent scalar-function trace — electron count, band
+    energy, entropy at any μ — into a dot product with precomputed
+    coefficients.  This is the dense analogue of the region moments in
+    :mod:`repro.linscale.foe_local`.
+    """
+    n = H.shape[0]
+    h_tilde = (H - center * np.eye(n)) / span
+    m = np.empty(order + 1)
+    m[0] = float(n)
+    t_prev = np.eye(n)
+    t_cur = h_tilde.copy()
+    if order >= 1:
+        m[1] = float(np.trace(t_cur))
+    for k in range(2, order + 1):
+        t_next = 2.0 * (h_tilde @ t_cur) - t_prev
+        m[k] = float(np.trace(t_next))
+        t_prev, t_cur = t_cur, t_next
+    return m
+
+
+def solve_mu_from_moments(moments: np.ndarray, center: float, span: float,
+                          kT: float, n_electrons: float,
+                          bracket: tuple[float, float],
+                          warm_bracket: tuple[float, float] | None = None,
+                          tol: float = 1e-10, max_iter: int = 100) -> float:
+    """Solve ``Σ_k c_k(μ) m_k = n_electrons`` for μ (bisection + Newton).
+
+    The one μ-search shared by the dense FOE and the region engine.
+    Each trial is one scalar coefficient evaluation (O(K²) flops).  A
+    *warm_bracket* (e.g. last MD step's μ ± a few kT) is verified before
+    use and silently widened to *bracket* when it no longer contains the
+    electron count; *bracket* itself must contain it or
+    :class:`~repro.errors.ElectronicError` is raised.  The bisection
+    converges the electron *count*; the final Newton polish (∂N/∂μ from
+    the expanded Fermi derivative, step clamped to the bracket ± 10 kT)
+    then pins μ itself to machine precision, so the result is
+    independent of the starting bracket — warm and cold searches return
+    the *same* μ, keeping the MD fast path bit-comparable to the
+    reference path.
+    """
+    order = len(moments) - 1
+
+    def count(mu):
+        return float(fermi_coefficients(center, span, mu, kT, order)
+                     @ moments)
+
+    lo, hi = float(bracket[0]), float(bracket[1])
+    if warm_bracket is not None:
+        wlo, whi = float(warm_bracket[0]), float(warm_bracket[1])
+        if count(wlo) <= n_electrons <= count(whi):
+            lo, hi = wlo, whi
+    if count(lo) > n_electrons or count(hi) < n_electrons:
+        raise ElectronicError(
+            f"μ bracket [{lo:.3f}, {hi:.3f}] eV does not contain "
+            f"{n_electrons} electrons"
+        )
+    mu = 0.5 * (lo + hi)
+    for _ in range(max_iter):
+        mu = 0.5 * (lo + hi)
+        c = count(mu)
+        if abs(c - n_electrons) < tol * max(1.0, n_electrons):
+            break
+        if c < n_electrons:
+            lo = mu
+        else:
+            hi = mu
+
+    for _ in range(4):
+        d = float(fermi_mu_derivative_coefficients(
+            center, span, mu, kT, order, nderiv=1)[1] @ moments)
+        if not np.isfinite(d) or d <= 1e-14:
+            break
+        step = (count(mu) - n_electrons) / d
+        if not np.isfinite(step):
+            break
+        mu = min(max(mu - step, lo - 10.0 * kT), hi + 10.0 * kT)
+        if abs(step) < 1e-13:
+            break
+    return mu
+
+
 def evaluate_matrix_polynomial(H_tilde: np.ndarray, coeffs: np.ndarray
                                ) -> np.ndarray:
     """Σ c_k T_k(H̃) by the two-term Chebyshev recursion."""
@@ -103,8 +233,9 @@ def evaluate_matrix_polynomial(H_tilde: np.ndarray, coeffs: np.ndarray
 
 def fermi_operator_expansion(H: np.ndarray, n_electrons: float, kT: float,
                              order: int = 200, mu: float | None = None,
-                             mu_tol: float = 1e-8, max_mu_iter: int = 60
-                             ) -> dict:
+                             mu_tol: float = 1e-8, max_mu_iter: int = 60,
+                             bounds: tuple[float, float] | None = None,
+                             mu_guess: float | None = None) -> dict:
     """Finite-temperature density matrix by Chebyshev FOE.
 
     Parameters
@@ -115,6 +246,11 @@ def fermi_operator_expansion(H: np.ndarray, n_electrons: float, kT: float,
     kT : electronic temperature (eV); must be > 0 — the polynomial order
         needed grows like (spectral width)/kT.
     order : Chebyshev order K.
+    bounds : optional precomputed spectral bounds ``(emin, emax)``; pass a
+        cached window from a previous MD step to skip the Lanczos solves.
+    mu_guess : optional warm start for the chemical-potential search
+        (e.g. last step's μ); skips the coarse reduced-order bisection
+        and goes straight to full-order secant refinement around it.
 
     Returns
     -------
@@ -129,7 +265,7 @@ def fermi_operator_expansion(H: np.ndarray, n_electrons: float, kT: float,
     # tight Lanczos bounds: with Gershgorin's ~2.5×-too-wide window the
     # expansion rings at low kT (ρ eigenvalues overshoot [0, 2]) unless
     # the order is raised proportionally
-    emin, emax = lanczos_spectral_bounds(H)
+    emin, emax = bounds if bounds is not None else lanczos_spectral_bounds(H)
     # pad the bounds so T_k stays in its stable domain
     span = 0.5 * (emax - emin) * 1.01
     center = 0.5 * (emax + emin)
@@ -143,33 +279,28 @@ def fermi_operator_expansion(H: np.ndarray, n_electrons: float, kT: float,
         return evaluate_matrix_polynomial(h_tilde, coeffs)
 
     if mu is None:
-        # coarse bisection on tr ρ(μ) with a reduced-order expansion…
-        search_order = max(40, order // 4)
-        lo, hi = emin - 5 * kT, emax + 5 * kT
-        target = n_electrons / 2.0
-        for _ in range(max_mu_iter):
-            mid = 0.5 * (lo + hi)
-            count = float(np.trace(rho_for(mid, search_order)))
-            if abs(count - target) < mu_tol * max(1.0, target):
-                break
-            if count < target:
-                lo = mid
-            else:
-                hi = mid
-        mu = 0.5 * (lo + hi)
-        # …then a short full-order refinement (secant on tr ρ(μ) − target)
-        mu_a, mu_b = mu - 0.5 * kT, mu + 0.5 * kT
-        f_a = float(np.trace(rho_for(mu_a, order))) - target
-        f_b = float(np.trace(rho_for(mu_b, order))) - target
-        for _ in range(6):
-            if abs(f_b - f_a) < 1e-14:
-                break
-            mu_c = mu_b - f_b * (mu_b - mu_a) / (f_b - f_a)
-            f_c = float(np.trace(rho_for(mu_c, order))) - target
-            mu_a, f_a, mu_b, f_b = mu_b, f_b, mu_c, f_c
-            if abs(f_b) < mu_tol * max(1.0, target):
-                break
-        mu = mu_b
+        # one trace-moment recursion (m_k = tr T_k(H̃), same cost as a
+        # single ρ build) turns every μ trial into a scalar dot product:
+        # N(μ) = Σ_k c_k(μ) m_k — so μ is solved to machine precision
+        # instead of the few matrix-build secant steps this used before
+        moments = chebyshev_trace_moments(H, center, span, order)
+        # a-posteriori window guard: |tr T_k(H̃)| ≤ n whenever the
+        # spectrum lies inside the window; a cached (MD-reused) window
+        # the spectrum escaped makes the recursion diverge — loudly
+        if np.max(np.abs(moments)) > 1.5 * n + 1.0:
+            raise SpectralWindowError(
+                f"spectral window ({emin:.3f}, {emax:.3f}) eV no longer "
+                "contains the Hamiltonian spectrum (trace moments exceed "
+                "the n bound); refresh the bounds and re-solve"
+            )
+        warm = None
+        if mu_guess is not None:
+            # warm start (e.g. last MD step's μ): try a narrow bracket
+            warm = (mu_guess - 10 * kT, mu_guess + 10 * kT)
+        mu = solve_mu_from_moments(
+            moments, center, span, kT, n_electrons,
+            bracket=(emin - 10 * kT, emax + 10 * kT), warm_bracket=warm,
+            tol=mu_tol, max_iter=max_mu_iter)
 
     rho_half = rho_for(mu, order)
     rho = 2.0 * rho_half

@@ -23,7 +23,7 @@ the published functional form — to three exact conditions on the
 constant a₀ = 5.431 Å, cohesive energy 4.63 eV/atom (against the
 free-atom band reference 2E_s + 2E_p = −8.1 eV), and bulk modulus 98 GPa.
 These are the same targets GSP fitted to, so the refit preserves the
-model's physics; see DESIGN.md.
+model's physics; see docs/architecture.md.
 
 Both radial functions are multiplied by a quintic switch between
 ``r_on = 3.8`` and ``r_off = 4.16`` Å so forces stay continuous; at those

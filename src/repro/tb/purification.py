@@ -132,7 +132,8 @@ def spectral_bounds(H) -> tuple[float, float]:
 
 
 def purify_density_matrix(H, n_electrons: float, threshold: float = 0.0,
-                          tol: float = 1e-9, max_iter: int = 200
+                          tol: float = 1e-9, max_iter: int = 200,
+                          bounds: tuple[float, float] | None = None
                           ) -> PurificationResult:
     """Canonical purification of the zero-T density matrix.
 
@@ -149,6 +150,11 @@ def purify_density_matrix(H, n_electrons: float, threshold: float = 0.0,
         multiply (sparse inputs only).
     tol :
         Convergence on the idempotency error ``|tr(ρ²) − tr(ρ)|``.
+    bounds :
+        Optional precomputed spectral bounds ``(emin, emax)`` used for the
+        initial linear map — an MD loop passes a cached window instead of
+        recomputing Gershgorin circles every step.  Must bracket the
+        spectrum (the PM iteration diverges otherwise).
 
     Returns
     -------
@@ -166,7 +172,7 @@ def purify_density_matrix(H, n_electrons: float, threshold: float = 0.0,
     if threshold > 0 and not sp.issparse(H):
         H = sp.csr_matrix(H)
 
-    emin, emax = spectral_bounds(H)
+    emin, emax = bounds if bounds is not None else spectral_bounds(H)
     rho = initial_guess(H, n_electrons, emin, emax)
     n_occ = n_electrons / 2.0
 

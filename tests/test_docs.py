@@ -1,0 +1,31 @@
+"""Documentation must stay executable: README/docs code blocks and links.
+
+Runs the same checker as the CI docs job (``tools/check_docs.py``) in
+process — every fenced python block in README.md and docs/*.md executes
+without raising, and every relative link target exists.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+
+def _load_checker():
+    path = Path(__file__).resolve().parent.parent / "tools" / "check_docs.py"
+    spec = importlib.util.spec_from_file_location("check_docs", path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules["check_docs"] = mod
+    spec.loader.exec_module(mod)
+    return mod
+
+
+def test_docs_code_blocks_and_links_pass():
+    checker = _load_checker()
+    assert checker.main() == 0
+
+
+def test_docs_tree_exists():
+    root = Path(__file__).resolve().parent.parent
+    for name in ("README.md", "docs/architecture.md", "docs/tutorial_md.md",
+                 "docs/api.md"):
+        assert (root / name).exists(), name

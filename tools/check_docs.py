@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Docs CI: execute documentation code blocks and verify relative links.
+
+Keeps README.md and docs/ honest:
+
+* every fenced ``python`` code block is executed — blocks within one
+  file share a namespace (tutorials build up state block by block), and
+  any exception fails the check;
+* every relative markdown link target (``[text](path)``, anchors
+  stripped) must exist on disk.
+
+Blocks that must not run (e.g. illustrative pseudo-code) can be fenced
+as ``python no-exec``.  Run from the repository root::
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+FENCE_RE = re.compile(r"^```(\w+)?([^\n`]*)\n(.*?)^```\s*$",
+                      re.MULTILINE | re.DOTALL)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def iter_python_blocks(text: str):
+    for match in FENCE_RE.finditer(text):
+        lang = (match.group(1) or "").lower()
+        info = (match.group(2) or "").strip()
+        if lang == "python" and "no-exec" not in info:
+            line = text[: match.start()].count("\n") + 2
+            yield line, match.group(3)
+
+
+def check_code_blocks(path: Path) -> list[str]:
+    failures = []
+    namespace: dict = {"__name__": f"docs::{path.name}"}
+    for line, code in iter_python_blocks(path.read_text()):
+        t0 = time.perf_counter()
+        try:
+            exec(compile(code, f"{path.name}:{line}", "exec"), namespace)
+        except Exception as exc:  # noqa: BLE001 - report, don't crash
+            failures.append(
+                f"{path.relative_to(ROOT)}:{line}: code block raised "
+                f"{type(exc).__name__}: {exc}")
+        else:
+            print(f"  ok   {path.name}:{line} "
+                  f"({time.perf_counter() - t0:.2f}s)")
+    return failures
+
+
+def check_links(path: Path) -> list[str]:
+    failures = []
+    for target in LINK_RE.findall(path.read_text()):
+        if "://" in target or target.startswith(("mailto:", "#")):
+            continue
+        rel = target.split("#", 1)[0]
+        if not rel:
+            continue
+        if not (path.parent / rel).exists():
+            failures.append(
+                f"{path.relative_to(ROOT)}: broken link -> {target}")
+    return failures
+
+
+def main() -> int:
+    failures: list[str] = []
+    for doc in DOC_FILES:
+        if not doc.exists():
+            failures.append(f"missing documentation file: {doc}")
+            continue
+        print(f"checking {doc.relative_to(ROOT)}")
+        failures += check_code_blocks(doc)
+        failures += check_links(doc)
+    if failures:
+        print("\nDOCS CHECK FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\ndocs check passed ({len(DOC_FILES)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
