@@ -9,7 +9,6 @@ in practice until distributed eigensolvers matured.  Also reports the
 owner-i pair-distribution load imbalance the replicated scheme inherits.
 """
 
-import numpy as np
 
 from repro.bench import print_table, silicon_supercell
 from repro.neighbors import neighbor_list

@@ -10,7 +10,6 @@ four-coordinated silicon (the accuracy half of the trade-off is F6/F9).
 
 import time
 
-import numpy as np
 
 from repro.bench import print_table, silicon_supercell
 from repro.classical import StillingerWeber

@@ -33,6 +33,10 @@ ORDER = 120
 LIN_MULTIPLIERS = (2, 3, 4, 5)   # 64 … 1000 atoms
 DIAG_MULTIPLIERS = (2, 3, 4, 5)
 
+# --quick smoke mode: two tiny sizes, low order, no perf assertions
+QUICK_ORDER = 60
+QUICK_MULTIPLIERS = (1, 2)
+
 
 def _timed_compute(calc, atoms):
     t0 = time.perf_counter()
@@ -44,33 +48,36 @@ def _fit_exponent(ns, ts):
     return float(np.polyfit(np.log(ns), np.log(ts), 1)[0])
 
 
-def test_a7_linscale_crossover(benchmark):
+def test_a7_linscale_crossover(benchmark, quick):
+    order = QUICK_ORDER if quick else ORDER
+    lin_multipliers = QUICK_MULTIPLIERS if quick else LIN_MULTIPLIERS
+    diag_multipliers = QUICK_MULTIPLIERS if quick else DIAG_MULTIPLIERS
     rows = []
     lin_times: dict[int, float] = {}
     diag_times: dict[int, float] = {}
 
-    for m in sorted(set(LIN_MULTIPLIERS) | set(DIAG_MULTIPLIERS)):
+    for m in sorted(set(lin_multipliers) | set(diag_multipliers)):
         at = silicon_supercell(m, rattle_amp=0.03, seed=13)
         n = len(at)
         t_lin = t_diag = float("nan")
         err = float("nan")
-        if m in LIN_MULTIPLIERS:
+        if m in lin_multipliers:
             lin = LinearScalingCalculator(GSPSilicon(), kT=KT, r_loc=R_LOC,
-                                          order=ORDER)
+                                          order=order)
             res_lin, t_lin = _timed_compute(lin, at)
             lin_times[n] = t_lin
-        if m in DIAG_MULTIPLIERS:
+        if m in diag_multipliers:
             diag = TBCalculator(GSPSilicon(), kT=KT)
             res_diag, t_diag = _timed_compute(diag, at)
             diag_times[n] = t_diag
-        if m in LIN_MULTIPLIERS and m in DIAG_MULTIPLIERS:
+        if m in lin_multipliers and m in diag_multipliers:
             err = abs(res_lin["energy"] - res_diag["energy"]) / n
         rows.append([n, 4 * n, t_diag, t_lin,
                      t_diag / t_lin if t_lin == t_lin else float("nan"), err])
 
     print_table(
         f"A7a: O(N) FOE-in-regions vs LAPACK "
-        f"(r_loc = {R_LOC} Å, order = {ORDER}, kT = {KT} eV)",
+        f"(r_loc = {R_LOC} Å, order = {order}, kT = {KT} eV)",
         ["N", "M", "t_diag (s)", "t_linscale (s)", "speedup",
          "|ΔE|/atom (eV)"],
         rows, float_fmt="{:.3g}")
@@ -96,21 +103,23 @@ def test_a7_linscale_crossover(benchmark):
          ["largest-cell speedup", diag_t[-1] / lin_t[-1]]],
         float_fmt="{:.4g}")
 
-    # --- shape assertions -------------------------------------------------
-    assert p_lin < 1.3, f"linscale must scale ~O(N), got N^{p_lin:.2f}"
-    assert p_diag > p_lin + 0.4, \
-        "dense growth must be clearly separated from the O(N) engine's"
-    assert diag_t[-1] > 2.0 * lin_t[-1], \
-        "O(N) engine must clearly beat diagonalisation on the largest cell"
-    assert n_star < max(diag_n), \
-        "measured crossover must lie inside the benchmarked range"
+    # --- shape assertions (skipped in --quick: smoke mode records the
+    # trajectory and catches crashes, never perf regressions) --------------
+    if not quick:
+        assert p_lin < 1.3, f"linscale must scale ~O(N), got N^{p_lin:.2f}"
+        assert p_diag > p_lin + 0.4, \
+            "dense growth must be clearly separated from the O(N) engine's"
+        assert diag_t[-1] > 2.0 * lin_t[-1], \
+            "O(N) engine must clearly beat diagonalisation on the largest cell"
+        assert n_star < max(diag_n), \
+            "measured crossover must lie inside the benchmarked range"
     for row in rows:
         if row[5] == row[5]:  # accuracy cross-check where both ran
             assert row[5] < 0.5, "benchmark settings sanity"
 
     at = silicon_supercell(2, rattle_amp=0.03, seed=13)
     calc = LinearScalingCalculator(GSPSilicon(), kT=KT, r_loc=R_LOC,
-                                   order=ORDER)
+                                   order=order)
     benchmark.pedantic(
         lambda: (calc.invalidate(), calc.compute(at, forces=True)),
         rounds=3, iterations=1)

@@ -39,16 +39,19 @@ WARMUP_STEPS = 1
 MEASURE_STEPS = 4
 
 
-def test_a8_md_fastpath_speedup(benchmark):
-    at_fast = silicon_supercell(MULTIPLIER, rattle_amp=0.03, seed=13)
+def test_a8_md_fastpath_speedup(benchmark, quick):
+    multiplier = 2 if quick else MULTIPLIER     # 64 vs 512 atoms
+    order = 120 if quick else ORDER
+    measure_steps = 2 if quick else MEASURE_STEPS
+    at_fast = silicon_supercell(multiplier, rattle_amp=0.03, seed=13)
     maxwell_boltzmann_velocities(at_fast, TEMPERATURE, seed=7)
     at_cold = copy.deepcopy(at_fast)
     natoms = len(at_fast)
-    assert natoms >= 500
+    assert quick or natoms >= 500
 
-    fast = LinearScalingCalculator(GSPSilicon(), kT=KT, order=ORDER,
+    fast = LinearScalingCalculator(GSPSilicon(), kT=KT, order=order,
                                    reuse=True)
-    cold = LinearScalingCalculator(GSPSilicon(), kT=KT, order=ORDER,
+    cold = LinearScalingCalculator(GSPSilicon(), kT=KT, order=order,
                                    reuse=False)
 
     # interleave the two trajectories step by step so container CPU
@@ -59,7 +62,7 @@ def test_a8_md_fastpath_speedup(benchmark):
     md_fast.run(WARMUP_STEPS)
     md_cold.run(WARMUP_STEPS)
     t_fast, t_cold = [], []
-    for _ in range(MEASURE_STEPS):
+    for _ in range(measure_steps):
         t0 = time.perf_counter()
         md_fast.run(1)
         t_fast.append(time.perf_counter() - t0)
@@ -71,7 +74,7 @@ def test_a8_md_fastpath_speedup(benchmark):
     # force agreement at the fast path's final configuration: evaluate the
     # same positions through a *fresh* rebuild-everything calculator
     f_fast = fast.compute(at_fast, forces=True)["forces"]
-    ref = LinearScalingCalculator(GSPSilicon(), kT=KT, order=ORDER,
+    ref = LinearScalingCalculator(GSPSilicon(), kT=KT, order=order,
                                   reuse=False)
     f_ref = ref.compute(at_fast, forces=True)["forces"]
     fmax_diff = float(np.abs(f_fast - f_ref).max())
@@ -83,19 +86,24 @@ def test_a8_md_fastpath_speedup(benchmark):
         ["reuse off", np.mean(t_cold), min(t_cold), 0, 0],
     ]
     print_table(
-        f"A8: seconds per MD step, {natoms}-atom Si (kT={KT}, K={ORDER})",
+        f"A8: seconds per MD step, {natoms}-atom Si (kT={KT}, K={order})",
         ["path", "mean s/step", "best s/step", "fused solves",
          "NL reuses"], rows, float_fmt="{:.3f}")
     print(f"speedup (cold/fast): {speedup:.2f}x")
     print(f"max |F_fast - F_cold|: {fmax_diff:.3e} eV/Å")
     print(f"fast-path report: {rep}")
 
-    # -- acceptance criteria ------------------------------------------------
-    assert speedup >= 2.0, f"fast path only {speedup:.2f}x faster"
-    assert fmax_diff < 1e-8, f"force discrepancy {fmax_diff:.2e}"
+    # -- acceptance criteria (perf bar skipped in --quick smoke mode) ------
+    if not quick:
+        assert speedup >= 2.0, f"fast path only {speedup:.2f}x faster"
+        assert fmax_diff < 1e-8, f"force discrepancy {fmax_diff:.2e}"
+    else:
+        # correctness still holds at smoke sizes, just with slack for the
+        # lower expansion order (the μ-Taylor remainder is order-limited)
+        assert fmax_diff < 1e-5, f"force discrepancy {fmax_diff:.2e}"
     # the fast path must actually have been exercised
-    assert rep["foe"]["fused"] >= MEASURE_STEPS
-    assert rep["hamiltonian"]["value_updates"] >= MEASURE_STEPS
+    assert rep["foe"]["fused"] >= measure_steps
+    assert rep["hamiltonian"]["value_updates"] >= measure_steps
 
     # steady-state fused step as the headline per-step number
     state = {"rng": np.random.default_rng(3)}

@@ -11,10 +11,9 @@ table).  Expected shape:
 * larger systems scale better (more parallel work per byte moved).
 """
 
-import numpy as np
 
 from repro.bench import print_table
-from repro.parallel import amdahl_speedup, strong_scaling
+from repro.parallel import strong_scaling
 from repro.parallel.scaling import serial_fraction_estimate
 
 PROCS = (1, 2, 4, 8, 16, 32, 64, 128, 256)

@@ -11,7 +11,6 @@ Two panels:
   hexagonal and at graphene-like bond lengths.
 """
 
-import numpy as np
 
 from repro.analysis import bond_statistics, ring_statistics
 from repro.bench import print_table

@@ -6,7 +6,6 @@ Hamiltonian build / diagonalisation / force evaluation.  Expected shape:
 the diagonalisation column grows as N³ and dominates beyond ~100 atoms.
 """
 
-import numpy as np
 
 from repro.bench import print_table, silicon_supercell
 from repro.geometry import rattle

@@ -3,6 +3,11 @@
 The calibration (measured per-phase flop coefficients) is computed once
 per session and shared by every parallel-model benchmark, mirroring how
 the paper's model parameters were measured once on the target machine.
+
+``--quick`` switches the A7/A8/A9 benchmarks into a tiny smoke mode:
+small systems, few repeats, and **no performance assertions** — the CI
+bench-smoke job runs them on every PR to record the perf trajectory
+(JSON artifacts) and to catch crashes, not regressions.
 """
 
 from __future__ import annotations
@@ -11,6 +16,18 @@ import pytest
 
 from repro.parallel import MachineSpec, ReplicatedDataModel, calibrate_step
 from repro.tb import GSPSilicon
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--quick", action="store_true", default=False,
+        help="tiny benchmark smoke mode: small systems, no performance "
+             "assertions (crash detection only)")
+
+
+@pytest.fixture(scope="session")
+def quick(request) -> bool:
+    return bool(request.config.getoption("--quick"))
 
 
 @pytest.fixture(scope="session")

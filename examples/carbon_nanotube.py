@@ -18,7 +18,7 @@ Run:  python examples/carbon_nanotube.py          (~3-4 min)
 
 import argparse
 
-from repro.analysis import bond_statistics, ring_statistics
+from repro.analysis import bond_statistics
 from repro.analysis.coordination import undercoordinated_atoms
 from repro.analysis.rings import count_polygons
 from repro.geometry import nanotube

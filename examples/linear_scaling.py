@@ -26,7 +26,7 @@ from repro.neighbors import neighbor_list
 from repro.tb import GSPSilicon, TBCalculator
 from repro.tb.chebyshev import fermi_operator_expansion
 from repro.tb.hamiltonian import build_hamiltonian
-from repro.tb.purification import purification_energy_forces, purify_density_matrix
+from repro.tb.purification import purification_energy_forces
 
 
 def main():
@@ -47,7 +47,7 @@ def main():
     e_pur, f_pur, res = purification_energy_forces(atoms, model, nl)
     t_pur = time.perf_counter() - t0
     print(f"{len(atoms)} Si atoms, {H.shape[0]} orbitals")
-    print(f"\n--- canonical purification (zero T) ---")
+    print("\n--- canonical purification (zero T) ---")
     print(f"iterations          : {res.iterations}")
     print(f"idempotency error   : {res.idempotency_error:.2e}")
     print(f"energy vs LAPACK    : {abs(e_pur - ref['energy']):.2e} eV")

@@ -12,7 +12,6 @@ machine models (Intel Paragon / Delta / CM-5 presets) and a modern node:
 Run:  python examples/parallel_scaling.py
 """
 
-import numpy as np
 
 from repro.bench import print_table
 from repro.parallel import (

@@ -43,7 +43,7 @@ def main():
     md.run(100)
 
     drift = log.conserved_drift()
-    print(f"\nNVE, 100 fs @ dt = 1 fs from 600 K")
+    print("\nNVE, 100 fs @ dt = 1 fs from 600 K")
     print(f"temperature trace : {sparkline(log.temperature)}")
     print(f"⟨T⟩ = {np.mean(log.temperature):.0f} K "
           f"(equipartition halves the initial 600 K)")

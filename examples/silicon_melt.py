@@ -14,7 +14,6 @@ Run:  python examples/silicon_melt.py          (~2-3 min on one core)
 
 import argparse
 
-import numpy as np
 
 from repro.analysis import (
     angle_distribution, mean_squared_displacement, radial_distribution,

@@ -6,7 +6,6 @@ sweep over, so every run regenerates identical inputs.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.geometry import bulk_silicon, nanotube, rattle, supercell
 from repro.geometry.nanostructures import hydrogen_cap

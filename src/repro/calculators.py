@@ -1,0 +1,105 @@
+"""One factory for every calculator the CLI and the batch service build.
+
+The CLI used to own the model/solver dispatch table; the batch service
+needs the identical table so a structure loaded over the wire gets
+*exactly* the calculator a one-shot ``repro.cli energy`` run would have
+used (the service's state-reuse parity guarantees depend on it).  Both
+now call :func:`make_calculator` with a plain dict spec::
+
+    calc = make_calculator({"model": "gsp-si", "solver": "linscale",
+                            "kT": 0.2, "order": 120})
+
+Unknown keys are rejected — a typo in a service request must surface as
+an error, not silently fall back to a default.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ReproError
+
+#: model names accepted by ``--model`` / the service ``calc`` spec
+TB_MODELS = ("gsp-si", "xu-c", "harrison", "nonortho-si")
+CLASSICAL_MODELS = ("sw-si",)
+SOLVERS = ("diag", "purification", "foe", "linscale")
+
+_SPEC_KEYS = frozenset({"model", "solver", "kT", "order", "r_loc",
+                        "nworkers", "reuse", "skin"})
+
+
+def _coerce(spec: dict, key: str, conv, default):
+    """Numeric spec field → *conv*; bad values become ReproError, so a
+    malformed service request is answered politely instead of being
+    mistaken for a worker crash."""
+    value = spec.get(key, default)
+    if value is None:
+        return None if default is None else conv(default)
+    try:
+        return conv(value)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(
+            f"calculator spec field {key!r} must be a number, got "
+            f"{value!r}") from exc
+
+
+def make_calculator(spec: dict):
+    """Build a calculator from a plain spec dict.
+
+    Keys (all optional except ``model``): ``model``, ``solver`` (one of
+    ``diag`` / ``purification`` / ``foe`` / ``linscale``; ignored-with-
+    error for classical models), ``kT`` (eV), ``order``, ``r_loc`` (Å),
+    ``nworkers``, ``reuse``, ``skin`` (Å).
+    """
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        raise ReproError(
+            f"unknown calculator spec keys {sorted(unknown)}; "
+            f"accepted: {sorted(_SPEC_KEYS)}")
+    name = spec.get("model", "gsp-si")
+    solver = spec.get("solver", "diag")
+    kT = _coerce(spec, "kT", float, 0.0)
+    skin = _coerce(spec, "skin", float, 0.5)
+    if name in CLASSICAL_MODELS:
+        if solver != "diag":
+            raise ReproError(
+                "--solver applies to tight-binding models only (sw-si is "
+                "classical)")
+        from repro.classical import StillingerWeber
+
+        return StillingerWeber(skin=skin)
+    if name not in TB_MODELS:
+        raise ReproError(
+            f"unknown model {name!r}; choose from "
+            f"{TB_MODELS + CLASSICAL_MODELS}")
+    if solver not in SOLVERS:
+        raise ReproError(f"unknown solver {solver!r}; choose from {SOLVERS}")
+
+    from repro.tb import get_model
+
+    model = get_model(name)
+    if solver == "diag":
+        from repro.tb import TBCalculator
+
+        return TBCalculator(model, kT=kT, skin=skin)
+    if solver == "purification":
+        from repro.linscale import DensityMatrixCalculator
+
+        # the constructor rejects kT != 0 with a clear message
+        return DensityMatrixCalculator(model, method="purification", kT=kT,
+                                       skin=skin)
+    if kT <= 0.0:
+        # the Fermi-operator solvers smear by construction
+        kT = 0.1
+        print(f"note: solver {solver!r} needs kT > 0; using kT = {kT} eV")
+    order = _coerce(spec, "order", int, 200)
+    reuse = bool(spec.get("reuse", True))
+    if solver == "foe":
+        from repro.linscale import DensityMatrixCalculator
+
+        return DensityMatrixCalculator(model, method="foe", kT=kT,
+                                       order=order, reuse=reuse, skin=skin)
+    from repro.linscale import LinearScalingCalculator
+
+    return LinearScalingCalculator(
+        model, kT=kT, order=order,
+        r_loc=_coerce(spec, "r_loc", float, None),
+        nworkers=_coerce(spec, "nworkers", int, 1), reuse=reuse, skin=skin)

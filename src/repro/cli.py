@@ -1,4 +1,4 @@
-"""Command-line interface: energy, relaxation and MD from XYZ files.
+"""Command-line interface: energy, relaxation, MD and the batch service.
 
 A thin operational wrapper so downstream users can drive the engine
 without writing Python::
@@ -10,10 +10,17 @@ without writing Python::
     python -m repro.cli relax   structure.xyz --model xu-c --fmax 0.02 -o out.xyz
     python -m repro.cli md      structure.xyz --steps 500 --temperature 1000 \
                                 --thermostat nose-hoover --traj run.xyz
+    python -m repro.cli serve   --socket /tmp/pytbmd.sock --workers 2
+    python -m repro.cli client  --socket /tmp/pytbmd.sock load si.xyz --id si
+    python -m repro.cli client  --socket /tmp/pytbmd.sock eval --id si
 
 ``--solver`` picks the electronic engine: ``diag`` (exact, O(N³)),
 ``purification`` / ``foe`` (dense density-matrix kernels), or
 ``linscale`` — the O(N) Fermi-operator-in-localization-regions path.
+
+``serve`` starts the long-lived multi-structure batch service (resident
+calculator workers, sticky per-structure routing — see docs/service.md);
+``client`` talks to a running server over its Unix socket.
 
 Models: ``gsp-si``, ``xu-c``, ``harrison``, ``nonortho-si`` (tight
 binding) and ``sw-si`` (classical Stillinger–Weber baseline).
@@ -22,52 +29,36 @@ binding) and ``sw-si`` (classical Stillinger–Weber baseline).
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.errors import ReproError
 
 
+def _calc_spec(args) -> dict:
+    """Calculator spec dict from common CLI arguments.
+
+    Only keys the parser actually provides are included — absent keys
+    fall through to :func:`repro.calculators.make_calculator`'s own
+    defaults, which stay the single source of truth.
+    """
+    spec = {"model": args.model, "kT": args.kt,
+            "solver": getattr(args, "solver", "diag")}
+    for key in ("order", "r_loc", "nworkers"):
+        value = getattr(args, key, None)
+        if value is not None:
+            spec[key] = value
+    if getattr(args, "no_reuse", False):
+        spec["reuse"] = False
+    return spec
+
+
 def _make_calculator(name: str, kT: float, args=None):
-    solver = getattr(args, "solver", "diag") if args is not None else "diag"
-    if name == "sw-si":
-        if solver != "diag":
-            raise ReproError(
-                "--solver applies to tight-binding models only (sw-si is "
-                "classical)"
-            )
-        from repro.classical import StillingerWeber
+    from repro.calculators import make_calculator
 
-        return StillingerWeber()
-    from repro.tb import get_model
-
-    model = get_model(name)
-    if solver == "diag":
-        from repro.tb import TBCalculator
-
-        return TBCalculator(model, kT=kT)
-    if solver == "purification":
-        from repro.linscale import DensityMatrixCalculator
-
-        # the constructor rejects kT != 0 with a clear message
-        return DensityMatrixCalculator(model, method="purification", kT=kT)
-    if kT <= 0.0:
-        # the Fermi-operator solvers smear by construction
-        kT = 0.1
-        print(f"note: --solver {solver} needs kT > 0; using kT = {kT} eV")
-    reuse = not getattr(args, "no_reuse", False)
-    if solver == "foe":
-        from repro.linscale import DensityMatrixCalculator
-
-        return DensityMatrixCalculator(model, method="foe", kT=kT,
-                                       order=args.order, reuse=reuse)
-    if solver == "linscale":
-        from repro.linscale import LinearScalingCalculator
-
-        return LinearScalingCalculator(model, kT=kT, r_loc=args.r_loc,
-                                       order=args.order,
-                                       nworkers=args.nworkers,
-                                       reuse=reuse)
-    raise ReproError(f"unknown solver {solver!r}")  # pragma: no cover
+    spec = _calc_spec(args) if args is not None else {"model": name, "kT": kT}
+    spec["model"], spec["kT"] = name, kT
+    return make_calculator(spec)
 
 
 def cmd_models(_args) -> int:
@@ -153,6 +144,87 @@ def cmd_md(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service import BatchService, UnixSocketServer
+
+    budget = None
+    if args.memory_budget_mb is not None:
+        budget = int(args.memory_budget_mb * 1024 * 1024)
+    service = BatchService(nworkers=args.workers,
+                           memory_budget_bytes=budget,
+                           debug_ops=args.debug_ops)
+    server = UnixSocketServer(service, args.socket,
+                              batch_window_s=args.batch_window_ms / 1e3,
+                              max_batch=args.max_batch)
+    server.start()
+    print(f"batch service listening on {args.socket} "
+          f"({args.workers} worker{'s' if args.workers != 1 else ''}"
+          f"{', debug ops ON' if args.debug_ops else ''})")
+    print("stop with Ctrl-C or a client 'shutdown' request")
+    server.serve_forever()
+    print("drained and stopped")
+    return 0
+
+
+def cmd_client(args) -> int:
+    from repro.service import SocketClient
+
+    with SocketClient(args.socket) as client:
+        action = args.action
+        if action == "ping":
+            print("pong" if client.ping() else "no pong")
+            return 0
+        if action == "load":
+            from repro.geometry import read_xyz
+
+            atoms = read_xyz(args.structure)
+            resp = client.load(args.id, atoms, calc=_calc_spec(args))
+            print(f"loaded {resp['structure_id']} ({resp['natoms']} atoms) "
+                  f"on worker {resp['worker']} [{resp['calculator']}]")
+            return 0
+        if action == "eval":
+            positions = None
+            if args.positions_from:
+                from repro.geometry import read_xyz
+
+                positions = read_xyz(args.positions_from).positions
+            resp = client.evaluate(args.id, positions=positions,
+                                   forces=args.forces)
+            print(f"energy           : {resp['energy']:.6f} eV "
+                  f"({resp['energy'] / resp['natoms']:.6f} eV/atom)")
+            print(f"state reuse      : {'warm' if resp['warm'] else 'cold'} "
+                  f"(worker {resp['worker']})")
+            if args.forces:
+                import numpy as np
+
+                print(f"max |force|      : "
+                      f"{np.abs(resp['forces']).max():.6f} eV/Å")
+            return 0
+        if action == "relax-step":
+            resp = client.relax_step(args.id, step_size=args.step_size,
+                                     max_step=args.max_step)
+            print(f"energy {resp['energy']:.6f} eV, "
+                  f"fmax {resp['fmax']:.4f} eV/Å, "
+                  f"max displacement {resp['max_disp']:.4f} Å")
+            return 0
+        if action == "unload":
+            client.unload(args.id)
+            print(f"unloaded {args.id}")
+            return 0
+        if action == "list":
+            for sid in client.list_structures():
+                print(sid)
+            return 0
+        if action == "stats":
+            print(json.dumps(client.stats(), indent=2))
+            return 0
+        if action == "shutdown":
+            client.shutdown()
+            print("server draining")
+            return 0
+    raise ReproError(f"unknown client action {args.action!r}")  # pragma: no cover
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro.cli",
@@ -207,6 +279,54 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--seed", type=int, default=42)
     pm.add_argument("--traj", help="write trajectory XYZ here")
     pm.add_argument("--traj-interval", type=int, default=10)
+
+    ps = sub.add_parser(
+        "serve", help="run the multi-structure batch service")
+    ps.add_argument("--socket", default="/tmp/pytbmd.sock",
+                    help="Unix socket path to listen on")
+    ps.add_argument("--workers", type=int, default=1,
+                    help="resident calculator workers (structures are "
+                         "sticky-routed across them)")
+    ps.add_argument("--memory-budget-mb", type=float, default=None,
+                    help="evict least-recently-used calculator state "
+                         "beyond this budget (MB); default unlimited")
+    ps.add_argument("--batch-window-ms", type=float, default=2.0,
+                    help="request-coalescing window")
+    ps.add_argument("--max-batch", type=int, default=64,
+                    help="cap on one coalesced batch")
+    ps.add_argument("--debug-ops", action="store_true",
+                    help="honour debug_crash fault injection (tests)")
+
+    pc = sub.add_parser("client", help="talk to a running batch service")
+    pc.add_argument("--socket", default="/tmp/pytbmd.sock")
+    ca = pc.add_subparsers(dest="action", required=True)
+    cl = ca.add_parser("load", help="register a structure")
+    cl.add_argument("structure", help="input (extended-)XYZ file")
+    cl.add_argument("--id", required=True, help="structure id")
+    cl.add_argument("--model", default="gsp-si",
+                    choices=["gsp-si", "xu-c", "harrison", "nonortho-si",
+                             "sw-si"])
+    cl.add_argument("--solver", default="diag",
+                    choices=["diag", "purification", "foe", "linscale"])
+    cl.add_argument("--kt", type=float, default=0.0)
+    cl.add_argument("--order", type=int, default=200)
+    cl.add_argument("--r-loc", type=float, default=6.0, dest="r_loc")
+    ce = ca.add_parser("eval", help="energy/forces of a loaded structure")
+    ce.add_argument("--id", required=True)
+    ce.add_argument("--forces", action="store_true")
+    ce.add_argument("--positions-from",
+                    help="XYZ file whose positions update the resident "
+                         "structure before evaluating")
+    cr = ca.add_parser("relax-step", help="one damped descent step")
+    cr.add_argument("--id", required=True)
+    cr.add_argument("--step-size", type=float, default=0.05)
+    cr.add_argument("--max-step", type=float, default=0.1)
+    cu = ca.add_parser("unload", help="drop a structure")
+    cu.add_argument("--id", required=True)
+    ca.add_parser("list", help="list loaded structure ids")
+    ca.add_parser("stats", help="service statistics (JSON)")
+    ca.add_parser("ping", help="liveness probe")
+    ca.add_parser("shutdown", help="drain and stop the server")
     return p
 
 
@@ -217,6 +337,8 @@ def main(argv=None) -> int:
         "energy": cmd_energy,
         "relax": cmd_relax,
         "md": cmd_md,
+        "serve": cmd_serve,
+        "client": cmd_client,
     }[args.command]
     try:
         return handler(args)

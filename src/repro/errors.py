@@ -59,3 +59,13 @@ class ParallelError(ReproError):
 
 class IOFormatError(ReproError):
     """Malformed structure or trajectory file."""
+
+
+class ServiceError(ReproError):
+    """Batch-service misuse: unknown structure id, bad lifecycle call."""
+
+
+class ProtocolError(ServiceError):
+    """Malformed service request: bad JSON, unknown op, missing or
+    ill-shaped fields.  Always answered with an error *response* — a
+    broken client must never take the server down."""

@@ -34,7 +34,6 @@ def supercell(atoms: Atoms, reps) -> Atoms:
     shifts = [i * h[0] + j * h[1] + k * h[2]
               for i, j, k in itertools.product(
                   range(reps[0]), range(reps[1]), range(reps[2]))]
-    n = len(atoms)
     pos = np.vstack([atoms.positions + s for s in shifts])
     vel = np.vstack([atoms.velocities] * len(shifts))
     masses = np.tile(atoms.masses, len(shifts))

@@ -119,7 +119,13 @@ class MDDriver:
             "results": res,
         }
         if hasattr(self.calc, "state_report"):
-            data["calc_report"] = self.calc.state_report()
+            # diagnostics only — a calculator whose stats channel fails
+            # independently of compute (e.g. a remote calculator) must
+            # not take the trajectory down
+            try:
+                data["calc_report"] = self.calc.state_report()
+            except Exception:
+                data["calc_report"] = None
         return data
 
     def _notify(self, data: dict) -> None:

@@ -27,7 +27,7 @@ import numpy as np
 
 from repro.errors import MDError
 from repro.md.verlet import Integrator
-from repro.units import FORCE_TO_ACC, KB, MASS_VEL2_TO_EV
+from repro.units import FORCE_TO_ACC, KB
 from repro.utils.rng import default_rng
 
 

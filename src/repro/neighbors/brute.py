@@ -37,7 +37,6 @@ def brute_force_neighbors(atoms, rcut: float) -> NeighborList:
         pos = cell.wrap(pos)
         diam = float(cell.lengths[np.asarray(cell.pbc)].sum()) + 1e-9
         translations = cell.translations_within(rcut, dmax=diam)
-        frac_shift = None
     else:
         translations = np.zeros((1, 3))
 

@@ -24,16 +24,21 @@ from repro.tb.slater_koster import sk_blocks
 
 
 def map_tasks(worker, tasks, nworkers: int = 1, executor=None) -> list:
-    """Map a pure picklable *worker* over *tasks*, preserving order.
+    """Map a *worker* over *tasks*, preserving order.
 
     The one dispatch policy every pool consumer shares (H assembly,
-    repulsion, and the localization-region solves of
-    :mod:`repro.linscale.foe_local`):
+    repulsion, the localization-region solves of
+    :mod:`repro.linscale.foe_local`, and the per-worker batch fan-out of
+    :meth:`repro.service.service.BatchService.submit_many`):
 
     * ``executor`` given — use it (tests inject serial executors; a caller
-      can keep one ``ProcessPoolExecutor`` alive across MD steps);
+      can keep one ``ProcessPoolExecutor`` alive across MD steps; the
+      batch service passes a ``ThreadPoolExecutor`` because its worker
+      objects are not picklable — any ``concurrent.futures`` executor
+      works);
     * ``nworkers == 1`` — run inline, no IPC;
-    * otherwise — a fresh ``ProcessPoolExecutor(nworkers)``.
+    * otherwise — a fresh ``ProcessPoolExecutor(nworkers)`` (*worker* and
+      *tasks* must then be picklable).
     """
     if nworkers < 1:
         raise ParallelError("nworkers must be >= 1")

@@ -1,0 +1,57 @@
+"""Request coalescing for the socket transport.
+
+Connection reader threads push ``(request, reply)`` pairs into a
+:class:`CoalescingQueue`; a single dispatcher thread pulls *batches*:
+it blocks for the first item, then keeps gathering until the queue runs
+dry, a short coalescing window expires, or the batch cap is hit.  The
+gathered batch goes to :meth:`BatchService.submit_many` in one call, so
+requests that arrive close together — 16 MD clients all asking for
+forces at once — are grouped into per-worker batches instead of paying
+one dispatch round-trip each.
+
+The queue is also the service's back-pressure signal: its depth is what
+the ``stats`` endpoint reports.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+
+
+class CoalescingQueue:
+    """A thread-safe queue drained in adaptive batches."""
+
+    def __init__(self, batch_window_s: float = 0.002, max_batch: int = 64):
+        self._q: queue.Queue = queue.Queue()
+        self.batch_window_s = float(batch_window_s)
+        self.max_batch = int(max_batch)
+
+    def put(self, item) -> None:
+        self._q.put(item)
+
+    def depth(self) -> int:
+        return self._q.qsize()
+
+    def get_batch(self, timeout: float = 0.25) -> list:
+        """Block up to *timeout* for the first item, then coalesce.
+
+        Returns an empty list on timeout (the dispatcher uses that to
+        poll its stop flag).
+        """
+        try:
+            first = self._q.get(timeout=timeout)
+        except queue.Empty:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.batch_window_s
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            try:
+                if remaining <= 0:
+                    batch.append(self._q.get_nowait())
+                else:
+                    batch.append(self._q.get(timeout=remaining))
+            except queue.Empty:
+                break
+        return batch

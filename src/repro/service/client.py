@@ -1,0 +1,193 @@
+"""Clients for the batch service: in-process and over the socket.
+
+:class:`BatchClient` wraps a :class:`~repro.service.service.BatchService`
+directly — no serialization, no threads — and is what the tests and the
+throughput benchmark drive.  :class:`SocketClient` speaks the JSON-lines
+protocol over a Unix socket to a running ``repro serve``.  Both expose
+the same convenience surface (``load`` / ``evaluate`` / ``evaluate_many``
+/ ``relax_step`` / ``stats`` / …), built on a single ``request`` /
+``request_many`` primitive, so code written against one runs against the
+other.
+
+Responses are returned as plain dicts.  By default a ``{"ok": false}``
+response is raised as :class:`~repro.errors.ServiceError` — pass
+``raise_on_error=False`` to inspect error envelopes instead.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+import numpy as np
+
+from repro.errors import ServiceError
+from repro.service import protocol
+
+
+class _ClientBase:
+    """Shared convenience surface over ``request`` / ``request_many``."""
+
+    raise_on_error = True
+
+    def request(self, op: str, **fields) -> dict:
+        return self.request_many([dict(fields, op=op)])[0]
+
+    def request_many(self, requests: list[dict]) -> list[dict]:
+        raise NotImplementedError  # pragma: no cover
+
+    def _check(self, responses: list[dict]) -> list[dict]:
+        if self.raise_on_error:
+            for resp in responses:
+                if not resp.get("ok", False):
+                    err = resp.get("error") or {}
+                    raise ServiceError(
+                        f"service error [{err.get('type', '?')}]: "
+                        f"{err.get('message', 'unknown failure')}")
+        return responses
+
+    # -- convenience ops ----------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request("ping").get("pong"))
+
+    def load(self, structure_id: str, atoms, calc: dict | None = None
+             ) -> dict:
+        """Register *atoms* under *structure_id* with a calculator spec."""
+        return self.request("load", structure_id=structure_id,
+                            structure=protocol.encode_atoms(atoms),
+                            calc=calc or {})
+
+    def evaluate(self, structure_id: str, positions=None, cell=None,
+                 forces: bool = True) -> dict:
+        """Energy (+forces) of a resident structure; *positions* / *cell*
+        update it in place first (the state-reuse path)."""
+        req: dict = {"structure_id": structure_id, "forces": forces}
+        if positions is not None:
+            req["positions"] = np.asarray(positions, dtype=float)
+        if cell is not None:
+            req["cell"] = np.asarray(cell, dtype=float)
+        res = self.request("eval", **req)
+        if forces and "forces" in res:
+            res["forces"] = np.asarray(res["forces"], dtype=float)
+        return res
+
+    def evaluate_many(self, requests: list[dict]) -> list[dict]:
+        """Batch of eval requests (dicts of ``evaluate`` keyword args).
+
+        This is the throughput path: the whole list reaches the service
+        as one batch and is fanned to the sticky workers together.
+        """
+        msgs = []
+        for r in requests:
+            msg = {"op": "eval", "structure_id": r["structure_id"],
+                   "forces": r.get("forces", True)}
+            if r.get("positions") is not None:
+                msg["positions"] = np.asarray(r["positions"], dtype=float)
+            if r.get("cell") is not None:
+                msg["cell"] = np.asarray(r["cell"], dtype=float)
+            msgs.append(msg)
+        out = self.request_many(msgs)
+        for res in out:
+            if "forces" in res:
+                res["forces"] = np.asarray(res["forces"], dtype=float)
+        return out
+
+    def relax_step(self, structure_id: str, step_size: float = 0.05,
+                   max_step: float = 0.1) -> dict:
+        res = self.request("relax_step", structure_id=structure_id,
+                           step_size=step_size, max_step=max_step)
+        res["positions"] = np.asarray(res["positions"], dtype=float)
+        return res
+
+    def unload(self, structure_id: str) -> dict:
+        return self.request("unload", structure_id=structure_id)
+
+    def list_structures(self) -> list[str]:
+        return list(self.request("list")["structures"])
+
+    def stats(self) -> dict:
+        return self.request("stats")["stats"]
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+
+class BatchClient(_ClientBase):
+    """In-process client: calls the service synchronously, no transport.
+
+    The request dicts are handed to the service as-is (numpy arrays and
+    all), which keeps the test/benchmark path free of serialization cost
+    while exercising the identical service core as the socket path.
+    """
+
+    def __init__(self, service, raise_on_error: bool = True):
+        self.service = service
+        self.raise_on_error = bool(raise_on_error)
+        self._ids = itertools.count(1)
+
+    def request_many(self, requests: list[dict]) -> list[dict]:
+        for req in requests:
+            req.setdefault("id", next(self._ids))
+        return self._check(self.service.submit_many(requests))
+
+
+class SocketClient(_ClientBase):
+    """JSON-lines client for a ``repro serve`` Unix socket.
+
+    Not thread-safe: use one client per thread (each keeps its own
+    request-id counter and receive buffer).
+    """
+
+    def __init__(self, socket_path: str, timeout: float = 300.0,
+                 raise_on_error: bool = True):
+        self.socket_path = str(socket_path)
+        self.raise_on_error = bool(raise_on_error)
+        self._ids = itertools.count(1)
+        self._buf = b""
+        self._pending: dict = {}
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout)
+        self._sock.connect(self.socket_path)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    def request_many(self, requests: list[dict]) -> list[dict]:
+        ids = []
+        payload = b""
+        for req in requests:
+            req.setdefault("id", next(self._ids))
+            ids.append(req["id"])
+            payload += protocol.dumps(req)
+        self._sock.sendall(payload)
+        return self._check([self._recv_response(rid) for rid in ids])
+
+    def _recv_response(self, rid) -> dict:
+        if rid in self._pending:
+            return self._pending.pop(rid)
+        while True:
+            while b"\n" in self._buf:
+                line, self._buf = self._buf.split(b"\n", 1)
+                if not line.strip():
+                    continue
+                resp = protocol.loads(line)
+                if resp.get("id") == rid:
+                    return resp
+                self._pending[resp.get("id")] = resp
+            try:
+                chunk = self._sock.recv(1 << 16)
+            except socket.timeout as exc:
+                raise ServiceError(
+                    f"timed out waiting for response {rid!r} from "
+                    f"{self.socket_path}") from exc
+            if not chunk:
+                raise ServiceError(
+                    f"server closed the connection before answering "
+                    f"request {rid!r}")
+            self._buf += chunk

@@ -1,0 +1,170 @@
+"""The batch-service wire protocol: JSON-lines requests and responses.
+
+One request per line, one response per line, matched by a client-chosen
+``id`` echoed back verbatim.  The same message dicts flow through the
+in-process :class:`~repro.service.client.BatchClient` (no serialization)
+and the Unix-socket server (``json.dumps`` + ``\\n``), so every byte of
+behaviour exercised by the socket path is also exercised by the tests'
+in-process path.  Python's ``json`` round-trips floats through ``repr``,
+so positions survive the socket bit-for-bit — the service's state-reuse
+parity guarantee holds across the wire, not just in process.
+
+Request envelope::
+
+    {"id": <any>, "op": "<op>", ...op fields...}
+
+Success / error responses::
+
+    {"id": <echoed>, "ok": true,  ...result fields...}
+    {"id": <echoed>, "ok": false, "error": {"type": "...", "message": "..."}}
+
+Ops
+---
+``ping``
+    Liveness probe → ``{"pong": true}``.
+``load``
+    Register a structure: ``structure_id``, ``structure`` (see
+    :func:`encode_atoms`), optional ``calc`` spec dict (see
+    :func:`repro.calculators.make_calculator`).
+``eval``
+    Energy (and with ``forces: true`` forces/stress) of a registered
+    structure; optional ``positions`` / ``cell`` update the resident
+    structure in place first — consecutive evals with drifting positions
+    ride the calculator's state-reuse fast path.
+``relax_step``
+    One damped steepest-descent step on the resident structure
+    (``step_size``, ``max_step`` Å); returns ``energy``, ``fmax`` and the
+    new ``positions``.
+``unload`` / ``list`` / ``stats``
+    Lifecycle and introspection.
+``shutdown``
+    Ask the server to drain and stop (socket transport only).
+``debug_crash``
+    Kill the worker that owns ``structure_id`` (only honoured when the
+    service was built with ``debug_ops=True`` — the crash-recovery tests'
+    fault injector).
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.errors import ProtocolError, ReproError
+
+#: every op the service understands; ``shutdown`` is intercepted by the
+#: socket transport, the rest reach :class:`repro.service.service.BatchService`
+OPS = ("ping", "load", "eval", "relax_step", "unload", "list", "stats",
+       "shutdown", "debug_crash")
+
+#: ops that address one structure and therefore route to its sticky worker
+STRUCTURE_OPS = ("load", "eval", "relax_step", "unload", "debug_crash")
+
+
+def encode_atoms(atoms) -> dict:
+    """Structure → plain-JSON dict (symbols, positions, cell, pbc)."""
+    return {
+        "symbols": list(atoms.symbols),
+        "positions": np.asarray(atoms.positions, dtype=float).tolist(),
+        "cell": np.asarray(atoms.cell.matrix, dtype=float).tolist(),
+        "pbc": [bool(p) for p in atoms.cell.pbc],
+    }
+
+
+def decode_atoms(d: dict):
+    """Plain-JSON dict → :class:`~repro.geometry.atoms.Atoms` (validated)."""
+    from repro.geometry.atoms import Atoms
+    from repro.geometry.cell import Cell
+
+    if not isinstance(d, dict):
+        raise ProtocolError("'structure' must be an object")
+    for key in ("symbols", "positions"):
+        if key not in d:
+            raise ProtocolError(f"structure is missing {key!r}")
+    try:
+        positions = as_positions(d["positions"])
+        cell = d.get("cell")
+        if cell is not None:
+            cell = Cell(as_cell(cell),
+                        pbc=tuple(d.get("pbc", (True, True, True))))
+        return Atoms(list(d["symbols"]), positions, cell=cell)
+    except ReproError:
+        raise
+    except Exception as exc:
+        raise ProtocolError(f"bad structure payload: {exc}") from exc
+
+
+def as_positions(obj) -> np.ndarray:
+    """Validate an (N, 3) float position payload."""
+    try:
+        pos = np.asarray(obj, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"positions are not numeric: {exc}") from exc
+    if pos.ndim != 2 or pos.shape[1] != 3 or not np.isfinite(pos).all():
+        raise ProtocolError(
+            f"positions must be a finite (N, 3) array, got shape "
+            f"{getattr(pos, 'shape', None)}")
+    return pos
+
+
+def as_cell(obj) -> np.ndarray:
+    """Validate a 3×3 float cell-matrix payload."""
+    try:
+        mat = np.asarray(obj, dtype=float)
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"cell is not numeric: {exc}") from exc
+    if mat.shape != (3, 3):
+        raise ProtocolError(f"cell must be 3x3, got {mat.shape}")
+    return mat
+
+
+def validate_request(req) -> dict:
+    """Check the envelope of one decoded request (op known, id JSON-safe)."""
+    if not isinstance(req, dict):
+        raise ProtocolError(f"request must be an object, got {type(req).__name__}")
+    op = req.get("op")
+    if op not in OPS:
+        raise ProtocolError(f"unknown op {op!r}; valid ops: {', '.join(OPS)}")
+    if op in STRUCTURE_OPS:
+        sid = req.get("structure_id")
+        if not isinstance(sid, str) or not sid:
+            raise ProtocolError(f"op {op!r} needs a non-empty string "
+                                f"'structure_id'")
+    return req
+
+
+def ok_response(req, **fields) -> dict:
+    resp = {"id": req.get("id"), "ok": True}
+    resp.update(fields)
+    return resp
+
+
+def error_response(req, exc: Exception) -> dict:
+    """Uniform error envelope; the exception class name is the ``type``."""
+    rid = req.get("id") if isinstance(req, dict) else None
+    return {"id": rid, "ok": False,
+            "error": {"type": type(exc).__name__, "message": str(exc)}}
+
+
+def _jsonable(obj):
+    """json.dumps fallback: numpy arrays/scalars → plain Python."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def dumps(message: dict) -> bytes:
+    """One protocol line, newline-terminated, ready for ``sendall``."""
+    return (json.dumps(message, separators=(",", ":"), allow_nan=False,
+                       default=_jsonable) + "\n").encode()
+
+
+def loads(line: bytes | str) -> dict:
+    """Decode one protocol line; raises :class:`ProtocolError` on garbage."""
+    try:
+        return json.loads(line)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"request is not valid JSON: {exc}") from exc

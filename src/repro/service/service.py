@@ -1,0 +1,435 @@
+"""The multi-structure batch service: sticky workers, batching, lifecycle.
+
+:class:`BatchService` is the transport-independent core behind both the
+Unix-socket server and the in-process :class:`~repro.service.client.BatchClient`.
+It owns
+
+* a **worker pool** (:class:`~repro.service.worker.Worker`) — each worker
+  is the exclusive owner of a set of structures and their resident
+  calculators, so per-structure state reuse needs no cross-worker
+  coordination;
+* a **sticky routing table** — a structure is assigned to the
+  least-loaded worker at ``load`` and every later request for it goes to
+  the same worker (the whole point: the calculator that has the warm
+  Verlet lists / H pattern / regions / window / μ must be the one that
+  answers);
+* a **batcher** — :meth:`submit_many` coalesces concurrent requests into
+  one ordered batch per worker and fans the per-worker batches through
+  :func:`repro.parallel.pool.map_tasks` (inline for one worker, a shared
+  thread executor for several — worker objects are not picklable, and
+  the numerical kernels release the GIL inside BLAS);
+* **lifecycle** — per-structure eviction under a memory budget (LRU on
+  measured resident bytes, snapshot retained), worker crash recovery
+  (crashed worker replaced, its structures lazily re-materialized from
+  their :class:`~repro.state.StructureSnapshot`), graceful drain, and a
+  ``stats`` endpoint (queue depth, reuse hit rate, p50/p99 latency).
+
+Consistency guarantees:
+
+* requests for one structure are totally ordered (sticky worker + one
+  batch at a time per worker);
+* a re-materialized structure answers exactly like a cold calculator —
+  snapshots capture only client-visible state, never calculator caches.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError, ServiceError
+from repro.parallel.pool import map_tasks
+from repro.service import protocol
+from repro.service.worker import Worker
+from repro.state import StructureSnapshot
+
+
+@dataclass
+class _StructureRecord:
+    """Master-side bookkeeping for one registered structure."""
+
+    structure_id: str
+    worker_id: int
+    snapshot: StructureSnapshot
+    calc_spec: dict
+    resident: bool = True
+    evals: int = 0
+    last_used: float = field(default_factory=time.monotonic)
+
+
+class BatchService:
+    """Transport-independent batch-evaluation service.
+
+    Parameters
+    ----------
+    nworkers :
+        Resident calculator workers.  Structures are spread over workers
+        at ``load`` time and stay put (sticky routing).
+    memory_budget_bytes :
+        Soft cap on measured resident calculator state, enforced after
+        every batch by LRU eviction (the most recently used structure is
+        never evicted — a budget smaller than one structure must degrade
+        to per-request re-materialization, not to an empty service).
+        ``None`` disables eviction.
+    pool_threads :
+        Fan per-worker batches through a shared thread executor when
+        > 1.  Defaults to ``min(nworkers, 4)``; 1 dispatches inline.
+    debug_ops :
+        Honour the ``debug_crash`` fault-injection op (tests only).
+    """
+
+    LATENCY_WINDOW = 4096
+
+    def __init__(self, nworkers: int = 1,
+                 memory_budget_bytes: int | None = None,
+                 pool_threads: int | None = None,
+                 debug_ops: bool = False):
+        if nworkers < 1:
+            raise ServiceError("nworkers must be >= 1")
+        self.debug_ops = bool(debug_ops)
+        self.memory_budget_bytes = memory_budget_bytes
+        self.workers: list[Worker] = [Worker(i, debug_ops=debug_ops)
+                                      for i in range(nworkers)]
+        self._worker_locks = [threading.RLock() for _ in range(nworkers)]
+        self._registry_lock = threading.RLock()
+        self._records: dict[str, _StructureRecord] = {}
+        if pool_threads is None:
+            pool_threads = min(nworkers, 4)
+        self._executor = (ThreadPoolExecutor(max_workers=pool_threads)
+                          if pool_threads > 1 else None)
+        self._latencies_ms: deque = deque(maxlen=self.LATENCY_WINDOW)
+        self._queue_depth_fn = None     # set by the socket transport
+        self._started = time.monotonic()
+        self._draining = False
+        self._counters = {
+            "requests_total": 0, "errors_total": 0, "batches": 0,
+            "batched_requests": 0, "max_batch": 0, "worker_crashes": 0,
+            "evictions": 0, "rematerializations": 0,
+            "warm_evals": 0, "cold_evals": 0,
+        }
+
+    # -- public API ---------------------------------------------------------
+    def submit(self, request: dict) -> dict:
+        """Handle one request synchronously (== a batch of one)."""
+        return self.submit_many([request])[0]
+
+    def submit_many(self, requests: list[dict]) -> list[dict]:
+        """Handle a batch of requests; responses align with *requests*.
+
+        Requests touching different workers run concurrently (when the
+        service has a thread pool); requests for one structure run in
+        list order on its sticky worker.
+        """
+        t_submit = time.perf_counter()
+        responses: list[dict | None] = [None] * len(requests)
+        per_worker: dict[int, list[tuple[int, dict]]] = {}
+
+        for idx, req in enumerate(requests):
+            try:
+                req = protocol.validate_request(req)
+                op = req["op"]
+                if op in ("ping", "stats", "list", "shutdown"):
+                    responses[idx] = self._service_op(req)
+                    continue
+                if op == "load":
+                    # decode + snapshot the payload *before* routing —
+                    # never inside the registry lock (a big structure
+                    # must not stall every other client's routing)
+                    req["_atoms"] = protocol.decode_atoms(
+                        req.get("structure"))
+                    req["_snapshot"] = StructureSnapshot.capture(
+                        req["_atoms"])
+                wid = self._route(req)
+                per_worker.setdefault(wid, []).append((idx, req))
+            except Exception as exc:
+                responses[idx] = protocol.error_response(req, exc)
+
+        if per_worker:
+            batches = sorted(per_worker.items())
+            with self._registry_lock:
+                self._counters["batches"] += len(batches)
+                self._counters["batched_requests"] += sum(
+                    len(b) for _, b in batches)
+                self._counters["max_batch"] = max(
+                    self._counters["max_batch"],
+                    max(len(b) for _, b in batches))
+            results = map_tasks(self._run_worker_batch, batches,
+                                nworkers=1, executor=self._executor)
+            for batch_out in results:
+                for idx, resp in batch_out:
+                    responses[idx] = resp
+
+        now = time.perf_counter()
+        with self._registry_lock:
+            self._counters["requests_total"] += len(requests)
+            for req, resp in zip(requests, responses):
+                if resp is not None and not resp.get("ok", False):
+                    self._counters["errors_total"] += 1
+                t0 = req.get("_t0", t_submit) if isinstance(req, dict) \
+                    else t_submit
+                self._latencies_ms.append(1e3 * (now - t0))
+        self._enforce_memory_budget()
+        return responses
+
+    def drain(self) -> None:
+        """Stop admitting new work and wait for in-flight batches."""
+        self._draining = True
+        for lock in self._worker_locks:
+            with lock:
+                pass
+
+    def close(self) -> None:
+        """Drain and release the dispatch thread pool."""
+        self.drain()
+        if self._executor is not None:
+            self._executor.shutdown()
+            self._executor = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- routing and service-level ops --------------------------------------
+    def _route(self, req: dict) -> int:
+        """Sticky worker id for a structure op (assigning on ``load``)."""
+        sid = req["structure_id"]
+        with self._registry_lock:
+            if self._draining and req["op"] != "unload":
+                raise ServiceError("service is draining; not accepting work")
+            rec = self._records.get(sid)
+            if req["op"] == "load":
+                if rec is None:
+                    counts = {i: 0 for i in range(len(self.workers))}
+                    for r in self._records.values():
+                        counts[r.worker_id] += 1
+                    wid = min(counts, key=lambda i: (counts[i], i))
+                    # provisional until the worker accepts the load —
+                    # _bookkeep_success commits it, a failure removes it
+                    rec = _StructureRecord(
+                        structure_id=sid, worker_id=wid,
+                        snapshot=req["_snapshot"],
+                        calc_spec=dict(req.get("calc") or {}),
+                        resident=False)
+                    self._records[sid] = rec
+                    req["_new_record"] = True
+                # reload keeps the sticky assignment; snapshot and spec
+                # are replaced only after the worker accepts the load
+                return rec.worker_id
+            if rec is None:
+                raise ServiceError(
+                    f"unknown structure {sid!r} — load it first")
+            return rec.worker_id
+
+    def _service_op(self, req: dict) -> dict:
+        op = req["op"]
+        if op == "ping":
+            return protocol.ok_response(req, pong=True)
+        if op == "list":
+            with self._registry_lock:
+                return protocol.ok_response(req, structures=sorted(
+                    self._records))
+        if op == "stats":
+            return protocol.ok_response(req, stats=self.stats())
+        if op == "shutdown":
+            # the transport watches for this and stops its loops; the
+            # in-process client treats it as a drain request
+            self._draining = True
+            return protocol.ok_response(req, draining=True)
+        raise ServiceError(f"unhandled service op {op!r}")  # pragma: no cover
+
+    # -- worker batch execution ---------------------------------------------
+    def _run_worker_batch(self, batch: tuple[int, list[tuple[int, dict]]]
+                          ) -> list[tuple[int, dict]]:
+        wid, items = batch
+        out: list[tuple[int, dict]] = []
+        with self._worker_locks[wid]:
+            for idx, req in items:
+                out.append((idx, self._run_one(wid, req)))
+        return out
+
+    def _run_one(self, wid: int, req: dict) -> dict:
+        worker = self.workers[wid]
+        sid = req.get("structure_id")
+        with self._registry_lock:
+            rec = self._records.get(sid)
+        try:
+            if rec is not None and not rec.resident \
+                    and req["op"] not in ("load", "unload"):
+                # unload is excluded: rebuilding a calculator just to
+                # discard it would be pure waste
+                try:
+                    self._rematerialize(worker, rec)
+                except ReproError as exc:
+                    # a calculator that cannot be rebuilt (e.g. model
+                    # parameters went away) is this request's problem,
+                    # not grounds to discard the whole worker
+                    return protocol.error_response(req, ServiceError(
+                        f"re-materializing structure "
+                        f"{rec.structure_id!r} failed: {exc}"))
+            resp = worker.handle(req)
+        except Exception as exc:
+            self._handle_crash(wid, exc)
+            resp = protocol.error_response(req, ServiceError(
+                f"worker {wid} crashed handling this request "
+                f"({type(exc).__name__}: {exc}); its structures will be "
+                f"re-materialized from their last snapshots"))
+        if resp.get("ok"):
+            self._bookkeep_success(rec, req, resp)
+        elif req["op"] == "load" and req.get("_new_record"):
+            # a first load the worker rejected — or crashed on — must
+            # not leave a registry entry behind; later requests still
+            # answer "load it first"
+            with self._registry_lock:
+                self._records.pop(req["structure_id"], None)
+        return resp
+
+    def _bookkeep_success(self, rec: _StructureRecord | None, req: dict,
+                          resp: dict) -> None:
+        op = req["op"]
+        with self._registry_lock:
+            if rec is None:
+                return
+            if op == "unload":
+                self._records.pop(rec.structure_id, None)
+                return
+            rec.last_used = time.monotonic()
+            if op == "load":
+                # the worker accepted the (re)load: commit snapshot + spec
+                rec.snapshot = req["_snapshot"]
+                rec.calc_spec = dict(req.get("calc") or {})
+                rec.resident = True
+                return
+            rec.evals += 1
+            if "warm" in resp:
+                key = "warm_evals" if resp["warm"] else "cold_evals"
+                self._counters[key] += 1
+            # advance the snapshot to the client-visible geometry
+            if op == "relax_step":
+                rec.snapshot.update(positions=resp["positions"])
+            else:
+                pos = req.get("positions")
+                cell = req.get("cell")
+                if pos is not None or cell is not None:
+                    rec.snapshot.update(positions=pos, cell=cell)
+
+    def _rematerialize(self, worker: Worker, rec: _StructureRecord) -> None:
+        """Bring an evicted / crash-lost structure back from its snapshot
+        (a cold calculator — answers must match a fresh one exactly)."""
+        atoms = rec.snapshot.materialize()
+        worker.load_structure(rec.structure_id, atoms, rec.calc_spec)
+        with self._registry_lock:
+            rec.resident = True
+            self._counters["rematerializations"] += 1
+
+    def _handle_crash(self, wid: int, exc: Exception) -> None:
+        """Replace a crashed worker; its structures rebuild lazily."""
+        with self._registry_lock:
+            self.workers[wid] = Worker(wid, debug_ops=self.debug_ops)
+            for rec in self._records.values():
+                if rec.worker_id == wid:
+                    rec.resident = False
+            self._counters["worker_crashes"] += 1
+
+    # -- eviction ------------------------------------------------------------
+    def _enforce_memory_budget(self) -> None:
+        if self.memory_budget_bytes is None:
+            return
+        with self._registry_lock:
+            resident = [r for r in self._records.values() if r.resident]
+            if len(resident) <= 1:
+                return
+            usage = self._resident_bytes()
+            if usage <= self.memory_budget_bytes:
+                return
+            # LRU first; never evict the most recently used structure
+            resident.sort(key=lambda r: r.last_used)
+            victims = []
+            for rec in resident[:-1]:
+                if usage <= self.memory_budget_bytes:
+                    break
+                slot = self.workers[rec.worker_id].slots.get(
+                    rec.structure_id)
+                if slot is None:       # stale residency flag, nothing held
+                    rec.resident = False
+                    continue
+                usage -= slot.bytes_estimate
+                victims.append((rec, rec.last_used))
+        for rec, seen_last_used in victims:
+            # worker-then-registry, the same order the batch path uses
+            with self._worker_locks[rec.worker_id]:
+                with self._registry_lock:
+                    if not rec.resident or rec.last_used != seen_last_used:
+                        continue   # touched since selection — spare it
+                    rec.resident = False
+                    evicted = self.workers[rec.worker_id].slots.pop(
+                        rec.structure_id, None)
+                    if evicted is not None:
+                        self._counters["evictions"] += 1
+
+    def _resident_bytes(self) -> int:
+        return sum(w.resident_bytes_total() for w in self.workers)
+
+    # -- introspection -------------------------------------------------------
+    def stats(self) -> dict:
+        """The ``stats`` endpoint payload (all plain-JSON values)."""
+        with self._registry_lock:
+            c = dict(self._counters)
+            lat = np.asarray(self._latencies_ms, dtype=float)
+            now = time.monotonic()
+            structures = {}
+            for sid, rec in sorted(self._records.items()):
+                slot = self.workers[rec.worker_id].slots.get(sid)
+                structures[sid] = {
+                    "worker": rec.worker_id,
+                    "resident": rec.resident,
+                    "natoms": len(rec.snapshot.symbols),
+                    "evals": rec.evals,
+                    "idle_s": round(now - rec.last_used, 3),
+                    "resident_bytes": (slot.bytes_estimate
+                                       if slot is not None else 0),
+                }
+            evals = c["warm_evals"] + c["cold_evals"]
+            batches = max(c["batches"], 1)
+            return {
+                "uptime_s": round(now - self._started, 3),
+                "n_workers": len(self.workers),
+                "draining": self._draining,
+                "queue_depth": (self._queue_depth_fn()
+                                if self._queue_depth_fn else 0),
+                "requests_total": c["requests_total"],
+                "errors_total": c["errors_total"],
+                "batches": {"count": c["batches"],
+                            "mean_size": round(
+                                c["batched_requests"] / batches, 3),
+                            "max_size": c["max_batch"]},
+                "latency_ms": {
+                    "count": int(lat.size),
+                    "p50": (round(float(np.percentile(lat, 50)), 3)
+                            if lat.size else None),
+                    "p99": (round(float(np.percentile(lat, 99)), 3)
+                            if lat.size else None),
+                },
+                "state_reuse": {
+                    "warm_evals": c["warm_evals"],
+                    "cold_evals": c["cold_evals"],
+                    "hit_rate": (round(c["warm_evals"] / evals, 4)
+                                 if evals else None),
+                },
+                "lifecycle": {
+                    "worker_crashes": c["worker_crashes"],
+                    "evictions": c["evictions"],
+                    "rematerializations": c["rematerializations"],
+                },
+                "memory": {
+                    "budget_bytes": self.memory_budget_bytes,
+                    "resident_bytes": self._resident_bytes(),
+                },
+                "structures": structures,
+            }

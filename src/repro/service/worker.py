@@ -1,0 +1,232 @@
+"""A resident calculator worker: one owner per structure, state kept hot.
+
+Each :class:`Worker` holds a set of structures as live
+:class:`~repro.geometry.atoms.Atoms` objects paired with the calculator
+that has been evaluating them (:class:`LinearScalingCalculator`,
+:class:`TBCalculator`, …).  Because the service routes every request for
+a structure to the *same* worker (sticky routing), consecutive requests
+hit the calculator's persistent state — Verlet lists, sparse-H patterns,
+localization regions, spectral window, warm μ — through the normal
+:class:`repro.state.CalculatorState` contract.  The worker does nothing
+special to enable that; it just refrains from throwing the calculator
+away between requests, which is exactly what the one-shot CLI cannot do.
+
+Error containment: any :class:`~repro.errors.ReproError` raised while
+handling a request (unknown structure, bad model input, non-convergence)
+is converted to an error *response* for that request alone.  Anything
+else escaping :meth:`Worker.handle` is treated by the service as a
+worker **crash**: the worker object is discarded, and its structures are
+re-materialized from their snapshots on next touch.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.calculators import make_calculator
+from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.service import protocol
+from repro.utils.memory import resident_bytes
+
+
+class WorkerCrashError(Exception):
+    """Deliberately *not* a ReproError: the fault injector behind the
+    ``debug_crash`` op, modelling segfault-class failures that must take
+    the whole worker down rather than answer politely."""
+
+
+class StructureSlot:
+    """One resident structure: live atoms + calculator + counters."""
+
+    def __init__(self, structure_id: str, atoms, calc_spec: dict):
+        self.structure_id = structure_id
+        self.atoms = atoms
+        self.calc_spec = dict(calc_spec)
+        self.calc = make_calculator(self.calc_spec)
+        self.evals = 0
+        self.created = time.monotonic()
+        self.last_used = self.created
+        self.bytes_estimate = 0
+
+    def refresh_accounting(self) -> None:
+        self.last_used = time.monotonic()
+        self.bytes_estimate = resident_bytes(self.calc) \
+            + resident_bytes(self.atoms)
+
+
+class Worker:
+    """Handles one batch of requests at a time for its resident structures."""
+
+    def __init__(self, worker_id: int, debug_ops: bool = False):
+        self.worker_id = worker_id
+        self.debug_ops = bool(debug_ops)
+        self.slots: dict[str, StructureSlot] = {}
+
+    # -- lifecycle (called by the service, not by clients directly) --------
+    def load_structure(self, structure_id: str, atoms, calc_spec: dict
+                       ) -> StructureSlot:
+        slot = StructureSlot(structure_id, atoms, calc_spec)
+        self.slots[structure_id] = slot
+        return slot
+
+    def evict(self, structure_id: str) -> None:
+        self.slots.pop(structure_id, None)
+
+    def resident_ids(self) -> list[str]:
+        return list(self.slots)
+
+    def resident_bytes_total(self) -> int:
+        return sum(s.bytes_estimate for s in self.slots.values())
+
+    # -- request handling ---------------------------------------------------
+    def handle(self, req: dict) -> dict:
+        """One request → one response.  ReproErrors become error
+        responses; everything else propagates as a crash."""
+        try:
+            op = req["op"]
+            if op == "eval":
+                return self._op_eval(req)
+            if op == "relax_step":
+                return self._op_relax_step(req)
+            if op == "load":
+                return self._op_load(req)
+            if op == "unload":
+                self.evict(req["structure_id"])
+                return protocol.ok_response(req, unloaded=True)
+            if op == "debug_crash":
+                if not self.debug_ops:
+                    raise ServiceError(
+                        "debug_crash is disabled (start the service with "
+                        "debug_ops=True to enable fault injection)")
+                raise WorkerCrashError(
+                    f"debug_crash requested for worker {self.worker_id}")
+            raise ProtocolError(f"op {op!r} is not a worker op")
+        except WorkerCrashError:
+            raise
+        except ReproError as exc:
+            # calculator/protocol-level failures answer politely; anything
+            # else (programming errors, fault injection) crashes the
+            # worker and the service rebuilds it
+            return protocol.error_response(req, exc)
+
+    def _slot(self, req: dict) -> StructureSlot:
+        sid = req["structure_id"]
+        slot = self.slots.get(sid)
+        if slot is None:
+            raise ServiceError(
+                f"structure {sid!r} is not resident on worker "
+                f"{self.worker_id} — load it first")
+        return slot
+
+    def _op_load(self, req: dict) -> dict:
+        sid = req["structure_id"]
+        atoms = req.get("_atoms")
+        if atoms is None:
+            atoms = protocol.decode_atoms(req.get("structure"))
+        slot = self.load_structure(sid, atoms, req.get("calc") or {})
+        slot.refresh_accounting()
+        return protocol.ok_response(
+            req, structure_id=sid, natoms=len(atoms),
+            worker=self.worker_id,
+            calculator=type(slot.calc).__name__)
+
+    def _apply_geometry(self, slot: StructureSlot, req: dict):
+        """Update the resident structure in place from request fields.
+
+        *Every* field is validated before anything is mutated, and the
+        pre-request geometry is returned so a failing compute can be
+        rolled back — an error response must leave the resident
+        structure exactly where the client last saw it succeed.
+        """
+        pos = cell = None
+        if req.get("positions") is not None:
+            pos = protocol.as_positions(req["positions"])
+            if pos.shape != slot.atoms.positions.shape:
+                raise ProtocolError(
+                    f"positions shape {pos.shape} does not match resident "
+                    f"structure {slot.atoms.positions.shape}")
+        if req.get("cell") is not None:
+            from repro.geometry.cell import Cell
+
+            cell = Cell(protocol.as_cell(req["cell"]),
+                        pbc=slot.atoms.cell.pbc)
+        if pos is None and cell is None:
+            return None
+        undo = (slot.atoms.positions.copy(), slot.atoms.cell)
+        if pos is not None:
+            slot.atoms.positions[:] = pos
+        if cell is not None:
+            slot.atoms.cell = cell
+        return undo
+
+    @staticmethod
+    def _revert_geometry(slot: StructureSlot, undo) -> None:
+        if undo is not None:
+            slot.atoms.positions[:] = undo[0]
+            slot.atoms.cell = undo[1]
+
+    def _op_eval(self, req: dict) -> dict:
+        slot = self._slot(req)
+        undo = self._apply_geometry(slot, req)
+        warm = slot.evals > 0
+        want_forces = bool(req.get("forces", True))
+        try:
+            res = slot.calc.compute(slot.atoms, forces=want_forces)
+        except ReproError:
+            self._revert_geometry(slot, undo)
+            raise
+        slot.evals += 1
+        slot.refresh_accounting()
+        out = {
+            "structure_id": slot.structure_id,
+            "natoms": len(slot.atoms),
+            "energy": res["energy"],
+            "free_energy": res.get("free_energy", res["energy"]),
+            "warm": warm,
+            "worker": self.worker_id,
+        }
+        for key in ("fermi_level", "pressure_gpa", "gap"):
+            if key in res:
+                out[key] = res[key]
+        if want_forces:
+            # copy: the response must never alias the calculator's
+            # cached results array (an in-process client mutating the
+            # returned forces would otherwise corrupt the cache)
+            out["forces"] = res["forces"].copy()
+        return protocol.ok_response(req, **out)
+
+    def _op_relax_step(self, req: dict) -> dict:
+        from repro.relax.base import energy_and_forces, max_force
+
+        slot = self._slot(req)
+        try:
+            step_size = float(req.get("step_size", 0.05))
+            max_step = float(req.get("max_step", 0.1))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(
+                f"step_size/max_step must be numbers: {exc}") from exc
+        if step_size <= 0 or max_step <= 0:
+            raise ProtocolError("step_size and max_step must be > 0")
+        undo = self._apply_geometry(slot, req)
+        warm = slot.evals > 0
+        try:
+            energy, forces = energy_and_forces(slot.atoms, slot.calc)
+        except ReproError:
+            self._revert_geometry(slot, undo)
+            raise
+        slot.evals += 1
+        import numpy as np
+
+        disp = step_size * forces
+        norms = np.linalg.norm(disp, axis=1)
+        big = norms > max_step
+        if big.any():
+            disp[big] *= (max_step / norms[big])[:, None]
+        slot.atoms.positions += disp
+        slot.refresh_accounting()
+        applied = float(np.minimum(norms, max_step).max(initial=0.0))
+        return protocol.ok_response(
+            req, structure_id=slot.structure_id, energy=energy,
+            fmax=max_force(forces), max_disp=applied,
+            positions=slot.atoms.positions.copy(), worker=self.worker_id,
+            warm=warm)

@@ -36,7 +36,7 @@ replacement) is always detected.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -105,6 +105,59 @@ class ChangeReport:
         """
         return (self.first_call or self.natoms_changed
                 or self.species_changed or self.params_changed)
+
+
+@dataclass
+class StructureSnapshot:
+    """A restorable copy of one structure's client-visible state.
+
+    The batch service keeps one of these per registered structure —
+    *outside* the worker that owns the live ``Atoms``/calculator pair —
+    so an evicted or crash-lost structure can always be re-materialized
+    into a fresh calculator.  Only client-visible state is captured
+    (species, positions, cell, pbc, velocities); calculator caches are
+    deliberately not part of it: a re-materialized structure starts cold
+    and must reproduce the cold calculator's answers exactly.
+    """
+
+    symbols: tuple
+    positions: np.ndarray
+    cell: np.ndarray
+    pbc: tuple
+    velocities: np.ndarray | None = None
+    generation: int = field(default=0)
+
+    @classmethod
+    def capture(cls, atoms) -> "StructureSnapshot":
+        """Deep-copy the client-visible state of *atoms*."""
+        vel = np.asarray(atoms.velocities, dtype=float)
+        return cls(
+            symbols=tuple(atoms.symbols),
+            positions=np.array(atoms.positions, dtype=float, copy=True),
+            cell=np.array(atoms.cell.matrix, dtype=float, copy=True),
+            pbc=tuple(bool(p) for p in atoms.cell.pbc),
+            velocities=vel.copy() if np.any(vel) else None,
+        )
+
+    def update(self, positions=None, cell=None, velocities=None) -> None:
+        """Advance the snapshot after a successful mutating request."""
+        if positions is not None:
+            self.positions = np.array(positions, dtype=float, copy=True)
+        if cell is not None:
+            self.cell = np.array(cell, dtype=float, copy=True)
+        if velocities is not None:
+            self.velocities = np.array(velocities, dtype=float, copy=True)
+        self.generation += 1
+
+    def materialize(self):
+        """Rebuild a fresh :class:`~repro.geometry.atoms.Atoms` object."""
+        from repro.geometry.atoms import Atoms
+        from repro.geometry.cell import Cell
+
+        cell = Cell(self.cell.copy(), pbc=self.pbc)
+        return Atoms(list(self.symbols), self.positions.copy(), cell=cell,
+                     velocities=None if self.velocities is None
+                     else self.velocities.copy())
 
 
 class CalculatorState:

@@ -24,7 +24,6 @@ from repro.tb.occupations import (
     electronic_entropy,
     fermi_dirac_occupations,
     homo_lumo_gap,
-    zero_temperature_occupations,
     find_fermi_level,
     fermi_function,
 )

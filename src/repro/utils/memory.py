@@ -1,0 +1,67 @@
+"""Resident-memory accounting for calculator state.
+
+The batch service keeps many structures' calculators alive at once and
+has to decide *which* to evict when a memory budget is exceeded.  The
+honest currency for that decision is bytes actually held in numpy
+buffers — neighbour-list pair arrays, CSR Hamiltonians, cached density
+rows, results dicts — not a hand-tuned per-atom constant that drifts as
+the calculators evolve.
+
+:func:`resident_bytes` walks an object graph (``__dict__``, dicts,
+lists/tuples/sets, dataclass-ish containers) and sums the ``nbytes`` of
+every distinct ``numpy.ndarray`` it can reach, with an id-based visited
+set so shared buffers (e.g. a Verlet list handing its pair arrays to the
+results dict) are counted once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: graph-walk depth bound — calculator state is shallow; the bound only
+#: guards against pathological self-referential structures
+_MAX_DEPTH = 8
+
+
+def resident_bytes(obj, _visited: set[int] | None = None,
+                   _depth: int = 0) -> int:
+    """Total bytes of numpy array data reachable from *obj* (deduplicated)."""
+    if _visited is None:
+        _visited = set()
+    if _depth > _MAX_DEPTH or obj is None:
+        return 0
+    oid = id(obj)
+    if oid in _visited:
+        return 0
+    _visited.add(oid)
+
+    if isinstance(obj, np.ndarray):
+        # count the owning buffer once, however many views reach it
+        base = obj.base if obj.base is not None else obj
+        bid = id(base)
+        if bid in _visited and base is not obj:
+            return 0
+        _visited.add(bid)
+        return int(base.nbytes)
+    if isinstance(obj, (str, bytes, int, float, complex, bool)):
+        return 0
+
+    total = 0
+    if isinstance(obj, dict):
+        for v in obj.values():
+            total += resident_bytes(v, _visited, _depth + 1)
+        return total
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        for v in obj:
+            total += resident_bytes(v, _visited, _depth + 1)
+        return total
+
+    # scipy sparse matrices and plain objects both expose their arrays
+    # through __dict__ / slots; walk whatever attribute dict exists
+    d = getattr(obj, "__dict__", None)
+    if d is not None:
+        total += resident_bytes(d, _visited, _depth + 1)
+    for slot in getattr(type(obj), "__slots__", ()) or ():
+        if hasattr(obj, slot):
+            total += resident_bytes(getattr(obj, slot), _visited, _depth + 1)
+    return total

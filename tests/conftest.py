@@ -7,7 +7,6 @@ in benchmarks/.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.geometry import bulk_silicon, diamond_cubic, graphene_sheet, rattle, supercell

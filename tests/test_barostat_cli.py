@@ -27,7 +27,6 @@ def test_npt_relaxes_compressed_cell_toward_zero_pressure():
 
 
 def test_npt_expands_compressed_and_contracts_stretched():
-    sw = StillingerWeber()
     for factor, direction in ((0.95, +1), (1.05, -1)):
         at = scale_volume(supercell(bulk_silicon(), 2), factor)
         v0 = at.cell.volume

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ElectronicError, ModelError
-from repro.geometry import bulk_silicon, rattle
 from repro.tb import GSPSilicon, NonOrthogonalSilicon, TBCalculator
 
 

@@ -1,11 +1,10 @@
 """Hamiltonian assembly: symmetry, folding, k-points, species mixing."""
 
 import numpy as np
-import pytest
 
-from repro.geometry import Atoms, Cell, bulk_silicon, rattle, supercell
+from repro.geometry import Atoms, Cell, bulk_silicon, supercell
 from repro.neighbors import neighbor_list
-from repro.tb import GSPSilicon, HarrisonModel, NonOrthogonalSilicon
+from repro.tb import GSPSilicon
 from repro.tb.eigensolvers import solve_eigh
 from repro.tb.hamiltonian import (
     build_hamiltonian, build_hamiltonian_k, orbital_offsets,

@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.geometry import Atoms, Cell, bulk_silicon, random_cluster, rattle
+from repro.geometry import Atoms, bulk_silicon, random_cluster, rattle
 from repro.tb import GSPSilicon, TBCalculator, XuCarbon
 
 

@@ -18,7 +18,7 @@ import pytest
 import scipy.sparse as sp
 
 from repro.errors import ElectronicError, ModelError
-from repro.geometry import bulk_silicon, rattle, supercell
+from repro.geometry import bulk_silicon, rattle
 from repro.linscale import (
     DensityMatrixCalculator,
     LinearScalingCalculator,
@@ -31,7 +31,7 @@ from repro.linscale import (
 )
 from repro.tb.purification import lanczos_spectral_bounds
 from repro.neighbors import neighbor_list
-from repro.tb import GSPSilicon, NonOrthogonalSilicon, TBCalculator, XuCarbon
+from repro.tb import GSPSilicon, TBCalculator
 from repro.tb.forces import density_matrices
 from repro.tb.hamiltonian import build_hamiltonian
 

@@ -10,7 +10,7 @@ from repro.neighbors import neighbor_list
 from repro.tb import GSPSilicon, HarrisonModel, NonOrthogonalSilicon, TBCalculator, XuCarbon
 from repro.tb.bands import band_structure
 from repro.tb.populations import (
-    analyze_populations, bond_order_matrix, mulliken_charges,
+    analyze_populations, bond_order_matrix,
     mulliken_populations,
 )
 

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import MDError
-from repro.geometry import bulk_silicon, rattle, supercell
+from repro.geometry import bulk_silicon, supercell
 from repro.md import (
     BerendsenThermostat, LangevinDynamics, MDDriver, NoseHoover,
     NoseHooverChain, TemperatureRamp, ThermoLog, VelocityRescale,
