@@ -15,6 +15,8 @@ an error, not silently fall back to a default.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ReproError
 
 #: model names accepted by ``--model`` / the service ``calc`` spec
@@ -23,7 +25,34 @@ CLASSICAL_MODELS = ("sw-si",)
 SOLVERS = ("diag", "purification", "foe", "linscale")
 
 _SPEC_KEYS = frozenset({"model", "solver", "kT", "order", "r_loc",
-                        "nworkers", "reuse", "skin"})
+                        "nworkers", "reuse", "skin", "kgrid"})
+
+
+def parse_kgrid(value) -> tuple[int, int, int] | None:
+    """Normalise a k-grid spec: ``None``, an int, ``"n1xn2xn3"`` (the CLI
+    form), or a 3-sequence → MP divisions tuple (or ``None`` for Γ)."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        parts = value.lower().replace("×", "x").split("x")
+        if len(parts) == 1:
+            parts = parts * 3
+        if len(parts) != 3:
+            raise ReproError(
+                f"kgrid must look like 'n1xn2xn3' or 'n', got {value!r}")
+        value = parts
+    if np.isscalar(value):
+        value = (value,) * 3
+    try:
+        if any(float(v) != int(v) for v in value):
+            raise ValueError
+        grid = tuple(int(v) for v in value)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(f"kgrid divisions must be integers, got {value!r}") \
+            from exc
+    if len(grid) != 3 or any(g < 1 for g in grid):
+        raise ReproError(f"kgrid needs three divisions >= 1, got {value!r}")
+    return grid
 
 
 def _coerce(spec: dict, key: str, conv, default):
@@ -47,7 +76,9 @@ def make_calculator(spec: dict):
     Keys (all optional except ``model``): ``model``, ``solver`` (one of
     ``diag`` / ``purification`` / ``foe`` / ``linscale``; ignored-with-
     error for classical models), ``kT`` (eV), ``order``, ``r_loc`` (Å),
-    ``nworkers``, ``reuse``, ``skin`` (Å).
+    ``nworkers``, ``reuse``, ``skin`` (Å), ``kgrid`` (Monkhorst–Pack
+    divisions — ``"n1xn2xn3"``, an int, or a 3-sequence; ``diag`` and
+    ``linscale`` only).
     """
     unknown = set(spec) - _SPEC_KEYS
     if unknown:
@@ -58,11 +89,18 @@ def make_calculator(spec: dict):
     solver = spec.get("solver", "diag")
     kT = _coerce(spec, "kT", float, 0.0)
     skin = _coerce(spec, "skin", float, 0.5)
+    kgrid = parse_kgrid(spec.get("kgrid"))
+    if kgrid is not None and solver not in ("diag", "linscale"):
+        raise ReproError(
+            "kgrid is supported by the 'diag' and 'linscale' solvers only "
+            "(the dense purification/foe kernels are Γ-point)")
     if name in CLASSICAL_MODELS:
         if solver != "diag":
             raise ReproError(
                 "--solver applies to tight-binding models only (sw-si is "
                 "classical)")
+        if kgrid is not None:
+            raise ReproError("kgrid applies to tight-binding models only")
         from repro.classical import StillingerWeber
 
         return StillingerWeber(skin=skin)
@@ -79,7 +117,7 @@ def make_calculator(spec: dict):
     if solver == "diag":
         from repro.tb import TBCalculator
 
-        return TBCalculator(model, kT=kT, skin=skin)
+        return TBCalculator(model, kT=kT, skin=skin, kpts=kgrid)
     if solver == "purification":
         from repro.linscale import DensityMatrixCalculator
 
@@ -102,4 +140,5 @@ def make_calculator(spec: dict):
     return LinearScalingCalculator(
         model, kT=kT, order=order,
         r_loc=_coerce(spec, "r_loc", float, None),
-        nworkers=_coerce(spec, "nworkers", int, 1), reuse=reuse, skin=skin)
+        nworkers=_coerce(spec, "nworkers", int, 1), reuse=reuse, skin=skin,
+        kpts=kgrid)

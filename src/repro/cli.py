@@ -7,6 +7,8 @@ without writing Python::
     python -m repro.cli energy  structure.xyz --model gsp-si
     python -m repro.cli energy  structure.xyz --solver linscale --r-loc 6 \
                                 --kt 0.1 --order 200
+    python -m repro.cli energy  metal.xyz --solver linscale --kgrid 4x4x4 \
+                                --kt 0.2 --order 300
     python -m repro.cli relax   structure.xyz --model xu-c --fmax 0.02 -o out.xyz
     python -m repro.cli md      structure.xyz --steps 500 --temperature 1000 \
                                 --thermostat nose-hoover --traj run.xyz
@@ -17,6 +19,9 @@ without writing Python::
 ``--solver`` picks the electronic engine: ``diag`` (exact, O(N³)),
 ``purification`` / ``foe`` (dense density-matrix kernels), or
 ``linscale`` — the O(N) Fermi-operator-in-localization-regions path.
+``--kgrid n1xn2xn3`` switches ``diag`` and ``linscale`` to Monkhorst–Pack
+k sampling (energies *and* forces, so MD/relax work) — the small-cell
+metal mode; see docs/kpoints.md.
 
 ``serve`` starts the long-lived multi-structure batch service (resident
 calculator workers, sticky per-structure routing — see docs/service.md);
@@ -44,7 +49,7 @@ def _calc_spec(args) -> dict:
     """
     spec = {"model": args.model, "kT": args.kt,
             "solver": getattr(args, "solver", "diag")}
-    for key in ("order", "r_loc", "nworkers"):
+    for key in ("order", "r_loc", "nworkers", "kgrid"):
         value = getattr(args, key, None)
         if value is not None:
             spec[key] = value
@@ -83,6 +88,9 @@ def cmd_energy(args) -> int:
         print(f"O(N) regions     : {res['n_regions']} "
               f"(max {stats['atoms_max']} atoms), order {res['order']}, "
               f"r_loc {res['r_loc']:.2f} Å")
+    if "n_kpoints" in res:
+        print(f"k-points         : {res['n_kpoints']} "
+              f"(Monkhorst-Pack, time-reversal reduced)")
     import numpy as np
 
     print(f"max |force|      : {np.abs(res['forces']).max():.6f} eV/Å")
@@ -252,6 +260,11 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument("--nworkers", type=int, default=1,
                         help="process-pool workers for region solves "
                              "(linscale)")
+        sp.add_argument("--kgrid", default=None, metavar="n1xn2xn3",
+                        help="Monkhorst-Pack k grid (e.g. 4x4x4, or one "
+                             "int for isotropic); time-reversal reduced. "
+                             "Small-cell metals via diag or linscale; "
+                             "default Γ-only")
         sp.add_argument("--no-reuse", action="store_true", dest="no_reuse",
                         help="disable step-to-step state reuse (neighbor "
                              "lists, Hamiltonian pattern, regions, spectral "
@@ -311,6 +324,8 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument("--kt", type=float, default=0.0)
     cl.add_argument("--order", type=int, default=200)
     cl.add_argument("--r-loc", type=float, default=6.0, dest="r_loc")
+    cl.add_argument("--kgrid", default=None, metavar="n1xn2xn3",
+                    help="Monkhorst-Pack k grid (diag/linscale)")
     ce = ca.add_parser("eval", help="energy/forces of a loaded structure")
     ce.add_argument("--id", required=True)
     ce.add_argument("--forces", action="store_true")

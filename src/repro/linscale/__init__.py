@@ -9,10 +9,15 @@ The subsystem that removes the O(N³) eigensolve from the MD step:
 * :mod:`~repro.linscale.foe_local` — the Chebyshev Fermi-operator
   expansion evaluated region-by-region: moments → μ, core density rows →
   band energy, entropy, Mulliken populations, Hellmann–Feynman forces;
+* :mod:`~repro.linscale.kfoe` — the k-point-parallel engine: the same
+  region recursion on complex Bloch Hamiltonians H(k), one spectral
+  window per k, MP-weighted moments → one common μ, weighted per-k
+  density matrices and forces (small-cell metals, strain sweeps);
 * :mod:`~repro.linscale.calculator` — :class:`LinearScalingCalculator`
   (drop-in for :class:`~repro.tb.calculator.TBCalculator` in MD,
-  relaxation and the CLI) and :class:`DensityMatrixCalculator` (dense
-  purification / global FOE behind the same interface).
+  relaxation and the CLI, Γ or k-sampled via ``kpts=``) and
+  :class:`DensityMatrixCalculator` (dense purification / global FOE
+  behind the same interface).
 """
 
 from repro.linscale.calculator import (
@@ -26,6 +31,13 @@ from repro.linscale.foe_local import (
     solve_density_regions_fused,
     sparse_band_forces,
 )
+from repro.linscale.kfoe import (
+    KRegionFOEResult,
+    solve_density_regions_k,
+    solve_density_regions_k_fused,
+    sparse_band_forces_k,
+    spectral_windows_k,
+)
 from repro.linscale.regions import (
     LocalizationRegion,
     extract_regions,
@@ -34,6 +46,7 @@ from repro.linscale.regions import (
 from repro.linscale.sparse_hamiltonian import (
     SparseHamiltonianBuilder,
     build_sparse_hamiltonian,
+    build_sparse_hamiltonian_k,
     hamiltonian_fill_fraction,
 )
 
@@ -41,14 +54,20 @@ __all__ = [
     "LinearScalingCalculator",
     "DensityMatrixCalculator",
     "RegionFOEResult",
+    "KRegionFOEResult",
     "solve_density_regions",
     "solve_density_regions_fused",
+    "solve_density_regions_k",
+    "solve_density_regions_k_fused",
     "sparse_band_forces",
+    "sparse_band_forces_k",
+    "spectral_windows_k",
     "chemical_potential_from_moments",
     "LocalizationRegion",
     "extract_regions",
     "region_statistics",
     "SparseHamiltonianBuilder",
     "build_sparse_hamiltonian",
+    "build_sparse_hamiltonian_k",
     "hamiltonian_fill_fraction",
 ]

@@ -67,8 +67,14 @@ from repro.linscale.foe_local import (
     solve_density_regions_fused,
     sparse_band_forces,
 )
+from repro.linscale.kfoe import (
+    solve_density_regions_k,
+    solve_density_regions_k_fused,
+    sparse_band_forces_k,
+)
 from repro.linscale.regions import extract_regions, region_statistics
 from repro.linscale.sparse_hamiltonian import SparseHamiltonianBuilder
+from repro.tb.kpoints import frac_to_cartesian, monkhorst_pack
 
 
 def _padded_lanczos_window(H) -> tuple[float, float]:
@@ -208,12 +214,22 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
     rho_tol :
         Acceptable μ-Taylor remainder in the fused density matrix; the
         fused solve falls back to an exact second pass beyond it.
+    kpts :
+        ``None`` for the Γ-point engine, or a Monkhorst–Pack size
+        tuple / int for the k-sampled engine
+        (:mod:`repro.linscale.kfoe`): complex per-(k, region) blocks off
+        the one cached bond pattern, one cached spectral window per k,
+        MP-weighted moments → one common μ, weighted density-row and
+        force assembly.  The grid is time-reversal reduced (−k folded
+        onto +k with doubled weight).  This is the path for *small-cell
+        metals* — tiny periodic cells whose Γ-only folding would need a
+        large supercell.
     """
 
     def __init__(self, model, kT: float = 0.1, r_loc: float | None = None,
                  order: int = 150, nworkers: int = 1, executor=None,
                  neighbor_method: str = "auto", skin: float = 0.5,
-                 reuse: bool = True, rho_tol: float = 1e-10):
+                 reuse: bool = True, rho_tol: float = 1e-10, kpts=None):
         if not model.orthogonal:
             raise ElectronicError(
                 "LinearScalingCalculator supports orthogonal models only "
@@ -237,6 +253,11 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self.executor = executor
         self.reuse = bool(reuse)
         self.rho_tol = float(rho_tol)
+        if kpts is None:
+            self.kpts_frac = None
+            self.kweights = None
+        else:
+            self.kpts_frac, self.kweights = monkhorst_pack(kpts)
         self._own_pool = None
         self.timer = PhaseTimer()
         self._neighbor_method = neighbor_method
@@ -253,7 +274,9 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self.invalidate()
 
     def _params(self) -> tuple:
-        return (self.kT, self.r_loc, self.order)
+        ksig = None if self.kpts_frac is None else \
+            tuple(map(tuple, np.round(self.kpts_frac, 12)))
+        return (self.kT, self.r_loc, self.order, ksig)
 
     def _reset_persistent(self) -> None:
         """Drop every step-to-step cache; the next compute is cold."""
@@ -263,6 +286,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self._regions = None
         self._regions_sig = None
         self._window = None
+        self._windows_k = None
         self._mu_hist: list[float] = []
         self._last_solve_mode = "none"
         self._gmaps = None
@@ -312,6 +336,14 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self._window = _padded_lanczos_window(H)
         self._counters["window_refreshes"] += 1
         return self._window
+
+    def _refresh_windows_k(self, H_k) -> list[tuple[float, float]]:
+        """Per-k twin of :meth:`_refresh_window` — one padded window per
+        H(k) (Bloch spectra shift with k, so one shared window would
+        either leak or over-widen every expansion)."""
+        self._windows_k = [_padded_lanczos_window(H) for H in H_k]
+        self._counters["window_refreshes"] += 1
+        return self._windows_k
 
     #: cap on cached densification-map memory (bytes); beyond it the
     #: fused solve falls back to CSR slicing — maps cost O(Σ n_region²),
@@ -393,6 +425,9 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
 
         model = self.model
         model.check_species(atoms.symbols)
+        kmode = self.kpts_frac is not None
+        if kmode and not atoms.cell.periodic:
+            raise ElectronicError("k-point sampling requires a periodic cell")
 
         with self.timer.phase("neighbors"):
             nl = self._vlist.update(atoms)
@@ -400,21 +435,34 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
 
         with self.timer.phase("hamiltonian"):
             moved = report.moved if self.reuse else None
-            H = self._hbuilder.build(atoms, nl, moved=moved)
+            if kmode:
+                kcarts = frac_to_cartesian(self.kpts_frac, atoms.cell)
+                H_k = self._hbuilder.build_k(atoms, nl, kcarts, moved=moved)
+                m_orbitals = H_k[0].shape[0]
+            else:
+                H = self._hbuilder.build(atoms, nl, moved=moved)
+                m_orbitals = H.shape[0]
 
         with self.timer.phase("regions"):
             regions = self._get_regions(atoms, nl_loc)
 
-        if self.reuse and (self._window is None
+        cached_windows = self._windows_k if kmode else self._window
+        if self.reuse and (cached_windows is None
                            or self._vlist.last_update_rebuilt
                            or self._vlist_loc.last_update_rebuilt):
             # without reuse the two-pass solve computes its own bounds;
             # refreshing here too would double the Lanczos work
             with self.timer.phase("bounds"):
-                self._refresh_window(H)
+                if kmode:
+                    self._refresh_windows_k(H_k)
+                else:
+                    self._refresh_window(H)
 
         with self.timer.phase("foe"):
-            foe = self._solve(H, regions, atoms, with_rho=forces)
+            if kmode:
+                foe = self._solve_k(H_k, regions, atoms, with_rho=forces)
+            else:
+                foe = self._solve(H, regions, atoms, with_rho=forces)
         self._mu_hist = (self._mu_hist + [foe.mu])[-2:]
 
         with self.timer.phase("repulsive"):
@@ -436,17 +484,26 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             "region_stats": region_statistics(regions),
             "order": foe.order,
             "r_loc": self.r_loc,
-            "spectral_bounds": foe.spectral_bounds,
-            "n_orbitals": H.shape[0],
+            "spectral_bounds": foe.windows if kmode
+                               else foe.spectral_bounds,
+            "n_orbitals": m_orbitals,
             "n_pairs": nl.n_pairs,
             "fastpath": {"mode": self._last_solve_mode,
                          "mu_shift": foe.mu_shift,
                          "used_fallback": foe.used_fallback},
         }
+        if kmode:
+            res["n_kpoints"] = len(kcarts)
+            res["kweights"] = self.kweights
 
         if forces:
             with self.timer.phase("forces"):
-                fband, vband = sparse_band_forces(atoms, model, nl, foe.rho)
+                if kmode:
+                    fband, vband = sparse_band_forces_k(
+                        atoms, model, nl, foe.rho_k, self.kweights, kcarts)
+                else:
+                    fband, vband = sparse_band_forces(atoms, model, nl,
+                                                      foe.rho)
                 self._attach_forces(res, atoms, fband, frep, vband, vrep)
         return self._store(res)
 
@@ -454,17 +511,68 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         """Dispatch cold / warm / fused FOE, with stale-window recovery."""
         nelec = self.model.total_electrons(atoms.symbols)
         executor = self._region_executor()
+
+        def fused(mu_guess):
+            return solve_density_regions_fused(
+                H, regions, nelec, self.kT, order=self.order,
+                window=self._window, mu_guess=mu_guess,
+                nworkers=self.nworkers, executor=executor,
+                rho_tol=self.rho_tol,
+                gather_maps=self._gather_maps(H, regions))
+
+        def two_pass(window, bracket):
+            return solve_density_regions(
+                H, regions, nelec, self.kT, order=self.order,
+                nworkers=self.nworkers, executor=executor,
+                with_rho=with_rho, window=window, mu_bracket=bracket)
+
+        return self._dispatch_solve(with_rho, fused, two_pass,
+                                    lambda: self._window,
+                                    lambda: self._refresh_window(H))
+
+    def _solve_k(self, H_k, regions, atoms, with_rho: bool):
+        """k-sampled twin of :meth:`_solve`: same dispatch policy, with
+        per-k windows and the common-μ k solvers."""
+        nelec = self.model.total_electrons(atoms.symbols)
+        executor = self._region_executor()
+
+        def fused(mu_guess):
+            return solve_density_regions_k_fused(
+                H_k, self.kweights, regions, nelec, self.kT,
+                order=self.order, windows=self._windows_k,
+                mu_guess=mu_guess, nworkers=self.nworkers,
+                executor=executor, rho_tol=self.rho_tol,
+                # every H(k) shares the builder's CSR structure, so one
+                # cached map set serves all k points
+                gather_maps=self._gather_maps(H_k[0], regions))
+
+        def two_pass(windows, bracket):
+            return solve_density_regions_k(
+                H_k, self.kweights, regions, nelec, self.kT,
+                order=self.order, nworkers=self.nworkers, executor=executor,
+                with_rho=with_rho, windows=windows, mu_bracket=bracket)
+
+        return self._dispatch_solve(with_rho, fused, two_pass,
+                                    lambda: self._windows_k,
+                                    lambda: self._refresh_windows_k(H_k))
+
+    def _dispatch_solve(self, with_rho: bool, fused, two_pass,
+                        cached_windows, refresh):
+        """The one cold / warm / fused dispatch policy (Γ and k modes).
+
+        Fused when warm (cached windows + warm μ guess, with_rho); on a
+        stale-window error, refresh and fall back to the verified
+        two-pass solve, which itself retries once after a refresh.
+        *fused(mu_guess)* / *two_pass(windows, bracket)* close over the
+        mode-specific solver arguments; *cached_windows()* / *refresh()*
+        read and rebuild the mode's window cache.
+        """
         mu_guess = self._mu_guess() if self.reuse else None
 
         if self.reuse and with_rho and mu_guess is not None and \
-                self._window is not None:
+                cached_windows() is not None:
             try:
-                foe = solve_density_regions_fused(
-                    H, regions, nelec, self.kT, order=self.order,
-                    window=self._window, mu_guess=mu_guess,
-                    nworkers=self.nworkers, executor=executor,
-                    rho_tol=self.rho_tol,
-                    gather_maps=self._gather_maps(H, regions))
+                foe = fused(mu_guess)
                 if foe.used_fallback:
                     self._counters["foe_fallback"] += 1
                     self._last_solve_mode = "fused+fallback"
@@ -474,25 +582,18 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
                 return foe
             except SpectralWindowError:
                 self._counters["window_invalidations"] += 1
-                self._refresh_window(H)
+                refresh()
                 # fall through to the verified two-pass solve
 
         bracket = None
         if self.reuse and mu_guess is not None:
             bracket = (mu_guess - 10.0 * self.kT, mu_guess + 10.0 * self.kT)
-        window = self._window if self.reuse else None
         try:
-            foe = solve_density_regions(
-                H, regions, nelec, self.kT, order=self.order,
-                nworkers=self.nworkers, executor=executor,
-                with_rho=with_rho, window=window, mu_bracket=bracket)
+            foe = two_pass(cached_windows() if self.reuse else None, bracket)
         except SpectralWindowError:
             self._counters["window_invalidations"] += 1
-            self._refresh_window(H)
-            foe = solve_density_regions(
-                H, regions, nelec, self.kT, order=self.order,
-                nworkers=self.nworkers, executor=executor,
-                with_rho=with_rho, window=self._window, mu_bracket=bracket)
+            refresh()
+            foe = two_pass(cached_windows(), bracket)
         self._counters["foe_cold"] += 1
         self._last_solve_mode = "two-pass"
         return foe
@@ -502,8 +603,10 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         return self.compute(atoms, forces=False)["charges"]
 
     def __repr__(self) -> str:
+        kmode = "Γ" if self.kpts_frac is None \
+            else f"{len(self.kpts_frac)} k-points"
         return (f"LinearScalingCalculator(model={self.model.name!r}, "
-                f"kT={self.kT} eV, r_loc={self.r_loc:.2f} Å, "
+                f"{kmode}, kT={self.kT} eV, r_loc={self.r_loc:.2f} Å, "
                 f"order={self.order}, nworkers={self.nworkers}, "
                 f"reuse={self.reuse})")
 

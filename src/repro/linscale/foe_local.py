@@ -82,31 +82,50 @@ from repro.linscale.sparse_hamiltonian import block_index_grids
 # Per-region kernels (pure, picklable — they run inside pool workers)
 # ---------------------------------------------------------------------------
 
+def _hermitian_inner(a: np.ndarray, b: np.ndarray) -> float:
+    """Re Σ conj(a)·b — the partial-trace contraction ``Σ [T_k H]_μμ``.
+
+    For real symmetric blocks this is the plain elementwise sum the Γ
+    engine always used; for complex Hermitian H(k) blocks the conjugate
+    appears because column μ of the Hermitian ``T_k`` is the conjugate
+    of row μ.  The imaginary part is pure truncation noise and is
+    discarded (exactly zero summed over a time-reversal pair).
+    """
+    if np.iscomplexobj(a) or np.iscomplexobj(b):
+        return float(np.real(np.vdot(a, b)))
+    return float(np.sum(a * b))
+
+
 def _region_moments(h_sub: np.ndarray, core_local: np.ndarray,
                     center: float, span: float, order: int
                     ) -> tuple[np.ndarray, np.ndarray]:
-    """Chebyshev moments (m_k, e_k) of one region's core orbitals."""
+    """Chebyshev moments (m_k, e_k) of one region's core orbitals.
+
+    Works on real symmetric (Γ) and complex Hermitian (finite-k) region
+    blocks alike; moments are real either way (diagonal entries of a
+    Hermitian polynomial).
+    """
     n = h_sub.shape[0]
     nc = len(core_local)
-    v = np.zeros((n, nc))
+    v = np.zeros((n, nc), dtype=h_sub.dtype)
     v[core_local, np.arange(nc)] = 1.0
     h_cols = h_sub[:, core_local]
 
     m = np.zeros(order + 1)
     e = np.zeros(order + 1)
     m[0] = float(nc)
-    e[0] = float(np.sum(v * h_cols))
+    e[0] = _hermitian_inner(v, h_cols)
 
     h_tilde = (h_sub - center * np.eye(n)) / span
     v_prev = v
     v_cur = h_tilde @ v
     if order >= 1:
-        m[1] = float(v_cur[core_local, np.arange(nc)].sum())
-        e[1] = float(np.sum(v_cur * h_cols))
+        m[1] = float(np.real(v_cur[core_local, np.arange(nc)].sum()))
+        e[1] = _hermitian_inner(v_cur, h_cols)
     for k in range(2, order + 1):
         v_next = 2.0 * (h_tilde @ v_cur) - v_prev
-        m[k] = float(v_next[core_local, np.arange(nc)].sum())
-        e[k] = float(np.sum(v_next * h_cols))
+        m[k] = float(np.real(v_next[core_local, np.arange(nc)].sum()))
+        e[k] = _hermitian_inner(v_next, h_cols)
         v_prev, v_cur = v_cur, v_next
     return m, e
 
@@ -114,10 +133,14 @@ def _region_moments(h_sub: np.ndarray, core_local: np.ndarray,
 def _region_density_rows(h_sub: np.ndarray, core_local: np.ndarray,
                          center: float, span: float, coeffs: np.ndarray
                          ) -> np.ndarray:
-    """Core rows of ρ_loc = Σ c_k T_k(H̃_loc), shape (n_core, n_region)."""
+    """Core rows of ρ_loc = Σ c_k T_k(H̃_loc), shape (n_core, n_region).
+
+    The recursion produces core *columns*; rows follow by (conjugate)
+    transposition — ρ_loc is symmetric for real H, Hermitian for H(k).
+    """
     n = h_sub.shape[0]
     nc = len(core_local)
-    v = np.zeros((n, nc))
+    v = np.zeros((n, nc), dtype=h_sub.dtype)
     v[core_local, np.arange(nc)] = 1.0
 
     out = coeffs[0] * v
@@ -130,7 +153,7 @@ def _region_density_rows(h_sub: np.ndarray, core_local: np.ndarray,
         v_next = 2.0 * (h_tilde @ v_cur) - v_prev
         out += coeffs[k] * v_next
         v_prev, v_cur = v_cur, v_next
-    return out.T
+    return np.conj(out.T) if np.iscomplexobj(out) else out.T
 
 
 def _region_fused(h_sub: np.ndarray, core_local: np.ndarray,
@@ -162,17 +185,20 @@ def _region_fused(h_sub: np.ndarray, core_local: np.ndarray,
     s_stack, k1 = deriv_coeffs.shape
     order = k1 - 1
     ar = np.arange(nc)
+    is_complex = np.iscomplexobj(h_sub)
 
-    v0 = np.zeros((n, nc))
+    v0 = np.zeros((n, nc), dtype=h_sub.dtype)
     v0[core_local, ar] = 1.0
     h_cols = np.ascontiguousarray(h_sub[:, core_local])
+    if is_complex:
+        h_cols = np.conj(h_cols)      # e_k = Re Σ conj(T_k)·H = Σ T_k·conj(H)
     h_tilde = (h_sub - center * np.eye(n)) / span
 
     m = np.empty(k1)
     e = np.empty(k1)
-    outs = np.zeros((s_stack, n, nc))
+    outs = np.zeros((s_stack, n, nc), dtype=h_sub.dtype)
     block = max(3, min(block, k1))
-    buf = np.empty((block, n, nc))
+    buf = np.empty((block, n, nc), dtype=h_sub.dtype)
     v_prev = v0
     v_cur = v0            # placeholder until k = 1 exists
 
@@ -192,9 +218,14 @@ def _region_fused(h_sub: np.ndarray, core_local: np.ndarray,
             if k >= 1:
                 v_prev, v_cur = v_cur, buf[j]
         chunk = buf[:jmax]
-        m[kpos:kpos + jmax] = chunk[:, core_local, ar].sum(axis=1)
-        e[kpos:kpos + jmax] = np.tensordot(chunk, h_cols,
-                                           axes=([1, 2], [0, 1]))
+        if is_complex:
+            m[kpos:kpos + jmax] = chunk[:, core_local, ar].sum(axis=1).real
+            e[kpos:kpos + jmax] = np.tensordot(chunk, h_cols,
+                                               axes=([1, 2], [0, 1])).real
+        else:
+            m[kpos:kpos + jmax] = chunk[:, core_local, ar].sum(axis=1)
+            e[kpos:kpos + jmax] = np.tensordot(chunk, h_cols,
+                                               axes=([1, 2], [0, 1]))
         outs += np.tensordot(deriv_coeffs[:, kpos:kpos + jmax], chunk,
                              axes=([1], [0]))
         kpos += jmax
@@ -391,7 +422,7 @@ def _check_window(m_per: np.ndarray, regions: list[LocalizationRegion],
 
 def _assemble_rho(regions: list[LocalizationRegion], rows_per_region: list,
                   m_total: int) -> sp.csr_matrix:
-    """Stack core rows into the symmetrised sparse ρ̂."""
+    """Stack core rows into the symmetrised (Hermitised) sparse ρ̂."""
     coo_r, coo_c, coo_d = [], [], []
     for region, rho_rows in zip(regions, rows_per_region):
         core_global = region.orbitals[region.core_local]
@@ -402,7 +433,8 @@ def _assemble_rho(regions: list[LocalizationRegion], rows_per_region: list,
         (np.concatenate(coo_d),
          (np.concatenate(coo_r), np.concatenate(coo_c))),
         shape=(m_total, m_total)).tocsr()
-    return 0.5 * (rho_hat + rho_hat.T).tocsr()
+    rho_t = rho_hat.getH() if np.iscomplexobj(rho_hat.data) else rho_hat.T
+    return (0.5 * (rho_hat + rho_t)).tocsr()
 
 
 def solve_density_regions(H, regions: list[LocalizationRegion],

@@ -21,6 +21,15 @@ from a neighbour list at ``r_loc`` (periodic images collapse onto their
 home atom), and the region Hamiltonian is the corresponding submatrix of
 the sparse global H — consistent with how the dense Γ calculation folds
 images, so the r_loc → ∞ limit is exactly the dense answer.
+
+Regions are also **k-independent**: Bloch phases live in the matrix
+elements of H(k), never in the bond graph, so the k-sampled engine
+(:mod:`repro.linscale.kfoe`) reuses one region list (and one cached
+pattern signature) across every k point — the region submatrix of a
+complex H(k) is the same ``orbitals × orbitals`` slice.  In the
+small-cell regime k sampling targets, the folded region typically covers
+the whole cell and the halo truncation error vanishes identically; the
+expansion order is then the only approximation.
 """
 
 from __future__ import annotations

@@ -42,28 +42,34 @@ def block_index_grids(oi: np.ndarray, oj: np.ndarray, ni: int, nj: int
 
 
 def _block_triplets(blocks: np.ndarray, oi: np.ndarray, oj: np.ndarray,
-                    ni: int, nj: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """COO triplets for (P, ni, nj) blocks *and* their transposes."""
+                    ni: int, nj: int, phases: np.ndarray | None = None
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """COO triplets for (P, ni, nj) blocks *and* their (conjugate)
+    transposes.  With *phases* (the per-pair atomic-gauge factors
+    ``exp(i k·d)``) the forward blocks are ``p·B`` and the reverse blocks
+    their Hermitian conjugates."""
     rows, cols = block_index_grids(oi, oj, ni, nj)
-    blocks_t = np.swapaxes(blocks, 1, 2)
+    if phases is not None:
+        fwd = blocks * phases[:, None, None]
+        bwd = np.conj(np.swapaxes(fwd, 1, 2))
+    else:
+        fwd = blocks
+        bwd = np.swapaxes(blocks, 1, 2)
     r = np.concatenate([rows.ravel(), np.swapaxes(cols, 1, 2).ravel()])
     c = np.concatenate([cols.ravel(), np.swapaxes(rows, 1, 2).ravel()])
-    d = np.concatenate([blocks.ravel(), blocks_t.ravel()])
+    d = np.concatenate([fwd.ravel(), bwd.ravel()])
     return r, c, d
 
 
-def build_sparse_hamiltonian(atoms, model, nl: NeighborList,
-                             with_overlap: bool | None = None
-                             ) -> tuple[sp.csr_matrix, sp.csr_matrix | None]:
-    """Assemble the Γ-point Hamiltonian (and overlap) in CSR form.
-
-    Returns ``(H, S)`` with ``S`` ``None`` for orthogonal models; both are
-    real symmetric and numerically identical to
-    :func:`repro.tb.hamiltonian.build_hamiltonian`.
-    """
+def _build_sparse(atoms, model, nl: NeighborList,
+                  with_overlap: bool | None, k_cart
+                  ) -> tuple[sp.csr_matrix, sp.csr_matrix | None]:
+    """Shared COO → CSR assembly for Γ (``k_cart=None``) and finite k."""
     symbols = atoms.symbols
     model.check_species(symbols)
     offsets, m = orbital_offsets(symbols, model)
+    k = None if k_cart is None else np.asarray(k_cart, dtype=float).reshape(3)
+    dtype = float if k is None else complex
 
     if with_overlap is None:
         with_overlap = not model.orthogonal
@@ -71,28 +77,30 @@ def build_sparse_hamiltonian(atoms, model, nl: NeighborList,
     h_rows, h_cols, h_data = [], [], []
     s_rows, s_cols, s_data = [], [], []
 
-    # on-site terms (and the unit overlap diagonal)
+    # on-site terms (and the unit overlap diagonal) — always real
     for idx, sym in enumerate(symbols):
         e = model.onsite(sym)
         o = offsets[idx]
         h_rows.append(np.arange(o, o + len(e)))
         h_cols.append(np.arange(o, o + len(e)))
-        h_data.append(np.asarray(e, dtype=float))
+        h_data.append(np.asarray(e, dtype=dtype))
     if with_overlap:
         s_rows.append(np.arange(m))
         s_cols.append(np.arange(m))
-        s_data.append(np.ones(m))
+        s_data.append(np.ones(m, dtype=dtype))
 
     for (sa, sb), pidx in pair_species_groups(symbols, nl).items():
         r = nl.distances[pidx]
-        u = nl.vectors[pidx] / r[:, None]
+        vec = nl.vectors[pidx]
+        u = vec / r[:, None]
         ni, nj = model.norb(sa), model.norb(sb)
         oi = offsets[nl.i[pidx]]
         oj = offsets[nl.j[pidx]]
+        phases = None if k is None else np.exp(1j * (vec @ k))
 
         V, _ = model.hopping(sa, sb, r)
         blocks = sk_blocks(u, V)[:, :ni, :nj]
-        rr, cc, dd = _block_triplets(blocks, oi, oj, ni, nj)
+        rr, cc, dd = _block_triplets(blocks, oi, oj, ni, nj, phases=phases)
         h_rows.append(rr)
         h_cols.append(cc)
         h_data.append(dd)
@@ -105,7 +113,8 @@ def build_sparse_hamiltonian(atoms, model, nl: NeighborList,
                     f"returns none for pair ({sa}, {sb})"
                 )
             sblocks = sk_blocks(u, ov[0])[:, :ni, :nj]
-            rr, cc, dd = _block_triplets(sblocks, oi, oj, ni, nj)
+            rr, cc, dd = _block_triplets(sblocks, oi, oj, ni, nj,
+                                         phases=phases)
             s_rows.append(rr)
             s_cols.append(cc)
             s_data.append(dd)
@@ -123,6 +132,32 @@ def build_sparse_hamiltonian(atoms, model, nl: NeighborList,
         shape=(m, m)).tocsr()
     S.sum_duplicates()
     return H, S
+
+
+def build_sparse_hamiltonian(atoms, model, nl: NeighborList,
+                             with_overlap: bool | None = None
+                             ) -> tuple[sp.csr_matrix, sp.csr_matrix | None]:
+    """Assemble the Γ-point Hamiltonian (and overlap) in CSR form.
+
+    Returns ``(H, S)`` with ``S`` ``None`` for orthogonal models; both are
+    real symmetric and numerically identical to
+    :func:`repro.tb.hamiltonian.build_hamiltonian`.
+    """
+    return _build_sparse(atoms, model, nl, with_overlap, None)
+
+
+def build_sparse_hamiltonian_k(atoms, model, nl: NeighborList, k_cart,
+                               with_overlap: bool | None = None
+                               ) -> tuple[sp.csr_matrix, sp.csr_matrix | None]:
+    """Assemble the complex Hermitian H(k) (and S(k)) in CSR form.
+
+    The sparse twin of :func:`repro.tb.hamiltonian.build_hamiltonian_k`:
+    the same atomic-gauge phases ``exp(i k·d)`` on the same half-list
+    bonds, with periodic-image duplicates (which carry *different*
+    phases) summing on CSR conversion.  Returns ``(H_k, S_k)`` with
+    ``S_k`` ``None`` for orthogonal models.
+    """
+    return _build_sparse(atoms, model, nl, with_overlap, k_cart)
 
 
 def hamiltonian_fill_fraction(H: sp.spmatrix) -> float:
@@ -184,6 +219,7 @@ class SparseHamiltonianBuilder:
         self._indptr = None
         self._m = 0
         self._raw = None             # raw triplet data vector (layout-fixed)
+        self._raw_k = None           # complex twin of _raw for H(k) emits
         self._onsite_len = 0
 
     def stats(self) -> dict:
@@ -193,7 +229,7 @@ class SparseHamiltonianBuilder:
                 "partial_updates": self.n_partial_updates}
 
     # -- full (pattern) build ----------------------------------------------
-    def _build_pattern(self, atoms, nl: NeighborList) -> sp.csr_matrix:
+    def _build_pattern(self, atoms, nl: NeighborList) -> None:
         symbols = atoms.symbols
         model = self.model
         offsets, m = orbital_offsets(symbols, model)
@@ -249,7 +285,6 @@ class SparseHamiltonianBuilder:
         self.n_pattern_builds += 1
 
         self._write_group_values(nl, dirty=None)
-        return self._emit()
 
     # -- value paths --------------------------------------------------------
     def _write_group_values(self, nl: NeighborList,
@@ -293,6 +328,31 @@ class SparseHamiltonianBuilder:
                           shape=(self._m, self._m))
         return H
 
+    def _ensure_values(self, atoms, nl: NeighborList,
+                       moved: np.ndarray | None) -> None:
+        """Bring the raw value vector (and cached SK blocks) up to date:
+        full pattern rebuild on a miss, value/dirty-row rewrite on a hit."""
+        pattern_hit = (
+            self._groups is not None
+            and self._symbols == tuple(atoms.symbols)
+            and np.array_equal(self._sig_i, nl.i)
+            and np.array_equal(self._sig_j, nl.j)
+        )
+        if not pattern_hit:
+            self._build_pattern(atoms, nl)
+            return
+
+        dirty = None
+        if moved is not None and moved.any() and not moved.all():
+            dirty = moved[nl.i] | moved[nl.j]
+            self.n_partial_updates += 1
+        elif moved is not None and not moved.any():
+            # nothing moved: the cached values are exactly current
+            self.n_value_updates += 1
+            return
+        self.n_value_updates += 1
+        self._write_group_values(nl, dirty=dirty)
+
     def build(self, atoms, nl: NeighborList,
               moved: np.ndarray | None = None) -> sp.csr_matrix:
         """Assemble H; value-only rewrite when the bond pattern is cached.
@@ -307,23 +367,55 @@ class SparseHamiltonianBuilder:
             :meth:`repro.state.CalculatorState.observe`).  On a pattern
             hit, only bonds touching a moved atom are re-evaluated.
         """
-        pattern_hit = (
-            self._groups is not None
-            and self._symbols == tuple(atoms.symbols)
-            and np.array_equal(self._sig_i, nl.i)
-            and np.array_equal(self._sig_j, nl.j)
-        )
-        if not pattern_hit:
-            return self._build_pattern(atoms, nl)
-
-        dirty = None
-        if moved is not None and moved.any() and not moved.all():
-            dirty = moved[nl.i] | moved[nl.j]
-            self.n_partial_updates += 1
-        elif moved is not None and not moved.any():
-            # nothing moved: the cached values are exactly current
-            self.n_value_updates += 1
-            return self._emit()
-        self.n_value_updates += 1
-        self._write_group_values(nl, dirty=dirty)
+        self._ensure_values(atoms, nl, moved)
         return self._emit()
+
+    def build_k(self, atoms, nl: NeighborList, k_carts,
+                moved: np.ndarray | None = None) -> list[sp.csr_matrix]:
+        """Assemble complex Hermitian H(k) for every Cartesian k point.
+
+        The k-aware face of the incremental builder: the sparsity
+        pattern, lexsort/merge maps and Slater–Koster blocks are all
+        k-*independent* (bonds are real-space objects), so they are
+        maintained exactly as for :meth:`build` — one pattern cache, one
+        set of value/dirty-row rewrites — and each k point only pays the
+        atomic-gauge phases ``exp(i k·d)`` plus one gather/reduce into
+        the shared CSR structure.  Periodic-image duplicate bonds carry
+        different phases and sum in the duplicate merge, which is what
+        makes the result numerically identical to
+        :func:`build_sparse_hamiltonian_k` /
+        :func:`repro.tb.hamiltonian.build_hamiltonian_k`.
+
+        Parameters
+        ----------
+        k_carts :
+            (K, 3) Cartesian k points (Å⁻¹); a single 3-vector is
+            accepted.
+        moved :
+            As for :meth:`build`.
+
+        Returns
+        -------
+        list of K complex CSR matrices sharing one structure.
+        """
+        self._ensure_values(atoms, nl, moved)
+        k_carts = np.atleast_2d(np.asarray(k_carts, dtype=float))
+        if self._raw_k is None or len(self._raw_k) != len(self._raw):
+            self._raw_k = np.empty(len(self._raw), dtype=complex)
+        raw_k = self._raw_k
+        out = []
+        for k in k_carts:
+            raw_k[:self._onsite_len] = self._raw[:self._onsite_len]
+            for g in self._groups:
+                vec = nl.vectors[g["pidx"]]
+                phases = np.exp(1j * (vec @ k))
+                fwd = g["blocks"] * phases[:, None, None]
+                seg = raw_k[g["slice"]]
+                half = seg.shape[0] // 2
+                seg[:half] = fwd.ravel()
+                seg[half:] = np.conj(np.swapaxes(fwd, 1, 2)).ravel()
+            data = np.add.reduceat(raw_k[self._perm], self._starts) \
+                if len(self._starts) else np.zeros(0, dtype=complex)
+            out.append(sp.csr_matrix((data, self._indices, self._indptr),
+                                     shape=(self._m, self._m)))
+        return out

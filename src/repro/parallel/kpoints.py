@@ -19,15 +19,34 @@ from repro.parallel.machine import MachineSpec
 from repro.parallel.replicated import DIAG_FLOPS_COEFF
 
 
+def mu_bisection_rounds(mu_tol: float, bracket_width: float = 20.0) -> int:
+    """Scalar allreduce rounds the distributed μ bisection actually pays.
+
+    Bisection halves the bracket once per round, so reaching *mu_tol*
+    from *bracket_width* (eV — spectral width plus smearing padding, the
+    bracket every solver here opens with) costs
+    ``ceil(log2(width / tol))`` rounds.  The cost model used to hardcode
+    40; deriving it keeps the model honest when callers ask for looser
+    or tighter chemical potentials.
+    """
+    if mu_tol <= 0.0 or bracket_width <= 0.0:
+        raise ParallelError("mu_tol and bracket_width must be > 0")
+    if mu_tol >= bracket_width:
+        return 1
+    return int(np.ceil(np.log2(bracket_width / mu_tol)))
+
+
 def kpoint_parallel_time(n_orbitals: int, n_kpoints: int, nproc: int,
-                         machine: MachineSpec, build_flops: float = 0.0
-                         ) -> dict:
+                         machine: MachineSpec, build_flops: float = 0.0,
+                         mu_tol: float = 1e-10,
+                         mu_bracket_width: float = 20.0) -> dict:
     """Model one k-sampled energy evaluation on P ranks.
 
     Each rank handles ``ceil(n_k/P)`` k points (complex diagonalisation
     ≈ 4× the real flop count), then an allreduce of the weighted
-    eigenvalue sums (O(M) doubles) and ~40 scalar bisection rounds of
-    O(1) allreduces settle μ.
+    eigenvalue sums (O(M) doubles) and the scalar μ-bisection rounds —
+    :func:`mu_bisection_rounds` of O(1) allreduces, derived from the
+    requested *mu_tol* so the model tracks the real solver's round count.
     """
     if n_kpoints < 1 or nproc < 1:
         raise ParallelError("n_kpoints and nproc must be >= 1")
@@ -36,12 +55,14 @@ def kpoint_parallel_time(n_orbitals: int, n_kpoints: int, nproc: int,
     flops = per_rank * (4.0 * DIAG_FLOPS_COEFF * n_orbitals**3 + build_flops)
     comm.compute_all(flops)
     comm.allreduce(8.0 * n_orbitals)          # eigenvalue-sum vector
-    for _ in range(40):                        # μ bisection, scalar
+    rounds = mu_bisection_rounds(mu_tol, mu_bracket_width)
+    for _ in range(rounds):                    # μ bisection, scalar
         comm.allreduce(8.0)
     return {
         "total": comm.elapsed(),
         "kpoints_per_rank": per_rank,
         "comm_seconds": comm.comm_seconds,
+        "mu_rounds": rounds,
     }
 
 

@@ -19,8 +19,11 @@ positions only            *fast path*: Verlet-list refresh, value-only
                           Hamiltonian rewrite, cached regions/window/μ
 cell                      fast path with ``moved=None`` (every matrix
                           element is rewritten — periodic-image bond
-                          vectors all change); the Verlet layer remaps
-                          its image shifts exactly, and consumers whose
+                          vectors all change, and k-sampled calculators
+                          re-derive Cartesian k from the new cell on
+                          every call); the Verlet layer remaps its image
+                          shifts exactly, per-k Chebyshev windows are
+                          guarded a posteriori, and consumers whose
                           caches are not self-validating (e.g. dense
                           spectral bounds) must reset on
                           ``cell_changed`` themselves

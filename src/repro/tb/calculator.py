@@ -17,7 +17,12 @@ from repro.errors import ElectronicError, ModelError
 from repro.neighbors.verlet import VerletList
 from repro.state import CalculatorState
 from repro.tb.eigensolvers import get_solver
-from repro.tb.forces import band_forces, density_matrices, repulsive_energy_forces
+from repro.tb.forces import (
+    band_forces,
+    band_forces_k,
+    density_matrices,
+    repulsive_energy_forces,
+)
 from repro.tb.hamiltonian import build_hamiltonian, build_hamiltonian_k
 from repro.tb.kpoints import frac_to_cartesian, monkhorst_pack
 from repro.tb.occupations import (
@@ -31,6 +36,16 @@ from repro.units import EV_PER_A3_TO_GPA
 from repro.utils.timing import PhaseTimer
 
 
+def _attach_stress(res: dict, atoms) -> None:
+    """Derive stress / pressure keys from ``res['virial']`` (periodic
+    cells only) — one conversion for the Γ and k force branches."""
+    if atoms.cell.fully_periodic:
+        vol = atoms.cell.volume
+        res["stress"] = res["virial"] / vol
+        res["pressure"] = float(-np.trace(res["virial"]) / (3 * vol))
+        res["pressure_gpa"] = res["pressure"] * EV_PER_A3_TO_GPA
+
+
 class TBCalculator:
     """Tight-binding total-energy and force calculator.
 
@@ -42,9 +57,11 @@ class TBCalculator:
         Electronic temperature in eV (0 = integer filling).  Required > 0
         for metallic k-sampled systems.
     kpts :
-        ``None`` for Γ-only (the MD mode, with forces), or a Monkhorst–Pack
-        size tuple / int for k-sampled total energies (energy only — the
-        classic TBMD codes compute forces at Γ on supercells).
+        ``None`` for Γ-only, or a Monkhorst–Pack size tuple / int for
+        k-sampled energies **and forces** (per-k Hermitian density
+        matrices with the phase-gradient force term; the grid is
+        time-reversal reduced).  Small-cell MD and relaxation run on
+        either mode.
     solver :
         "lapack" (default), "jacobi" or "householder".
     skin :
@@ -63,6 +80,12 @@ class TBCalculator:
             self.kweights = None
         else:
             self.kpts_frac, self.kweights = monkhorst_pack(kpts)
+            if solver != "lapack":
+                # the from-scratch solvers are real-symmetric only and
+                # would silently discard the imaginary parts of H(k)
+                raise ElectronicError(
+                    f"k-point sampling needs the 'lapack' eigensolver "
+                    f"(complex Hermitian H(k)); got solver={solver!r}")
         self.solver_name = solver
         self.solve = get_solver(solver)
         self.timer = PhaseTimer()
@@ -91,9 +114,10 @@ class TBCalculator:
 
         Keys: ``energy``, ``free_energy``, ``band_energy``,
         ``repulsive_energy``, ``eigenvalues``, ``occupations``,
-        ``fermi_level``, ``entropy``, ``homo``, ``lumo``, ``gap``, and —
-        in Γ-mode with ``forces=True`` — ``forces``, ``virial``,
-        ``stress`` (periodic cells), ``pressure``.
+        ``fermi_level``, ``entropy``, ``homo``/``lumo``/``gap``
+        (Γ-mode), ``n_kpoints``/``weights`` (k-mode), and — with
+        ``forces=True`` — ``forces``, ``virial``, ``stress`` (periodic
+        cells), ``pressure``.
 
         Structure and parameter changes are detected through the shared
         :class:`repro.state.CalculatorState` contract; an unchanged
@@ -108,7 +132,7 @@ class TBCalculator:
                 (not forces or "forces" in self._results):
             return self._results
         if self.kpts_frac is not None:
-            res = self._compute_kpoints(atoms)
+            res = self._compute_kpoints(atoms, forces)
         else:
             res = self._compute_gamma(atoms, forces)
         self._cache_key = self._state.snapshot_id
@@ -162,15 +186,18 @@ class TBCalculator:
                 fband, vband = band_forces(atoms, model, nl, rho, w)
                 res["forces"] = fband + frep
                 res["virial"] = vband + vrep
-                if atoms.cell.fully_periodic:
-                    vol = atoms.cell.volume
-                    res["stress"] = res["virial"] / vol
-                    res["pressure"] = float(-np.trace(res["virial"]) / (3 * vol))
-                    res["pressure_gpa"] = res["pressure"] * EV_PER_A3_TO_GPA
+                _attach_stress(res, atoms)
         return res
 
-    def _compute_kpoints(self, atoms) -> dict:
-        """k-sampled total energy (no forces)."""
+    def _compute_kpoints(self, atoms, want_forces: bool) -> dict:
+        """k-sampled total energy, and forces from per-k density matrices.
+
+        One common Fermi level is bisected over the concatenated weighted
+        spectrum; forces then contract each k point's Hermitian ρ(k) (and
+        W(k) for non-orthogonal models) through
+        :func:`repro.tb.forces.band_forces_k` — including the atomic-gauge
+        phase-gradient term — and sum with the sampling weights.
+        """
         model = self.model
         model.check_species(atoms.symbols)
         if not atoms.cell.periodic:
@@ -181,12 +208,15 @@ class TBCalculator:
 
         kcart = frac_to_cartesian(self.kpts_frac, atoms.cell)
         all_eps = []
+        all_C = []
         for k in kcart:
             with self.timer.phase("hamiltonian"):
                 Hk, Sk = build_hamiltonian_k(atoms, model, nl, k)
             with self.timer.phase("diagonalize"):
-                eps_k, _ = get_solver("lapack")(Hk, Sk)
+                eps_k, C_k = self.solve(Hk, Sk)
             all_eps.append(eps_k)
+            if want_forces:
+                all_C.append(C_k)
         eps = np.concatenate(all_eps)
         weights = np.repeat(self.kweights, [len(e) for e in all_eps])
 
@@ -206,10 +236,10 @@ class TBCalculator:
             band_energy = float(np.sum(weights * f * eps))
 
         with self.timer.phase("repulsive"):
-            erep, _, _ = repulsive_energy_forces(atoms, model, nl)
+            erep, frep, vrep = repulsive_energy_forces(atoms, model, nl)
 
         energy = band_energy + erep
-        return {
+        res = {
             "band_energy": band_energy,
             "repulsive_energy": erep,
             "energy": energy,
@@ -223,6 +253,27 @@ class TBCalculator:
             "n_kpoints": len(kcart),
         }
 
+        if want_forces:
+            with self.timer.phase("forces"):
+                fband = np.zeros((len(atoms), 3))
+                vband = np.zeros((3, 3))
+                need_w = not model.orthogonal
+                pos = 0
+                for k, wk, eps_k, C_k in zip(kcart, self.kweights,
+                                             all_eps, all_C):
+                    f_k = f[pos:pos + len(eps_k)]
+                    pos += len(eps_k)
+                    rho_k, w_k = density_matrices(
+                        C_k, f_k, eps_k if need_w else None)
+                    fb, vb = band_forces_k(atoms, model, nl, rho_k, k,
+                                           w=w_k)
+                    fband += wk * fb
+                    vband += wk * vb
+                res["forces"] = fband + frep
+                res["virial"] = vband + vrep
+                _attach_stress(res, atoms)
+        return res
+
     # -- convenience getters ---------------------------------------------------------
     def get_potential_energy(self, atoms) -> float:
         """Total energy (eV): band-structure + repulsive."""
@@ -233,11 +284,7 @@ class TBCalculator:
         return self.compute(atoms, forces=False)["free_energy"]
 
     def get_forces(self, atoms) -> np.ndarray:
-        """(N, 3) forces in eV/Å."""
-        if self.kpts_frac is not None:
-            raise ModelError(
-                "forces are Γ-only; construct the calculator without kpts"
-            )
+        """(N, 3) forces in eV/Å (Γ or k-sampled)."""
         return self.compute(atoms, forces=True)["forces"]
 
     def get_stress(self, atoms) -> np.ndarray:

@@ -175,12 +175,57 @@ def solve_mu_from_moments(moments: np.ndarray, center: float, span: float,
     independent of the starting bracket — warm and cold searches return
     the *same* μ, keeping the MD fast path bit-comparable to the
     reference path.
+
+    This is the single-window special case of
+    :func:`solve_mu_from_moments_multi`.
     """
-    order = len(moments) - 1
+    return solve_mu_from_moments_multi(
+        np.asarray(moments, dtype=float)[None, :], [(center, span)], kT,
+        n_electrons, bracket, warm_bracket=warm_bracket, tol=tol,
+        max_iter=max_iter)
+
+
+def solve_mu_from_moments_multi(moments: np.ndarray,
+                                windows: list[tuple[float, float]],
+                                kT: float, n_electrons: float,
+                                bracket: tuple[float, float],
+                                weights: np.ndarray | None = None,
+                                warm_bracket: tuple[float, float] | None = None,
+                                tol: float = 1e-10,
+                                max_iter: int = 100) -> float:
+    """One common μ from moment sets expanded on *different* windows.
+
+    The k-sampled generalisation of :func:`solve_mu_from_moments`: row
+    *j* of *moments* holds the trace moments of ``T_n(H̃(k_j))`` on its
+    own scaled window ``windows[j] = (center_j, span_j)`` (each k point
+    caches its own spectral bounds), and *weights* are the sampling
+    weights, so the electron count is
+
+    .. math::
+
+        N(μ) = \\sum_j w_j \\sum_n c_n(μ; center_j, span_j) \\, m^{(j)}_n .
+
+    One μ is bisected (then Newton-polished through the weighted
+    ∂N/∂μ from :func:`fermi_mu_derivative_coefficients`) for **all**
+    windows at once — the single-allreduce-per-round μ search of the
+    k-point-parallel decomposition.  Semantics of *bracket* /
+    *warm_bracket* / *tol* match the single-window solver exactly.
+    """
+    moments = np.atleast_2d(np.asarray(moments, dtype=float))
+    if len(windows) != len(moments):
+        raise ElectronicError(
+            f"{len(moments)} moment rows but {len(windows)} windows")
+    w = np.ones(len(moments)) if weights is None \
+        else np.asarray(weights, dtype=float)
+    if len(w) != len(moments):
+        raise ElectronicError(
+            f"{len(moments)} moment rows but {len(w)} weights")
+    order = moments.shape[1] - 1
 
     def count(mu):
-        return float(fermi_coefficients(center, span, mu, kT, order)
-                     @ moments)
+        return float(sum(
+            wj * (fermi_coefficients(c, s, mu, kT, order) @ mj)
+            for wj, (c, s), mj in zip(w, windows, moments)))
 
     lo, hi = float(bracket[0]), float(bracket[1])
     if warm_bracket is not None:
@@ -204,8 +249,10 @@ def solve_mu_from_moments(moments: np.ndarray, center: float, span: float,
             hi = mu
 
     for _ in range(4):
-        d = float(fermi_mu_derivative_coefficients(
-            center, span, mu, kT, order, nderiv=1)[1] @ moments)
+        d = float(sum(
+            wj * (fermi_mu_derivative_coefficients(
+                c_, s_, mu, kT, order, nderiv=1)[1] @ mj)
+            for wj, (c_, s_), mj in zip(w, windows, moments)))
         if not np.isfinite(d) or d <= 1e-14:
             break
         step = (count(mu) - n_electrons) / d

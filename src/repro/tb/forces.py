@@ -30,7 +30,7 @@ import numpy as np
 
 from repro.neighbors.base import NeighborList
 from repro.tb.hamiltonian import orbital_offsets, pair_species_groups
-from repro.tb.slater_koster import sk_block_gradients
+from repro.tb.slater_koster import sk_block_gradients, sk_blocks
 
 
 def density_matrices(eigenvectors: np.ndarray, occupations: np.ndarray,
@@ -39,7 +39,8 @@ def density_matrices(eigenvectors: np.ndarray, occupations: np.ndarray,
     """Density matrix ρ and (optionally) energy-weighted W.
 
     ``eigenvectors`` columns are states (LAPACK convention).  W is returned
-    only when *eigenvalues* is given.
+    only when *eigenvalues* is given.  Complex eigenvectors (H(k) at
+    finite k) produce the Hermitian ``ρ = Σ f C C†``.
     """
     C = eigenvectors
     f = np.asarray(occupations, dtype=float)
@@ -47,11 +48,12 @@ def density_matrices(eigenvectors: np.ndarray, occupations: np.ndarray,
     act = f > 1e-14
     Ca = C[:, act]
     fa = f[act]
-    rho = (Ca * fa) @ Ca.T
+    Cat = Ca.conj().T if np.iscomplexobj(Ca) else Ca.T
+    rho = (Ca * fa) @ Cat
     if eigenvalues is None:
         return rho, None
     ea = np.asarray(eigenvalues, dtype=float)[act]
-    w = (Ca * (fa * ea)) @ Ca.T
+    w = (Ca * (fa * ea)) @ Cat
     return rho, w
 
 
@@ -107,6 +109,98 @@ def band_forces(atoms, model, nl: NeighborList, rho: np.ndarray,
         np.add.at(forces, nl.i[pidx], g)
         np.add.at(forces, nl.j[pidx], -g)
         virial += np.einsum("pc,pd->cd", g, vec)
+
+    return forces, virial
+
+
+def k_bond_force_terms(rho_blk: np.ndarray, phases: np.ndarray,
+                       B: np.ndarray, G: np.ndarray
+                       ) -> tuple[np.ndarray, np.ndarray]:
+    """Per-bond k-force pieces ``(g_sk, q)`` from gathered ρ(k) blocks.
+
+    ``g_sk[p, c] = 2 Re Σ_ab conj(ρ_ab) p (G_cab)`` is the Slater–Koster
+    gradient part and ``q[p] = 2 Re[i Σ_ab conj(ρ_ab) p B_ab]`` the
+    scalar in front of the phase-gradient term ``q·k`` — the single
+    contraction shared by the dense (:func:`band_forces_k`) and sparse
+    (:func:`repro.linscale.kfoe.sparse_band_forces_k`) assemblies, so
+    the easy-to-get-wrong phase physics lives in exactly one place.
+    """
+    cr = np.conj(rho_blk) * phases[:, None, None]
+    g_sk = 2.0 * np.real(np.einsum("pab,pcab->pc", cr, G))
+    q = 2.0 * np.real(1j * np.einsum("pab,pab->p", cr, B))
+    return g_sk, q
+
+
+def band_forces_k(atoms, model, nl: NeighborList, rho: np.ndarray,
+                  k_cart, w: np.ndarray | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+    """Band forces and virial at one Cartesian k point (complex ρ(k)).
+
+    Each half-list bond enters ``H(k)`` as ``p·B`` at (i, j) and its
+    conjugate transpose at (j, i), with the atomic-gauge phase
+    ``p = exp(i k·d)``, so its energy derivative is
+
+    .. math::
+
+        \\partial E / \\partial d_c
+          = 2\\,\\mathrm{Re}\\sum_{ab} \\bar ρ_{ab}\\, p\\,
+            (G_{cab} + i k_c B_{ab}),
+
+    the Slater–Koster gradient **plus a phase-gradient term** — missing
+    it is the classic k-force bug (forces then silently degrade toward
+    their Γ values).  The *virial*, though, keeps only the SK part:
+    stress is taken at fixed *fractional* k, where the reciprocal
+    vectors co-strain as ``dk = −εᵀk`` and the phase-gradient
+    contribution cancels exactly against ``(∂E/∂k)·dk`` (``k·d`` is
+    affine-invariant).  Validated against finite-difference −dE/dV in
+    the test suite.  At Γ this reduces bit-for-bit to
+    :func:`band_forces`.  The caller sums over k with the sampling
+    weights.
+    """
+    symbols = atoms.symbols
+    offsets, _ = orbital_offsets(symbols, model)
+    k = np.asarray(k_cart, dtype=float).reshape(3)
+    n = len(atoms)
+    forces = np.zeros((n, 3))
+    virial = np.zeros((3, 3))
+    if nl.n_pairs == 0:
+        return forces, virial
+
+    need_overlap = not model.orthogonal
+    if need_overlap and w is None:
+        raise ValueError(
+            "non-orthogonal model needs the energy-weighted density matrix"
+        )
+
+    for (sa, sb), pidx in pair_species_groups(symbols, nl).items():
+        r = nl.distances[pidx]
+        vec = nl.vectors[pidx]
+        u = vec / r[:, None]
+        ni, nj = model.norb(sa), model.norb(sb)
+        oi = offsets[nl.i[pidx]]
+        oj = offsets[nl.j[pidx]]
+        phases = np.exp(1j * (vec @ k))
+
+        V, dV = model.hopping(sa, sb, r)
+        B = sk_blocks(u, V)[:, :ni, :nj]
+        G = sk_block_gradients(u, r, V, dV)[:, :, :ni, :nj]
+
+        rows = oi[:, None, None] + np.arange(ni)[None, :, None]
+        cols = oj[:, None, None] + np.arange(nj)[None, None, :]
+        g_sk, q = k_bond_force_terms(rho[rows, cols], phases, B, G)
+
+        if need_overlap:
+            ov = model.overlap(sa, sb, r)
+            S = sk_blocks(u, ov[0])[:, :ni, :nj]
+            GS = sk_block_gradients(u, r, ov[0], ov[1])[:, :, :ni, :nj]
+            gs_w, q_w = k_bond_force_terms(w[rows, cols], phases, S, GS)
+            g_sk -= gs_w
+            q -= q_w
+
+        g = g_sk + q[:, None] * k[None, :]
+        np.add.at(forces, nl.i[pidx], g)
+        np.add.at(forces, nl.j[pidx], -g)
+        virial += np.einsum("pc,pd->cd", g_sk, vec)
 
     return forces, virial
 

@@ -121,13 +121,22 @@ def build_hamiltonian(atoms, model, nl: NeighborList,
 
 
 def build_hamiltonian_k(atoms, model, nl: NeighborList, k_cart,
-                        with_overlap: bool | None = None
+                        with_overlap: bool | None = None,
+                        sparse: bool = False
                         ) -> tuple[np.ndarray, np.ndarray | None]:
     """Assemble the complex Hermitian Hamiltonian at Cartesian k (Å⁻¹).
 
     Uses the "atomic gauge" phase ``exp(i k · d)`` with ``d`` the physical
     bond vector; eigenvalues are gauge-independent.  Returns ``(H_k, S_k)``.
+    With ``sparse=True`` both come back as complex scipy CSR (numerically
+    identical entries), assembled in O(M) memory by
+    :mod:`repro.linscale.sparse_hamiltonian`.
     """
+    if sparse:
+        from repro.linscale.sparse_hamiltonian import build_sparse_hamiltonian_k
+
+        return build_sparse_hamiltonian_k(atoms, model, nl, k_cart,
+                                          with_overlap=with_overlap)
     symbols = atoms.symbols
     model.check_species(symbols)
     offsets, m = orbital_offsets(symbols, model)

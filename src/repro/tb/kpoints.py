@@ -12,12 +12,21 @@ def gamma_point() -> tuple[np.ndarray, np.ndarray]:
     return np.zeros((1, 3)), np.ones(1)
 
 
-def monkhorst_pack(size) -> tuple[np.ndarray, np.ndarray]:
+def monkhorst_pack(size, reduce_time_reversal: bool = True
+                   ) -> tuple[np.ndarray, np.ndarray]:
     """Monkhorst–Pack fractional k grid.
 
     Parameters
     ----------
     size : (n1, n2, n3) grid divisions (an int means isotropic).
+    reduce_time_reversal :
+        Fold −k onto +k with doubled weight (default).  A real-space
+        Hamiltonian is real, so ``H(−k) = H(k)*`` shares its spectrum
+        with ``H(k)`` and the full grid does every ±k pair's work twice;
+        folding halves the diagonalisation / FOE cost *exactly* (weighted
+        band sums are identical to the full grid to round-off).  Pass
+        ``False`` for the full unreduced grid (e.g. when perturbations
+        break time-reversal symmetry).
 
     Returns
     -------
@@ -33,7 +42,40 @@ def monkhorst_pack(size) -> tuple[np.ndarray, np.ndarray]:
     k1, k2, k3 = np.meshgrid(*grids, indexing="ij")
     kpts = np.stack([k1.ravel(), k2.ravel(), k3.ravel()], axis=1)
     w = np.full(len(kpts), 1.0 / len(kpts))
+    if reduce_time_reversal:
+        return fold_time_reversal(kpts, w)
     return kpts, w
+
+
+def fold_time_reversal(kpts_frac: np.ndarray, weights: np.ndarray,
+                       decimals: int = 9) -> tuple[np.ndarray, np.ndarray]:
+    """Fold time-reversal pairs ±k of a symmetric grid onto one member.
+
+    For each pair ``(k, −k)`` present in the grid the lexicographically
+    larger member is kept with the summed weight; self-paired points
+    (Γ and zone-boundary points equal to −k modulo nothing — MP grids
+    are symmetric about 0, so only exact ``k == −k``) and points whose
+    partner is absent keep their own weight.  The total weight is
+    conserved, and since ``ε(−k) = ε(k)`` for a real-space-real
+    Hamiltonian, any weighted band quantity is *identical* to the full
+    grid's to round-off — asserted in the test suite.
+    """
+    kpts = np.asarray(kpts_frac, dtype=float)
+    w = np.asarray(weights, dtype=float).copy()
+    keys = [tuple(k) for k in np.round(kpts, decimals)]
+    index = {key: i for i, key in enumerate(keys)}
+    keep = np.ones(len(kpts), dtype=bool)
+    for i, key in enumerate(keys):
+        if not keep[i]:
+            continue
+        neg = tuple(np.round(-kpts[i], decimals) + 0.0)   # -0.0 → 0.0
+        j = index.get(neg)
+        if j is None or j == i or not keep[j]:
+            continue
+        winner, loser = (i, j) if key >= neg else (j, i)
+        w[winner] += w[loser]
+        keep[loser] = False
+    return kpts[keep], w[keep]
 
 
 def reciprocal_lattice(cell) -> np.ndarray:

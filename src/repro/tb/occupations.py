@@ -66,7 +66,23 @@ def fermi_function(eps: np.ndarray, mu: float, kT: float) -> np.ndarray:
 def find_fermi_level(eigenvalues: np.ndarray, n_electrons: float, kT: float,
                      weights: np.ndarray | None = None,
                      tol: float = 1e-12, max_iter: int = 200) -> float:
-    """Bisect for μ such that ``Σ w·f(ε; μ) = n_electrons``."""
+    """Bisect for μ such that ``Σ w·f(ε; μ) = n_electrons``.
+
+    The electron count is continuous and monotone in μ for ``kT > 0``, so
+    bisection normally converges well below *tol*.  When it does **not**
+    (the residual after *max_iter* still exceeds the tolerance) the
+    midpoint is *wrong*, not approximately right, and is never returned:
+
+    * if the spectrum around the final bracket has a clean gap whose
+      midpoint satisfies the electron count — the degenerate mid-gap /
+      kT → 0 case, where the count plateaus at ``n_electrons`` over the
+      whole gap and float resolution cannot distinguish candidates — the
+      gap midpoint is returned *deliberately* (it is the kT → 0 limit of
+      the exact μ);
+    * otherwise :class:`~repro.errors.ElectronicError` is raised with the
+      residual, instead of silently handing a mis-placed Fermi level to
+      occupation, entropy and force evaluations downstream.
+    """
     eps = np.asarray(eigenvalues, dtype=float)
     w = np.ones_like(eps) if weights is None else np.asarray(weights, dtype=float)
     total_capacity = 2.0 * float(w.sum())
@@ -76,6 +92,7 @@ def find_fermi_level(eigenvalues: np.ndarray, n_electrons: float, kT: float,
         )
     lo = float(eps.min()) - 20.0 * kT - 1.0
     hi = float(eps.max()) + 20.0 * kT + 1.0
+    scale = max(1.0, abs(n_electrons))
 
     def count(mu):
         return float(np.sum(w * fermi_function(eps, mu, kT)))
@@ -83,14 +100,32 @@ def find_fermi_level(eigenvalues: np.ndarray, n_electrons: float, kT: float,
     for _ in range(max_iter):
         mid = 0.5 * (lo + hi)
         c = count(mid)
-        if abs(c - n_electrons) < tol * max(1.0, n_electrons):
+        if abs(c - n_electrons) < tol * scale:
             return mid
         if c < n_electrons:
             lo = mid
         else:
             hi = mid
-    # bisection converges linearly on the interval; accept the midpoint
-    return 0.5 * (lo + hi)
+
+    # Non-convergent: the count could not meet the tolerance anywhere the
+    # bracket can resolve.  The benign case is a staircase count (kT far
+    # below the level spacing): if the levels around the bracket leave a
+    # gap whose midpoint carries the right electron count, return it.
+    mid = 0.5 * (lo + hi)
+    below = eps[eps <= mid]
+    above = eps[eps > mid]
+    if len(below) and len(above):
+        mu_gap = 0.5 * (float(below.max()) + float(above.min()))
+        if abs(count(mu_gap) - n_electrons) < tol * scale:
+            return mu_gap
+    residual = count(mid) - n_electrons
+    raise ElectronicError(
+        f"Fermi-level bisection did not converge in {max_iter} iterations: "
+        f"electron-count residual {residual:+.3e} at mu = {mid:.6f} eV "
+        f"(tol {tol * scale:.1e}). kT = {kT:g} eV may be too small to "
+        "resolve a partially filled level at float precision; raise kT, "
+        "loosen tol, or use the zero-temperature filler."
+    )
 
 
 def entropy_density(occupations: np.ndarray) -> np.ndarray:

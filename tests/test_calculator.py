@@ -60,13 +60,16 @@ def test_gap_of_silicon_positive(si8):
     assert gap > 0.5      # Γ-folded silicon is clearly gapped
 
 
-def test_kpoint_mode_energy_no_forces(si8):
+def test_kpoint_mode_energy_and_forces(si8):
     calc = TBCalculator(GSPSilicon(), kpts=2, kT=0.05)
     res = calc.compute(si8)
-    assert res["n_kpoints"] == 8
-    assert "forces" not in res
-    with pytest.raises(ModelError, match="Γ-only|kpts"):
-        calc.get_forces(si8)
+    # 2×2×2 MP grid is time-reversal reduced: 4 points carry weight 1/4
+    assert res["n_kpoints"] == 4
+    f = calc.get_forces(si8)
+    assert f.shape == (8, 3)
+    # pristine diamond: forces vanish by symmetry
+    np.testing.assert_allclose(f, 0.0, atol=1e-10)
+    np.testing.assert_allclose(res["forces"].sum(axis=0), 0.0, atol=1e-10)
 
 
 def test_kpoint_requires_periodic_cell():
@@ -126,7 +129,7 @@ def test_repr_mentions_model_and_mode():
     r1 = repr(TBCalculator(GSPSilicon()))
     assert "gsp-silicon" in r1 and "Γ" in r1
     r2 = repr(TBCalculator(GSPSilicon(), kpts=2, kT=0.1))
-    assert "8 k-points" in r2
+    assert "4 k-points" in r2     # 2×2×2 grid, time-reversal reduced
 
 
 def test_wrong_species_clear_error(c_diamond):

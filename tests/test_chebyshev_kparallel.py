@@ -118,3 +118,27 @@ def test_kpoint_ceil_granularity():
 def test_kpoint_validation():
     with pytest.raises(ParallelError):
         kpoint_parallel_time(64, 0, 4, MachineSpec.paragon())
+
+
+def test_mu_rounds_derived_from_tolerance():
+    """The allreduce count tracks the requested μ tolerance instead of
+    the old hardcoded 40 rounds: halving per round, so looser tolerances
+    cost fewer rounds and the default lands near the historic value."""
+    from repro.parallel.kpoints import mu_bisection_rounds
+
+    assert mu_bisection_rounds(1e-10, 20.0) == int(
+        np.ceil(np.log2(20.0 / 1e-10)))
+    # one fewer halving order of magnitude ≈ log2(10) ≈ 3.3 fewer rounds
+    assert mu_bisection_rounds(1e-6, 20.0) < mu_bisection_rounds(1e-10, 20.0)
+    assert mu_bisection_rounds(30.0, 20.0) == 1      # looser than bracket
+    with pytest.raises(ParallelError):
+        mu_bisection_rounds(0.0, 20.0)
+
+
+def test_kpoint_time_reports_and_uses_mu_rounds():
+    spec = MachineSpec.paragon()
+    tight = kpoint_parallel_time(128, 4, 4, spec, mu_tol=1e-12)
+    loose = kpoint_parallel_time(128, 4, 4, spec, mu_tol=1e-2)
+    assert tight["mu_rounds"] > loose["mu_rounds"]
+    # more scalar allreduces → strictly more communication time
+    assert tight["comm_seconds"] > loose["comm_seconds"]

@@ -20,10 +20,38 @@ def test_gamma_point():
 
 
 def test_monkhorst_pack_counts_and_weights():
-    k, w = monkhorst_pack((2, 3, 1))
+    k, w = monkhorst_pack((2, 3, 1), reduce_time_reversal=False)
     assert len(k) == 6
     assert w.sum() == pytest.approx(1.0)
     np.testing.assert_allclose(w, 1 / 6)
+
+
+def test_monkhorst_pack_time_reversal_fold_counts():
+    # no self-paired point on the (2,3,1) grid: 6 points → 3 pairs
+    k, w = monkhorst_pack((2, 3, 1))
+    assert len(k) == 3
+    np.testing.assert_allclose(w, 1 / 3)
+    assert w.sum() == pytest.approx(1.0)
+    # odd grid keeps Γ (self-paired, un-doubled weight)
+    k3, w3 = monkhorst_pack(3)
+    assert len(k3) == 14                       # Γ + 13 folded pairs of 27
+    gamma = np.all(np.abs(k3) < 1e-12, axis=1)
+    assert gamma.sum() == 1
+    assert w3[gamma][0] == pytest.approx(1 / 27)
+    assert w3.sum() == pytest.approx(1.0)
+
+
+def test_monkhorst_pack_fold_covers_full_grid():
+    """Every full-grid point maps onto a kept point or its negation, and
+    the kept weights equal the summed pair weights."""
+    full_k, full_w = monkhorst_pack((4, 2, 3), reduce_time_reversal=False)
+    red_k, red_w = monkhorst_pack((4, 2, 3))
+    assert len(red_k) == 12                    # 24 points, no self-paired
+    kept = {tuple(np.round(k, 9)) for k in red_k}
+    for k in full_k:
+        assert tuple(np.round(k, 9)) in kept \
+            or tuple(np.round(-k, 9) + 0.0) in kept
+    assert red_w.sum() == pytest.approx(full_w.sum())
 
 
 def test_monkhorst_pack_even_grid_excludes_gamma():
@@ -37,13 +65,33 @@ def test_monkhorst_pack_odd_grid_includes_gamma():
 
 
 def test_monkhorst_pack_symmetric_about_zero():
-    k, _ = monkhorst_pack((4, 4, 4))
+    k, _ = monkhorst_pack((4, 4, 4), reduce_time_reversal=False)
     np.testing.assert_allclose(k.sum(axis=0), 0.0, atol=1e-12)
 
 
 def test_monkhorst_pack_invalid():
     with pytest.raises(ElectronicError):
         monkhorst_pack(0)
+
+
+def test_time_reversal_fold_band_energy_exact(si8_rattled):
+    """The satellite exactness contract: weighted band energy (and σ of
+    the whole weighted spectrum) on the reduced grid equals the full
+    grid to 1e-12 — ε(−k) = ε(k) for a real-space-real Hamiltonian."""
+    from repro.tb import GSPSilicon, TBCalculator
+
+    calc_red = TBCalculator(GSPSilicon(), kpts=3, kT=0.05)
+    full = TBCalculator(GSPSilicon(), kT=0.05)
+    full.kpts_frac, full.kweights = monkhorst_pack(
+        3, reduce_time_reversal=False)
+    res_r = calc_red.compute(si8_rattled, forces=True)
+    res_f = full.compute(si8_rattled, forces=True)
+    assert res_r["band_energy"] == pytest.approx(res_f["band_energy"],
+                                                 abs=1e-12)
+    assert res_r["fermi_level"] == pytest.approx(res_f["fermi_level"],
+                                                 abs=1e-12)
+    assert res_r["entropy"] == pytest.approx(res_f["entropy"], abs=1e-12)
+    np.testing.assert_allclose(res_r["forces"], res_f["forces"], atol=1e-12)
 
 
 def test_reciprocal_lattice_orthogonality(si8):

@@ -99,6 +99,52 @@ def test_weighted_zero_t_raises():
                                 weights=np.array([0.5, 0.5]))
 
 
+# ------------------------------------------------------------------ the
+# find_fermi_level non-convergence contract (satellite bugfix): an
+# unconverged bisection must never silently return its midpoint.
+
+def test_find_fermi_level_raises_on_nonconvergence():
+    """Constructed non-convergent input: a metallic spectrum with far too
+    few iterations to meet the tolerance — the old code returned the
+    (wrong) midpoint, the fix raises."""
+    rng = np.random.default_rng(1)
+    eps = np.sort(rng.normal(size=50))
+    with pytest.raises(ElectronicError, match="did not converge"):
+        find_fermi_level(eps, 37.0, kT=0.05, tol=1e-14, max_iter=3)
+
+
+def test_find_fermi_level_raises_on_unresolvable_fraction():
+    """kT far below float resolution with a genuinely fractional filling
+    of a level: no representable μ satisfies the count — raise, don't
+    hand back a midpoint whose occupations are off by O(1)."""
+    eps = np.array([-1.0, 0.0, 1.0])
+    # 4.5 electrons: half an electron must sit fractionally on ε = 1,
+    # which needs μ = 1 + kT·ln(3); at kT = 1e-30 that rounds to exactly
+    # 1.0, where the count jumps 4 → 5 → 6 between adjacent doubles
+    with pytest.raises(ElectronicError, match="did not converge"):
+        find_fermi_level(eps, 4.5, kT=1e-30)
+
+
+def test_find_fermi_level_gap_midpoint_deliberate():
+    """Degenerate mid-gap / kT → 0 case: the bisection runs out of
+    iterations with the bracket still spanning a clean gap whose
+    midpoint carries exactly N electrons — the solver returns that gap
+    midpoint deliberately instead of the (wrong) bracket midpoint."""
+    eps = np.array([-1.0, 0.5, 0.6, 2.0])
+    mu = find_fermi_level(eps, 2.0, kT=1e-30, max_iter=1)
+    assert mu == pytest.approx(-0.25, abs=1e-12)   # (−1 + 0.5)/2
+    # and the count there is exact
+    assert fermi_function(eps, mu, 1e-30).sum() == pytest.approx(2.0)
+
+
+def test_find_fermi_level_converged_path_unchanged():
+    rng = np.random.default_rng(2)
+    eps = np.sort(rng.normal(size=30))
+    mu = find_fermi_level(eps, 17.0, kT=0.1)
+    assert fermi_function(eps, mu, 0.1).sum() == pytest.approx(17.0,
+                                                               abs=1e-9)
+
+
 def test_homo_lumo_gap_insulator():
     eps = np.array([-2.0, -1.0, 1.0, 3.0])
     f = np.array([2.0, 2.0, 0.0, 0.0])
@@ -135,6 +181,48 @@ def test_property_charge_conservation_and_bounds(n, seed, kt):
     assert s >= 0.0
     # occupations monotone non-increasing with energy
     assert np.all(np.diff(f) <= 1e-12)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    n=st.integers(2, 40),
+    seed=st.integers(0, 10**6),
+    kt=st.floats(1e-3, 0.5),
+)
+def test_property_weighted_charge_conservation(n, seed, kt):
+    """Σ w·f = N over random spectra, random positive weights and kT —
+    the conservation contract of the k-sampled occupation layer."""
+    rng = np.random.default_rng(seed)
+    eps = np.sort(rng.normal(scale=3.0, size=n))
+    w = rng.uniform(0.05, 1.0, size=n)
+    capacity = 2.0 * w.sum()
+    nelec = float(rng.uniform(0.1, 0.9) * capacity)
+    f, mu, s = fermi_dirac_occupations(eps, nelec, kt, weights=w)
+    assert float(np.sum(w * f)) == pytest.approx(nelec, abs=1e-7)
+    assert np.all(f >= 0) and np.all(f <= 2.0 + 1e-12)
+    assert s >= 0.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(0, 10**6),
+    gap=st.floats(1e-6, 1e-2),
+    kt=st.floats(1e-4, 1e-2),
+)
+def test_property_weighted_near_degenerate_gap_edges(seed, gap, kt):
+    """Near-degenerate levels straddling a tiny gap — exactly the regime
+    the non-convergence bugfix changes: either the solver converges and
+    conserves Σ w·f = N, or it raises; it never mis-returns silently."""
+    rng = np.random.default_rng(seed)
+    # valence shell at 0 (two near-degenerate levels), conduction at gap
+    eps = np.array([-1.0, -gap / 2, gap / 2 - 1e-9, gap / 2, 1.0])
+    w = rng.uniform(0.1, 1.0, size=5)
+    nelec = 2.0 * float(w[:3].sum())          # fill through the gap edge
+    try:
+        f, mu, s = fermi_dirac_occupations(eps, nelec, kt, weights=w)
+    except ElectronicError:
+        return                                 # loud refusal is allowed
+    assert float(np.sum(w * f)) == pytest.approx(nelec, abs=1e-7)
 
 
 @settings(max_examples=20, deadline=None)
