@@ -7,6 +7,13 @@ from repro.analysis.rings import ring_statistics, bond_graph
 from repro.analysis.msd import mean_squared_displacement, diffusion_coefficient
 from repro.analysis.vacf import velocity_autocorrelation, phonon_dos
 from repro.analysis.eos import birch_murnaghan_fit, murnaghan_fit, EOSFit
+from repro.analysis.strain_sweep import (
+    StrainPoint,
+    StrainSweepResult,
+    strain_sweep,
+    strain_tensors,
+    sweep_amplitudes,
+)
 from repro.analysis.timeseries import block_average, running_mean
 from repro.analysis.phonons import (
     acoustic_sum_rule_violation,
@@ -29,6 +36,11 @@ __all__ = [
     "birch_murnaghan_fit",
     "murnaghan_fit",
     "EOSFit",
+    "StrainPoint",
+    "StrainSweepResult",
+    "strain_sweep",
+    "strain_tensors",
+    "sweep_amplitudes",
     "block_average",
     "running_mean",
     "dynamical_matrix",

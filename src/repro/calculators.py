@@ -25,7 +25,11 @@ CLASSICAL_MODELS = ("sw-si",)
 SOLVERS = ("diag", "purification", "foe", "linscale")
 
 _SPEC_KEYS = frozenset({"model", "solver", "kT", "order", "r_loc",
-                        "nworkers", "reuse", "skin", "kgrid"})
+                        "nworkers", "reuse", "skin", "kgrid",
+                        "kgrid_reduce"})
+
+#: MP-grid folding modes accepted by ``kgrid_reduce``
+KGRID_REDUCE = ("trs", "full", "symmetry")
 
 
 def parse_kgrid(value) -> tuple[int, int, int] | None:
@@ -78,7 +82,8 @@ def make_calculator(spec: dict):
     error for classical models), ``kT`` (eV), ``order``, ``r_loc`` (Å),
     ``nworkers``, ``reuse``, ``skin`` (Å), ``kgrid`` (Monkhorst–Pack
     divisions — ``"n1xn2xn3"``, an int, or a 3-sequence; ``diag`` and
-    ``linscale`` only).
+    ``linscale`` only), ``kgrid_reduce`` (``"trs"`` default / ``"full"``
+    / ``"symmetry"`` — crystal-point-group irreducible wedge).
     """
     unknown = set(spec) - _SPEC_KEYS
     if unknown:
@@ -90,6 +95,17 @@ def make_calculator(spec: dict):
     kT = _coerce(spec, "kT", float, 0.0)
     skin = _coerce(spec, "skin", float, 0.5)
     kgrid = parse_kgrid(spec.get("kgrid"))
+    kgrid_reduce = spec.get("kgrid_reduce")
+    if kgrid_reduce is not None:
+        if kgrid_reduce not in KGRID_REDUCE:
+            raise ReproError(
+                f"unknown kgrid_reduce {kgrid_reduce!r}; choose from "
+                f"{KGRID_REDUCE}")
+        if kgrid is None:
+            raise ReproError(
+                "kgrid_reduce only applies together with a kgrid")
+    else:
+        kgrid_reduce = "trs"
     if kgrid is not None and solver not in ("diag", "linscale"):
         raise ReproError(
             "kgrid is supported by the 'diag' and 'linscale' solvers only "
@@ -117,7 +133,8 @@ def make_calculator(spec: dict):
     if solver == "diag":
         from repro.tb import TBCalculator
 
-        return TBCalculator(model, kT=kT, skin=skin, kpts=kgrid)
+        return TBCalculator(model, kT=kT, skin=skin, kpts=kgrid,
+                            kgrid_reduce=kgrid_reduce)
     if solver == "purification":
         from repro.linscale import DensityMatrixCalculator
 
@@ -141,4 +158,4 @@ def make_calculator(spec: dict):
         model, kT=kT, order=order,
         r_loc=_coerce(spec, "r_loc", float, None),
         nworkers=_coerce(spec, "nworkers", int, 1), reuse=reuse, skin=skin,
-        kpts=kgrid)
+        kpts=kgrid, kgrid_reduce=kgrid_reduce)

@@ -9,6 +9,8 @@ without writing Python::
                                 --kt 0.1 --order 200
     python -m repro.cli energy  metal.xyz --solver linscale --kgrid 4x4x4 \
                                 --kt 0.2 --order 300
+    python -m repro.cli sweep   si8.xyz --kgrid 4x4x4 --kgrid-reduce symmetry \
+                                --amplitude 0.06 --npoints 9 --fit birch
     python -m repro.cli relax   structure.xyz --model xu-c --fmax 0.02 -o out.xyz
     python -m repro.cli md      structure.xyz --steps 500 --temperature 1000 \
                                 --thermostat nose-hoover --traj run.xyz
@@ -21,7 +23,11 @@ without writing Python::
 ``linscale`` — the O(N) Fermi-operator-in-localization-regions path.
 ``--kgrid n1xn2xn3`` switches ``diag`` and ``linscale`` to Monkhorst–Pack
 k sampling (energies *and* forces, so MD/relax work) — the small-cell
-metal mode; see docs/kpoints.md.
+metal mode; ``--kgrid-reduce symmetry`` folds the crystal point group
+into an irreducible wedge on top of the time-reversal reduction (see
+docs/symmetry.md).  ``sweep`` walks a strain path with one warm
+calculator and fits an equation of state (docs/symmetry.md has the
+tutorial).
 
 ``serve`` starts the long-lived multi-structure batch service (resident
 calculator workers, sticky per-structure routing — see docs/service.md);
@@ -49,7 +55,7 @@ def _calc_spec(args) -> dict:
     """
     spec = {"model": args.model, "kT": args.kt,
             "solver": getattr(args, "solver", "diag")}
-    for key in ("order", "r_loc", "nworkers", "kgrid"):
+    for key in ("order", "r_loc", "nworkers", "kgrid", "kgrid_reduce"):
         value = getattr(args, key, None)
         if value is not None:
             spec[key] = value
@@ -89,8 +95,11 @@ def cmd_energy(args) -> int:
               f"(max {stats['atoms_max']} atoms), order {res['order']}, "
               f"r_loc {res['r_loc']:.2f} Å")
     if "n_kpoints" in res:
+        folding = {"trs": "time-reversal reduced", "full": "unreduced",
+                   "symmetry": "point-group irreducible wedge"}[
+            getattr(calc, "kgrid_reduce", "trs")]
         print(f"k-points         : {res['n_kpoints']} "
-              f"(Monkhorst-Pack, time-reversal reduced)")
+              f"(Monkhorst-Pack, {folding})")
     import numpy as np
 
     print(f"max |force|      : {np.abs(res['forces']).max():.6f} eV/Å")
@@ -149,6 +158,48 @@ def cmd_md(args) -> int:
     print(f"\nconserved-quantity drift: {log.conserved_drift():.3e}")
     if args.traj:
         print(f"trajectory written to {args.traj}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    from repro.analysis import strain_sweep, sweep_amplitudes
+    from repro.geometry import read_xyz
+
+    atoms = read_xyz(args.structure)
+    calc = _make_calculator(args.model, args.kt, args)
+    amplitudes = sweep_amplitudes(args.amplitude, args.npoints)
+    fit = None if args.fit == "none" else args.fit
+    res = strain_sweep(atoms, calc, amplitudes, mode=args.mode,
+                       axis=args.axis, forces=args.forces, fit=fit,
+                       energy_ref=args.eref)
+    print(f"{args.mode} strain sweep: {len(res.points)} points, "
+          f"{res.natoms} atoms")
+    header = f"{'ε':>9} {'V (Å³/at)':>11} {'E (eV/at)':>12}"
+    if args.forces:
+        header += f" {'max|F|':>10} {'P (GPa)':>10}"
+    print(header)
+    for p in res.points:
+        line = f"{p.amplitude:9.4f} {p.volume:11.4f} {p.energy:12.6f}"
+        if args.forces:
+            line += (f" {p.max_force:10.4f}"
+                     f" {p.pressure_gpa if p.pressure_gpa is not None else float('nan'):10.3f}")
+        print(line)
+    if res.eos is not None:
+        print(f"{res.eos.form} fit  : V0 = {res.eos.v0:.4f} Å³/atom, "
+              f"E0 = {res.eos.e0:.6f} eV/atom, "
+              f"B0 = {res.eos.b0_gpa:.2f} GPa (B0' = {res.eos.b0_prime:.3f}, "
+              f"rms {res.eos.residual:.2e})")
+    rep = res.calc_report or {}
+    foe = rep.get("foe")
+    if foe:
+        print(f"state reuse      : {foe['fused']} fused + "
+              f"{foe['fallback']} fused-with-fallback / {foe['cold']} "
+              f"two-pass solves, "
+              f"{rep['hamiltonian']['pattern_builds']} pattern builds")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(res.as_dict(), fh, indent=2)
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -262,9 +313,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "(linscale)")
         sp.add_argument("--kgrid", default=None, metavar="n1xn2xn3",
                         help="Monkhorst-Pack k grid (e.g. 4x4x4, or one "
-                             "int for isotropic); time-reversal reduced. "
-                             "Small-cell metals via diag or linscale; "
-                             "default Γ-only")
+                             "int for isotropic). Small-cell metals via "
+                             "diag or linscale; default Γ-only")
+        sp.add_argument("--kgrid-reduce", default=None,
+                        choices=["trs", "full", "symmetry"],
+                        dest="kgrid_reduce",
+                        help="k-grid folding: time-reversal only (trs, "
+                             "default), none (full), or the crystal "
+                             "point-group irreducible wedge (symmetry) — "
+                             "up to ~16x fewer k points on cubic cells")
         sp.add_argument("--no-reuse", action="store_true", dest="no_reuse",
                         help="disable step-to-step state reuse (neighbor "
                              "lists, Hamiltonian pattern, regions, spectral "
@@ -292,6 +349,28 @@ def build_parser() -> argparse.ArgumentParser:
     pm.add_argument("--seed", type=int, default=42)
     pm.add_argument("--traj", help="write trajectory XYZ here")
     pm.add_argument("--traj-interval", type=int, default=10)
+
+    pw = sub.add_parser(
+        "sweep", help="strain sweep / equation-of-state fit")
+    add_common(pw)
+    pw.add_argument("--mode", default="volumetric",
+                    choices=["volumetric", "uniaxial", "shear"],
+                    help="strain path (volumetric fits an EOS by default)")
+    pw.add_argument("--axis", type=int, default=2, choices=[0, 1, 2],
+                    help="strained axis (uniaxial/shear)")
+    pw.add_argument("--amplitude", type=float, default=0.04,
+                    help="max |strain| of the path (linear, not volume)")
+    pw.add_argument("--npoints", type=int, default=9,
+                    help="strain points across ±amplitude")
+    pw.add_argument("--fit", default="birch",
+                    choices=["birch", "murnaghan", "none"],
+                    help="EOS form fitted to E(V)")
+    pw.add_argument("--eref", type=float, default=0.0,
+                    help="per-atom energy reference subtracted before "
+                         "the fit (free-atom reference → cohesive energy)")
+    pw.add_argument("--forces", action="store_true",
+                    help="also compute forces and pressure per point")
+    pw.add_argument("--json", help="write points + fit as JSON here")
 
     ps = sub.add_parser(
         "serve", help="run the multi-structure batch service")
@@ -326,6 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
     cl.add_argument("--r-loc", type=float, default=6.0, dest="r_loc")
     cl.add_argument("--kgrid", default=None, metavar="n1xn2xn3",
                     help="Monkhorst-Pack k grid (diag/linscale)")
+    cl.add_argument("--kgrid-reduce", default=None,
+                    choices=["trs", "full", "symmetry"],
+                    dest="kgrid_reduce",
+                    help="k-grid folding mode (see the energy command)")
     ce = ca.add_parser("eval", help="energy/forces of a loaded structure")
     ce.add_argument("--id", required=True)
     ce.add_argument("--forces", action="store_true")
@@ -352,6 +435,7 @@ def main(argv=None) -> int:
         "energy": cmd_energy,
         "relax": cmd_relax,
         "md": cmd_md,
+        "sweep": cmd_sweep,
         "serve": cmd_serve,
         "client": cmd_client,
     }[args.command]

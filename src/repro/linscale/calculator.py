@@ -74,7 +74,12 @@ from repro.linscale.kfoe import (
 )
 from repro.linscale.regions import extract_regions, region_statistics
 from repro.linscale.sparse_hamiltonian import SparseHamiltonianBuilder
-from repro.tb.kpoints import frac_to_cartesian, monkhorst_pack
+from repro.tb.kpoints import KGRID_REDUCE_MODES, frac_to_cartesian, reduced_kgrid
+from repro.tb.symmetry import (
+    symmetrize_atom_scalars,
+    symmetrize_forces,
+    symmetrize_virial,
+)
 
 
 def _padded_lanczos_window(H) -> tuple[float, float]:
@@ -220,16 +225,24 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         (:mod:`repro.linscale.kfoe`): complex per-(k, region) blocks off
         the one cached bond pattern, one cached spectral window per k,
         MP-weighted moments → one common μ, weighted density-row and
-        force assembly.  The grid is time-reversal reduced (−k folded
-        onto +k with doubled weight).  This is the path for *small-cell
-        metals* — tiny periodic cells whose Γ-only folding would need a
-        large supercell.
+        force assembly.  This is the path for *small-cell metals* — tiny
+        periodic cells whose Γ-only folding would need a large
+        supercell.
+    kgrid_reduce :
+        MP-grid folding: ``"trs"`` (default, −k onto +k with doubled
+        weight), ``"full"``, or ``"symmetry"`` — the crystal-point-group
+        irreducible wedge (:mod:`repro.tb.symmetry`), re-detected per
+        structure, with band forces/virial/populations scattered back
+        through the folding ops.  A symmetry-broken structure degrades
+        to the time-reversal reduction; the per-k pattern cache, window
+        caches and warm-μ fast path all run on the wedge unchanged.
     """
 
     def __init__(self, model, kT: float = 0.1, r_loc: float | None = None,
                  order: int = 150, nworkers: int = 1, executor=None,
                  neighbor_method: str = "auto", skin: float = 0.5,
-                 reuse: bool = True, rho_tol: float = 1e-10, kpts=None):
+                 reuse: bool = True, rho_tol: float = 1e-10, kpts=None,
+                 kgrid_reduce: str = "trs"):
         if not model.orthogonal:
             raise ElectronicError(
                 "LinearScalingCalculator supports orthogonal models only "
@@ -253,11 +266,21 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self.executor = executor
         self.reuse = bool(reuse)
         self.rho_tol = float(rho_tol)
-        if kpts is None:
+        if kgrid_reduce not in KGRID_REDUCE_MODES:
+            raise ElectronicError(
+                f"unknown kgrid_reduce {kgrid_reduce!r}; choose from "
+                f"{KGRID_REDUCE_MODES}")
+        self.kgrid_reduce = kgrid_reduce
+        self._kgrid_size = kpts
+        self._sym_cache: tuple = (None, None)
+        if kpts is None or kgrid_reduce == "symmetry":
+            # the symmetry wedge depends on cell + basis: resolved per
+            # structure at the top of every compute
             self.kpts_frac = None
             self.kweights = None
         else:
-            self.kpts_frac, self.kweights = monkhorst_pack(kpts)
+            self.kpts_frac, self.kweights, _ = reduced_kgrid(kpts,
+                                                             kgrid_reduce)
         self._own_pool = None
         self.timer = PhaseTimer()
         self._neighbor_method = neighbor_method
@@ -372,6 +395,32 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             self._gmaps_anchor = (H.indices, regions)
         return self._gmaps
 
+    def _resolve_kgrid(self, atoms):
+        """Current folding ops (``None`` outside symmetry mode), updating
+        ``kpts_frac`` / ``kweights`` for the current structure.
+
+        Cached by exact cell/positions/species bytes — across a strain
+        sweep of a symmetric crystal the *fractional* wedge is invariant,
+        so the params signature stays put and the warm per-k state
+        (pattern, windows, μ) survives every strain step.  On geometry
+        changes the cached ops are revalidated in O(|ops|·N); the full
+        O(N²) detection reruns only when an op was lost
+        (:func:`repro.tb.symmetry.rewedge`)."""
+        if self.kgrid_reduce != "symmetry":
+            return None
+        from repro.tb.symmetry import rewedge
+
+        key = (atoms.cell.matrix.tobytes(), tuple(atoms.symbols),
+               atoms.positions.tobytes())
+        cached_key, grid = self._sym_cache
+        if cached_key != key:
+            g = rewedge(self._kgrid_size, atoms,
+                        prev_ops=grid[2] if grid else None)
+            grid = (g.kpts_frac, g.weights, g.ops)
+            self._sym_cache = (key, grid)
+        self.kpts_frac, self.kweights = grid[0], grid[1]
+        return grid[2]
+
     def _mu_guess(self) -> float | None:
         """Warm μ: linear extrapolation of the last two converged values."""
         if not self._mu_hist:
@@ -415,6 +464,14 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         (periodic cells), ``pressure``.  Energies in eV, forces in eV/Å,
         stress/pressure in eV/Å³, entropy in eV/K.
         """
+        kmode = self._kgrid_size is not None
+        if kmode and not atoms.cell.periodic:
+            raise ElectronicError("k-point sampling requires a periodic cell")
+        # resolve the (possibly structure-dependent) wedge *before* the
+        # state observation: a changed wedge changes the params signature
+        # and correctly forces a full reset of the per-k caches
+        sym_ops = self._resolve_kgrid(atoms) if kmode else None
+
         report = self._state.observe(atoms, params=self._params())
         cached = self._cached(report, forces)
         if cached is not None:
@@ -425,9 +482,6 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
 
         model = self.model
         model.check_species(atoms.symbols)
-        kmode = self.kpts_frac is not None
-        if kmode and not atoms.cell.periodic:
-            raise ElectronicError("k-point sampling requires a periodic cell")
 
         with self.timer.phase("neighbors"):
             nl = self._vlist.update(atoms)
@@ -469,6 +523,10 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             erep, frep, vrep = repulsive_energy_forces(atoms, model, nl)
 
         z = np.array([model.n_electrons(s) for s in atoms.symbols])
+        populations = foe.populations
+        if sym_ops is not None:
+            # wedge-accumulated per-atom sums → full-grid values
+            populations = symmetrize_atom_scalars(populations, sym_ops)
         energy = foe.band_energy + erep
         res = {
             "band_energy": foe.band_energy,
@@ -477,8 +535,8 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             "free_energy": energy - (self.kT / KB) * foe.entropy,
             "fermi_level": foe.mu,
             "entropy": foe.entropy,
-            "populations": foe.populations,
-            "charges": z - foe.populations,
+            "populations": populations,
+            "charges": z - populations,
             "n_electrons": foe.n_electrons,
             "n_regions": foe.n_regions,
             "region_stats": region_statistics(regions),
@@ -501,6 +559,11 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
                 if kmode:
                     fband, vband = sparse_band_forces_k(
                         atoms, model, nl, foe.rho_k, self.kweights, kcarts)
+                    if sym_ops is not None:
+                        fband = symmetrize_forces(fband, sym_ops,
+                                                  atoms.cell)
+                        vband = symmetrize_virial(vband, sym_ops,
+                                                  atoms.cell)
                 else:
                     fband, vband = sparse_band_forces(atoms, model, nl,
                                                       foe.rho)
@@ -603,8 +666,12 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         return self.compute(atoms, forces=False)["charges"]
 
     def __repr__(self) -> str:
-        kmode = "Γ" if self.kpts_frac is None \
-            else f"{len(self.kpts_frac)} k-points"
+        if self._kgrid_size is None:
+            kmode = "Γ"
+        elif self.kpts_frac is None:
+            kmode = "symmetry k-grid (unresolved)"
+        else:
+            kmode = f"{len(self.kpts_frac)} k-points ({self.kgrid_reduce})"
         return (f"LinearScalingCalculator(model={self.model.name!r}, "
                 f"{kmode}, kT={self.kT} eV, r_loc={self.r_loc:.2f} Å, "
                 f"order={self.order}, nworkers={self.nworkers}, "

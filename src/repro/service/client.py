@@ -99,6 +99,25 @@ class _ClientBase:
         res["positions"] = np.asarray(res["positions"], dtype=float)
         return res
 
+    def sweep(self, structure_id: str, amplitudes=None,
+              mode: str = "volumetric", axis: int = 2,
+              fit: str | None = "birch", forces: bool = False,
+              energy_ref: float = 0.0, amplitude: float = 0.04,
+              npoints: int = 9) -> dict:
+        """Server-side strain-sweep/EOS on a resident structure — one
+        request for the whole E(ε) curve, evaluated by the calculator
+        that already holds the warm state (see
+        :func:`repro.analysis.strain_sweep.strain_sweep`)."""
+        req: dict = {"structure_id": structure_id, "mode": mode,
+                     "axis": axis, "fit": fit, "forces": forces,
+                     "energy_ref": energy_ref}
+        if amplitudes is not None:
+            req["amplitudes"] = [float(a) for a in amplitudes]
+        else:
+            req["amplitude"] = amplitude
+            req["npoints"] = npoints
+        return self.request("sweep", **req)
+
     def unload(self, structure_id: str) -> dict:
         return self.request("unload", structure_id=structure_id)
 

@@ -35,6 +35,13 @@ Ops
     One damped steepest-descent step on the resident structure
     (``step_size``, ``max_step`` Å); returns ``energy``, ``fmax`` and the
     new ``positions``.
+``sweep``
+    Strain-sweep/EOS on the resident structure with its warm calculator
+    (``mode``, ``amplitudes`` *or* ``amplitude``/``npoints``, ``axis``,
+    ``fit``, ``forces``, ``energy_ref``); returns the
+    :meth:`repro.analysis.strain_sweep.StrainSweepResult.as_dict`
+    payload.  The resident geometry itself is untouched (every point
+    evaluates a strained copy).
 ``unload`` / ``list`` / ``stats``
     Lifecycle and introspection.
 ``shutdown``
@@ -55,11 +62,12 @@ from repro.errors import ProtocolError, ReproError
 
 #: every op the service understands; ``shutdown`` is intercepted by the
 #: socket transport, the rest reach :class:`repro.service.service.BatchService`
-OPS = ("ping", "load", "eval", "relax_step", "unload", "list", "stats",
-       "shutdown", "debug_crash")
+OPS = ("ping", "load", "eval", "relax_step", "sweep", "unload", "list",
+       "stats", "shutdown", "debug_crash")
 
 #: ops that address one structure and therefore route to its sticky worker
-STRUCTURE_OPS = ("load", "eval", "relax_step", "unload", "debug_crash")
+STRUCTURE_OPS = ("load", "eval", "relax_step", "sweep", "unload",
+                 "debug_crash")
 
 
 def encode_atoms(atoms) -> dict:

@@ -88,6 +88,8 @@ class Worker:
                 return self._op_eval(req)
             if op == "relax_step":
                 return self._op_relax_step(req)
+            if op == "sweep":
+                return self._op_sweep(req)
             if op == "load":
                 return self._op_load(req)
             if op == "unload":
@@ -194,6 +196,44 @@ class Worker:
             # returned forces would otherwise corrupt the cache)
             out["forces"] = res["forces"].copy()
         return protocol.ok_response(req, **out)
+
+    def _op_sweep(self, req: dict) -> dict:
+        """Strain-sweep/EOS the resident structure with its warm
+        calculator.  The resident geometry is never mutated — every
+        point evaluates a strained copy — but the calculator state ends
+        at the last strain point, so the next plain eval recomputes
+        (correctly, through the normal state contract)."""
+        import numpy as np
+
+        from repro.analysis.strain_sweep import strain_sweep, sweep_amplitudes
+
+        slot = self._slot(req)
+        warm = slot.evals > 0
+        mode = req.get("mode", "volumetric")
+        fit = req.get("fit", "birch")
+        if fit in (None, "none"):
+            fit = None
+        try:
+            if req.get("amplitudes") is not None:
+                amplitudes = np.asarray(req["amplitudes"], dtype=float)
+                if amplitudes.ndim != 1 or len(amplitudes) == 0:
+                    raise ValueError("amplitudes must be a non-empty list")
+            else:
+                amplitudes = sweep_amplitudes(req.get("amplitude", 0.04),
+                                              req.get("npoints", 9))
+            axis = int(req.get("axis", 2))
+            energy_ref = float(req.get("energy_ref", 0.0))
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"bad sweep parameters: {exc}") from exc
+        result = strain_sweep(slot.atoms, slot.calc, amplitudes, mode=mode,
+                              axis=axis, forces=bool(req.get("forces",
+                                                             False)),
+                              fit=fit, energy_ref=energy_ref)
+        slot.evals += len(result.points)
+        slot.refresh_accounting()
+        return protocol.ok_response(
+            req, structure_id=slot.structure_id, worker=self.worker_id,
+            warm=warm, **result.as_dict())
 
     def _op_relax_step(self, req: dict) -> dict:
         from repro.relax.base import energy_and_forces, max_force

@@ -13,7 +13,14 @@ from repro.tb.models import (
     XuCarbon,
     get_model,
 )
-from repro.tb.kpoints import monkhorst_pack, gamma_point
+from repro.tb.kpoints import monkhorst_pack, gamma_point, reduced_kgrid
+from repro.tb.symmetry import (
+    crystal_symmetry_ops,
+    irreducible_kpoints,
+    lattice_point_group,
+    symmetrize_forces,
+    symmetrize_virial,
+)
 from repro.tb.purification import purify_density_matrix, purification_energy_forces
 from repro.tb.chebyshev import fermi_operator_expansion
 from repro.tb.populations import analyze_populations, bond_order_matrix, mulliken_charges
@@ -32,6 +39,12 @@ __all__ = [
     "get_model",
     "monkhorst_pack",
     "gamma_point",
+    "reduced_kgrid",
+    "crystal_symmetry_ops",
+    "irreducible_kpoints",
+    "lattice_point_group",
+    "symmetrize_forces",
+    "symmetrize_virial",
     "purify_density_matrix",
     "purification_energy_forces",
     "fermi_operator_expansion",

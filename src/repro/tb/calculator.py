@@ -24,7 +24,8 @@ from repro.tb.forces import (
     repulsive_energy_forces,
 )
 from repro.tb.hamiltonian import build_hamiltonian, build_hamiltonian_k
-from repro.tb.kpoints import frac_to_cartesian, monkhorst_pack
+from repro.tb.kpoints import KGRID_REDUCE_MODES, frac_to_cartesian, reduced_kgrid
+from repro.tb.symmetry import symmetrize_forces, symmetrize_virial
 from repro.tb.occupations import (
     electronic_entropy,
     fermi_dirac_occupations,
@@ -59,9 +60,16 @@ class TBCalculator:
     kpts :
         ``None`` for Γ-only, or a Monkhorst–Pack size tuple / int for
         k-sampled energies **and forces** (per-k Hermitian density
-        matrices with the phase-gradient force term; the grid is
-        time-reversal reduced).  Small-cell MD and relaxation run on
-        either mode.
+        matrices with the phase-gradient force term).  Small-cell MD and
+        relaxation run on either mode.
+    kgrid_reduce :
+        How the MP grid is folded: ``"trs"`` (default) folds ±k pairs,
+        ``"full"`` keeps the raw grid, ``"symmetry"`` folds the crystal
+        point group on top of time reversal into an irreducible wedge
+        (:mod:`repro.tb.symmetry`) — the wedge is re-detected from the
+        structure on every geometry change (a symmetry-broken structure
+        degrades to the time-reversal reduction), and forces/virials are
+        scattered back through the rotations and atom permutations.
     solver :
         "lapack" (default), "jacobi" or "householder".
     skin :
@@ -70,16 +78,30 @@ class TBCalculator:
 
     def __init__(self, model, kT: float = 0.0, kpts=None,
                  solver: str = "lapack", neighbor_method: str = "auto",
-                 skin: float = 0.5):
+                 skin: float = 0.5, kgrid_reduce: str = "trs"):
         self.model = model
         if kT < 0:
             raise ElectronicError("kT must be >= 0")
         self.kT = float(kT)
+        if kgrid_reduce not in KGRID_REDUCE_MODES:
+            raise ElectronicError(
+                f"unknown kgrid_reduce {kgrid_reduce!r}; choose from "
+                f"{KGRID_REDUCE_MODES}")
+        self.kgrid_reduce = kgrid_reduce
+        self._kgrid_size = kpts
+        self._sym_cache: tuple = (None, None)
         if kpts is None:
             self.kpts_frac = None
             self.kweights = None
         else:
-            self.kpts_frac, self.kweights = monkhorst_pack(kpts)
+            if kgrid_reduce == "symmetry":
+                # the wedge depends on cell *and* basis — resolved (and
+                # cached) per structure on the first compute
+                self.kpts_frac = None
+                self.kweights = None
+            else:
+                self.kpts_frac, self.kweights, _ = reduced_kgrid(
+                    kpts, kgrid_reduce)
             if solver != "lapack":
                 # the from-scratch solvers are real-symmetric only and
                 # would silently discard the imaginary parts of H(k)
@@ -131,13 +153,36 @@ class TBCalculator:
                 self._cache_key == self._state.snapshot_id and \
                 (not forces or "forces" in self._results):
             return self._results
-        if self.kpts_frac is not None:
+        if self._kgrid_size is not None:
             res = self._compute_kpoints(atoms, forces)
         else:
             res = self._compute_gamma(atoms, forces)
         self._cache_key = self._state.snapshot_id
         self._results = res
         return res
+
+    def _resolve_kgrid(self, atoms):
+        """``(kpts_frac, weights, ops)`` for the current structure.
+
+        Static for the ``trs``/``full`` modes; for ``symmetry`` the
+        wedge follows the structure: byte-cached while the geometry is
+        unchanged, revalidated in O(|ops|·N) when it moved, fully
+        re-detected only when an op was lost
+        (:func:`repro.tb.symmetry.rewedge`)."""
+        if self.kgrid_reduce != "symmetry":
+            return self.kpts_frac, self.kweights, None
+        from repro.tb.symmetry import rewedge
+
+        key = (atoms.cell.matrix.tobytes(), tuple(atoms.symbols),
+               atoms.positions.tobytes())
+        cached_key, grid = self._sym_cache
+        if cached_key != key:
+            g = rewedge(self._kgrid_size, atoms,
+                        prev_ops=grid[2] if grid else None)
+            grid = (g.kpts_frac, g.weights, g.ops)
+            self._sym_cache = (key, grid)
+            self.kpts_frac, self.kweights = grid[0], grid[1]
+        return grid
 
     def _compute_gamma(self, atoms, want_forces: bool) -> dict:
         model = self.model
@@ -196,17 +241,22 @@ class TBCalculator:
         spectrum; forces then contract each k point's Hermitian ρ(k) (and
         W(k) for non-orthogonal models) through
         :func:`repro.tb.forces.band_forces_k` — including the atomic-gauge
-        phase-gradient term — and sum with the sampling weights.
+        phase-gradient term — and sum with the sampling weights.  In
+        ``kgrid_reduce="symmetry"`` mode the sum runs over the
+        irreducible wedge only and the accumulated band forces/virial
+        are scattered back through the folding ops.
         """
         model = self.model
         model.check_species(atoms.symbols)
         if not atoms.cell.periodic:
             raise ElectronicError("k-point sampling requires a periodic cell")
 
+        kpts_frac, kweights, sym_ops = self._resolve_kgrid(atoms)
+
         with self.timer.phase("neighbors"):
             nl = self._vlist.update(atoms)
 
-        kcart = frac_to_cartesian(self.kpts_frac, atoms.cell)
+        kcart = frac_to_cartesian(kpts_frac, atoms.cell)
         all_eps = []
         all_C = []
         for k in kcart:
@@ -218,7 +268,7 @@ class TBCalculator:
             if want_forces:
                 all_C.append(C_k)
         eps = np.concatenate(all_eps)
-        weights = np.repeat(self.kweights, [len(e) for e in all_eps])
+        weights = np.repeat(kweights, [len(e) for e in all_eps])
 
         with self.timer.phase("occupations"):
             nelec = model.total_electrons(atoms.symbols)
@@ -259,7 +309,7 @@ class TBCalculator:
                 vband = np.zeros((3, 3))
                 need_w = not model.orthogonal
                 pos = 0
-                for k, wk, eps_k, C_k in zip(kcart, self.kweights,
+                for k, wk, eps_k, C_k in zip(kcart, kweights,
                                              all_eps, all_C):
                     f_k = f[pos:pos + len(eps_k)]
                     pos += len(eps_k)
@@ -269,6 +319,9 @@ class TBCalculator:
                                            w=w_k)
                     fband += wk * fb
                     vband += wk * vb
+                if sym_ops is not None:
+                    fband = symmetrize_forces(fband, sym_ops, atoms.cell)
+                    vband = symmetrize_virial(vband, sym_ops, atoms.cell)
                 res["forces"] = fband + frep
                 res["virial"] = vband + vrep
                 _attach_stress(res, atoms)
@@ -311,7 +364,12 @@ class TBCalculator:
         return res["gap"]
 
     def __repr__(self) -> str:
-        mode = "Γ" if self.kpts_frac is None else f"{len(self.kpts_frac)} k-points"
+        if self._kgrid_size is None:
+            mode = "Γ"
+        elif self.kpts_frac is None:
+            mode = "symmetry k-grid (unresolved)"
+        else:
+            mode = f"{len(self.kpts_frac)} k-points ({self.kgrid_reduce})"
         return (f"TBCalculator(model={self.model.name!r}, {mode}, "
                 f"kT={self.kT} eV, solver={self.solver_name!r})")
 

@@ -78,6 +78,39 @@ def fold_time_reversal(kpts_frac: np.ndarray, weights: np.ndarray,
     return kpts[keep], w[keep]
 
 
+#: accepted values of the ``kgrid_reduce`` calculator/CLI/service knob
+KGRID_REDUCE_MODES = ("trs", "full", "symmetry")
+
+
+def reduced_kgrid(size, mode: str = "trs", atoms=None):
+    """One entry point for every ``kgrid_reduce`` mode.
+
+    ``"full"`` returns the unreduced Monkhorst–Pack grid, ``"trs"`` the
+    time-reversal-folded grid (the long-standing default), and
+    ``"symmetry"`` the irreducible wedge under the crystal point group
+    of *atoms* (required for that mode) composed with time reversal.
+
+    Returns ``(kpts_frac, weights, ops)`` where *ops* is the operation
+    list force/virial scattering must average over (``None`` for the
+    modes that need no scattering).
+    """
+    if mode not in KGRID_REDUCE_MODES:
+        raise ElectronicError(
+            f"unknown kgrid_reduce mode {mode!r}; choose from "
+            f"{KGRID_REDUCE_MODES}")
+    if mode == "symmetry":
+        if atoms is None:
+            raise ElectronicError(
+                "kgrid_reduce='symmetry' needs the structure (the wedge "
+                "depends on cell *and* basis)")
+        from repro.tb.symmetry import irreducible_kpoints
+
+        grid = irreducible_kpoints(size, atoms=atoms)
+        return grid.kpts_frac, grid.weights, grid.ops
+    kpts, w = monkhorst_pack(size, reduce_time_reversal=(mode == "trs"))
+    return kpts, w, None
+
+
 def reciprocal_lattice(cell) -> np.ndarray:
     """Reciprocal lattice vectors (rows, Å⁻¹) with the 2π convention."""
     return 2.0 * np.pi * np.linalg.inv(cell.matrix).T

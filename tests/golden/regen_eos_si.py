@@ -1,0 +1,54 @@
+"""Regenerate tests/golden/eos_si.json (deliberate physics changes only).
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regen_eos_si.py
+
+and review the diff: any shift here moves the published silicon energy
+ladder, which is exactly what the golden test exists to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from repro.analysis import strain_sweep
+from repro.calculators import make_calculator
+from repro.geometry import beta_tin_silicon, bulk_silicon
+
+GOLDEN = pathlib.Path(__file__).with_name("eos_si.json")
+
+BUILDERS = {"diamond": bulk_silicon,
+            "beta-tin": lambda: beta_tin_silicon(a=5.24)}
+
+
+def sweep_phase(name: str, spec: dict, settings: dict):
+    calc = make_calculator({"model": settings["model"], "kT": spec["kT"],
+                            "kgrid": spec["kgrid"],
+                            "kgrid_reduce": spec["kgrid_reduce"]})
+    amps = np.linspace(-settings["amplitude"], settings["amplitude"],
+                       settings["npoints"])
+    return strain_sweep(BUILDERS[name](), calc, amps,
+                        fit=settings["fit"],
+                        energy_ref=settings["energy_ref"]), calc
+
+
+def main() -> None:
+    data = json.loads(GOLDEN.read_text())
+    for name, spec in data["phases"].items():
+        result, calc = sweep_phase(name, spec, data["settings"])
+        eos = result.eos
+        spec.update(v0=round(eos.v0, 6), e0=round(eos.e0, 6),
+                    b0_gpa=round(eos.b0_gpa, 4),
+                    n_kpoints_wedge=len(calc.kpts_frac))
+        print(f"{name}: V0={eos.v0:.6f} E0={eos.e0:.6f} "
+              f"B0={eos.b0_gpa:.4f} ({len(calc.kpts_frac)} wedge k)")
+    GOLDEN.write_text(json.dumps(data, indent=2) + "\n")
+    print(f"wrote {GOLDEN}")
+
+
+if __name__ == "__main__":
+    main()

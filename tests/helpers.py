@@ -1,22 +1,67 @@
-"""Shared test helpers (importable, unlike conftest)."""
+"""Shared test helpers (importable, unlike conftest).
+
+One finite-difference force stencil and one force comparator for the
+whole suite — ``test_forces``, ``test_kfoe``, ``test_linscale`` and the
+symmetry parity tests all used to carry private copies of both.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 
-def numerical_forces(atoms, calc_factory, h: float = 1e-5,
-                     atom_indices=None) -> np.ndarray:
-    """Central-difference forces; ``calc_factory()`` returns a fresh
-    calculator so caching never contaminates the stencil."""
+def fd_forces(atoms, calc_factory, h: float = 1e-5, atom_indices=None,
+              components=None) -> np.ndarray:
+    """Central-difference forces ``−ΔF/Δx`` on the *free energy*.
+
+    The free energy is the variational quantity whose gradient the
+    Hellmann–Feynman force equals at fixed electronic temperature (and
+    equals the plain energy at kT = 0, so the distinction costs
+    nothing).  ``calc_factory()`` must return a *fresh* calculator so
+    caching never contaminates the stencil.
+
+    Parameters
+    ----------
+    atom_indices :
+        Restrict the stencil to these atoms (all by default) — each
+        differentiated component costs two full evaluations.
+    components :
+        Even finer restriction: an iterable of ``(atom, axis)`` pairs.
+        Overrides *atom_indices*.
+
+    Entries not differenced are left at zero.
+    """
     n = len(atoms)
-    idx = range(n) if atom_indices is None else atom_indices
+    if components is None:
+        idx = range(n) if atom_indices is None else atom_indices
+        components = [(i, c) for i in idx for c in range(3)]
     f = np.zeros((n, 3))
-    for i in idx:
-        for c in range(3):
-            ap = atoms.copy(); ap.positions[i, c] += h
-            am = atoms.copy(); am.positions[i, c] -= h
-            ep = calc_factory().get_potential_energy(ap)
-            em = calc_factory().get_potential_energy(am)
-            f[i, c] = -(ep - em) / (2.0 * h)
+    for i, c in components:
+        ap = atoms.copy(); ap.positions[i, c] += h
+        am = atoms.copy(); am.positions[i, c] -= h
+        ep = _free_energy(calc_factory(), ap)
+        em = _free_energy(calc_factory(), am)
+        f[i, c] = -(ep - em) / (2.0 * h)
     return f
+
+
+def _free_energy(calc, atoms) -> float:
+    if hasattr(calc, "get_free_energy"):
+        return calc.get_free_energy(atoms)
+    return calc.get_potential_energy(atoms)
+
+
+def assert_forces_match(actual, expected, atol: float = 1e-6,
+                        indices=None, label: str = "forces") -> None:
+    """Assert two (N, 3) force arrays agree to *atol* (eV/Å).
+
+    With *indices*, only those atoms' rows are compared — the partner of
+    a partial :func:`fd_forces` stencil.
+    """
+    a = np.asarray(actual, dtype=float)
+    e = np.asarray(expected, dtype=float)
+    if indices is not None:
+        a, e = a[list(indices)], e[list(indices)]
+    np.testing.assert_allclose(a, e, rtol=0, atol=atol,
+                               err_msg=f"{label} disagree beyond "
+                                       f"{atol} eV/Å")

@@ -1,0 +1,57 @@
+"""Golden regression: the F6 silicon EOS ladder must not drift.
+
+The fitted (V₀, E_coh, B₀) of diamond and β-tin silicon — produced by
+the strain-sweep driver on symmetry-reduced k grids — are pinned to
+``tests/golden/eos_si.json``.  A PR that shifts them beyond the stored
+tolerances is changing the published physics (model parameters, k
+folding, EOS fitting, force/energy assembly ...) and must regenerate
+the goldens *deliberately* via ``tests/golden/regen_eos_si.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import pytest
+
+from tests.golden.regen_eos_si import sweep_phase
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "eos_si.json"
+
+
+@pytest.fixture(scope="module")
+def golden() -> dict:
+    return json.loads(GOLDEN.read_text())
+
+
+@pytest.fixture(scope="module")
+def fits(golden):
+    out = {}
+    for name, spec in golden["phases"].items():
+        out[name] = sweep_phase(name, spec, golden["settings"])
+    return out
+
+
+@pytest.mark.parametrize("name", ["diamond", "beta-tin"])
+def test_golden_eos_parameters(name, golden, fits):
+    spec = golden["phases"][name]
+    result, calc = fits[name]
+    eos = result.eos
+    assert eos.v0 == pytest.approx(spec["v0"], abs=spec["tol_v0"]), \
+        f"{name} V0 drifted — regen goldens only for a deliberate change"
+    assert eos.e0 == pytest.approx(spec["e0"], abs=spec["tol_e0"]), \
+        f"{name} cohesive energy drifted"
+    assert eos.b0_gpa == pytest.approx(spec["b0_gpa"],
+                                       abs=spec["tol_b0_gpa"]), \
+        f"{name} bulk modulus drifted"
+    # the symmetry wedge itself is part of the contract
+    assert len(calc.kpts_frac) == spec["n_kpoints_wedge"]
+    assert eos.residual < 0.01
+
+
+def test_golden_ladder_ordering(fits):
+    """Diamond stays the ground state, below the metallic phase."""
+    dia = fits["diamond"][0].eos
+    btin = fits["beta-tin"][0].eos
+    assert dia.e0 < btin.e0 - 0.05

@@ -12,7 +12,7 @@ from repro.neighbors import neighbor_list
 from repro.tb import GSPSilicon, HarrisonModel, NonOrthogonalSilicon, TBCalculator, XuCarbon
 from repro.tb.forces import density_matrices, repulsive_energy_forces
 
-from tests.helpers import numerical_forces
+from tests.helpers import assert_forces_match, fd_forces
 
 
 FMAX_TOL = 5e-7
@@ -23,20 +23,18 @@ def test_forces_match_numerical_silicon(model_cls):
     at = rattle(bulk_silicon(), 0.07, seed=11)
     calc = TBCalculator(model_cls())
     f = calc.get_forces(at)
-    fn = numerical_forces(at, lambda: TBCalculator(model_cls()),
-                          atom_indices=[0, 3, 6])
-    for i in (0, 3, 6):
-        np.testing.assert_allclose(f[i], fn[i], atol=FMAX_TOL)
+    fn = fd_forces(at, lambda: TBCalculator(model_cls()),
+                   atom_indices=[0, 3, 6])
+    assert_forces_match(f, fn, atol=FMAX_TOL, indices=[0, 3, 6])
 
 
 def test_forces_match_numerical_carbon():
     at = rattle(diamond_cubic("C"), 0.06, seed=4)
     calc = TBCalculator(XuCarbon())
     f = calc.get_forces(at)
-    fn = numerical_forces(at, lambda: TBCalculator(XuCarbon()),
-                          atom_indices=[1, 5])
-    for i in (1, 5):
-        np.testing.assert_allclose(f[i], fn[i], atol=FMAX_TOL)
+    fn = fd_forces(at, lambda: TBCalculator(XuCarbon()),
+                   atom_indices=[1, 5])
+    assert_forces_match(f, fn, atol=FMAX_TOL, indices=[1, 5])
 
 
 def test_forces_match_numerical_heteronuclear():
@@ -45,8 +43,8 @@ def test_forces_match_numerical_heteronuclear():
                cell=Cell.cubic(15, pbc=False))
     calc = TBCalculator(HarrisonModel(), kT=0.1)
     f = calc.get_forces(at)
-    fn = numerical_forces(at, lambda: TBCalculator(HarrisonModel(), kT=0.1))
-    np.testing.assert_allclose(f, fn, atol=1e-5)
+    fn = fd_forces(at, lambda: TBCalculator(HarrisonModel(), kT=0.1))
+    assert_forces_match(f, fn, atol=1e-5)
 
 
 def test_forces_smeared_occupations_match_numerical():
@@ -59,14 +57,9 @@ def test_forces_smeared_occupations_match_numerical():
     kT = 0.2
     calc = TBCalculator(GSPSilicon(), kT=kT)
     f = calc.get_forces(at)
-
-    h = 1e-5
-    i, c = 2, 1
-    ap = at.copy(); ap.positions[i, c] += h
-    am = at.copy(); am.positions[i, c] -= h
-    ep = TBCalculator(GSPSilicon(), kT=kT).get_free_energy(ap)
-    em = TBCalculator(GSPSilicon(), kT=kT).get_free_energy(am)
-    assert f[i, c] == pytest.approx(-(ep - em) / (2 * h), abs=1e-6)
+    fn = fd_forces(at, lambda: TBCalculator(GSPSilicon(), kT=kT),
+                   components=[(2, 1)])
+    assert f[2, 1] == pytest.approx(fn[2, 1], abs=1e-6)
 
 
 def test_newtons_third_law_total_force_zero():
@@ -158,7 +151,6 @@ def test_graphene_forces_partial_pbc():
     at = rattle(graphene_sheet(2, 1), 0.05, seed=13)
     calc = TBCalculator(XuCarbon())
     f = calc.get_forces(at)
-    fn = numerical_forces(at, lambda: TBCalculator(XuCarbon()),
-                          atom_indices=[0, 3])
-    for i in (0, 3):
-        np.testing.assert_allclose(f[i], fn[i], atol=FMAX_TOL)
+    fn = fd_forces(at, lambda: TBCalculator(XuCarbon()),
+                   atom_indices=[0, 3])
+    assert_forces_match(f, fn, atol=FMAX_TOL, indices=[0, 3])

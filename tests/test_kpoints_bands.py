@@ -81,9 +81,7 @@ def test_time_reversal_fold_band_energy_exact(si8_rattled):
     from repro.tb import GSPSilicon, TBCalculator
 
     calc_red = TBCalculator(GSPSilicon(), kpts=3, kT=0.05)
-    full = TBCalculator(GSPSilicon(), kT=0.05)
-    full.kpts_frac, full.kweights = monkhorst_pack(
-        3, reduce_time_reversal=False)
+    full = TBCalculator(GSPSilicon(), kpts=3, kT=0.05, kgrid_reduce="full")
     res_r = calc_red.compute(si8_rattled, forces=True)
     res_f = full.compute(si8_rattled, forces=True)
     assert res_r["band_energy"] == pytest.approx(res_f["band_energy"],

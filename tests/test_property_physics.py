@@ -151,3 +151,84 @@ def test_property_calculator_force_translation_equivariance(seed):
     moved.translate([0.37, -1.2, 2.05])
     f1 = TBCalculator(GSPSilicon()).get_forces(moved)
     np.testing.assert_allclose(f1, f0, atol=1e-9)
+
+
+# ------------------------------------------------- k-space symmetry wedges
+@settings(max_examples=8, deadline=None)
+@given(
+    e1=st.floats(-0.03, 0.03), e2=st.floats(-0.03, 0.03),
+    e3=st.floats(-0.03, 0.03), shear=st.floats(-0.02, 0.02),
+    size=st.sampled_from([2, 3, (2, 2, 1)]),
+)
+def test_property_wedge_matches_full_grid(e1, e2, e3, shear, size):
+    """For random homogeneous strains of diamond Si (random residual
+    symmetry: cubic → tetragonal → orthorhombic → monoclinic), band
+    energy and symmetrised forces/virial from the irreducible wedge
+    equal the full Monkhorst–Pack grid to round-off."""
+    from repro.geometry.transform import strain
+
+    eps = np.array([[e1, shear, 0.0], [shear, e2, 0.0], [0.0, 0.0, e3]])
+    at = strain(bulk_silicon(), eps)
+    full = TBCalculator(GSPSilicon(), kpts=size, kT=0.1,
+                        kgrid_reduce="full").compute(at, forces=True)
+    sym = TBCalculator(GSPSilicon(), kpts=size, kT=0.1,
+                       kgrid_reduce="symmetry").compute(at, forces=True)
+    assert sym["n_kpoints"] <= full["n_kpoints"]
+    assert sym["band_energy"] == pytest.approx(full["band_energy"],
+                                               abs=1e-10)
+    assert sym["fermi_level"] == pytest.approx(full["fermi_level"],
+                                               abs=1e-10)
+    np.testing.assert_allclose(sym["forces"], full["forces"], atol=1e-10)
+    np.testing.assert_allclose(sym["virial"], full["virial"], atol=1e-10)
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 10**6), op_index=st.integers(0, 47))
+def test_property_point_group_rotation_permutes_forces(seed, op_index):
+    """Applying a lattice point-group rotation to an *arbitrary* basis
+    rotates the forces exactly: F(r @ rt) = F(r) @ rt.  This pins the
+    Cartesian rotation convention the force scattering relies on."""
+    from repro.tb.symmetry import SymmetryOp, lattice_point_group
+
+    at = rattle(bulk_silicon(), 0.06, seed=seed)
+    ws = lattice_point_group(at.cell)
+    assert len(ws) == 48                      # cubic cell: full O_h
+    op = SymmetryOp(ws[op_index % len(ws)], np.zeros(3), None)
+    rt = op.cartesian_rotation(at.cell)
+    np.testing.assert_allclose(rt @ rt.T, np.eye(3), atol=1e-12)
+
+    rotated = at.copy()
+    rotated.positions = at.positions @ rt
+    rotated.wrap()
+    f0 = TBCalculator(GSPSilicon(), kT=0.1).get_forces(at)
+    f1 = TBCalculator(GSPSilicon(), kT=0.1).get_forces(rotated)
+    np.testing.assert_allclose(f1, f0 @ rt, atol=1e-9)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    a=st.floats(3.0, 7.0), boc=st.floats(0.6, 1.7), coa=st.floats(0.6, 1.7),
+    gamma=st.floats(60.0, 120.0),
+    n1=st.integers(1, 4), n2=st.integers(1, 4), n3=st.integers(1, 4),
+)
+def test_property_wedge_weights_sum_to_one(a, boc, coa, gamma, n1, n2, n3):
+    """Σw over the wedge stays 1 to 1e-12 for random (including
+    monoclinic) lattices and anisotropic grids, every representative is
+    a member of the original grid, and folding never grows the grid."""
+    from repro.geometry import Cell
+    from repro.tb.kpoints import monkhorst_pack
+    from repro.tb.symmetry import irreducible_kpoints
+
+    g = np.radians(gamma)
+    cell = Cell(np.array([[a, 0.0, 0.0],
+                          [a * boc * np.cos(g), a * boc * np.sin(g), 0.0],
+                          [0.0, 0.0, a * coa]]))
+    grid = irreducible_kpoints((n1, n2, n3), cell=cell)
+    assert grid.weights.sum() == pytest.approx(1.0, abs=1e-12)
+    assert (grid.weights > 0).all()
+    full, _ = monkhorst_pack((n1, n2, n3), reduce_time_reversal=False)
+    assert grid.n_full == len(full)
+    assert 1 <= len(grid) <= len(full)
+    keys = {tuple(np.round(k, 9)) for k in full}
+    for k in grid.kpts_frac:
+        assert tuple(np.round(k, 9)) in keys

@@ -7,7 +7,7 @@ from repro.classical import StillingerWeber
 from repro.errors import ModelError
 from repro.geometry import Atoms, Cell, bulk_silicon, diamond_cubic, rattle, supercell
 from repro.geometry.transform import scale_volume
-from tests.helpers import numerical_forces
+from tests.helpers import fd_forces
 
 
 def test_cohesive_energy_published_value():
@@ -31,7 +31,7 @@ def test_zero_pressure_at_equilibrium():
 def test_forces_match_numerical():
     at = rattle(supercell(bulk_silicon(), (2, 1, 1)), 0.08, seed=3)
     f = StillingerWeber().get_forces(at)
-    fn = numerical_forces(at, StillingerWeber, atom_indices=[0, 7, 13])
+    fn = fd_forces(at, StillingerWeber, atom_indices=[0, 7, 13])
     for i in (0, 7, 13):
         np.testing.assert_allclose(f[i], fn[i], atol=1e-6)
 
