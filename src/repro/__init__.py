@@ -25,8 +25,8 @@ Quick start::
 __version__ = "1.0.0"
 
 from repro import (
-    analysis, classical, geometry, linscale, md, neighbors, parallel, relax,
-    tb, units,
+    analysis, classical, geometry, linscale, log, md, neighbors, obs,
+    parallel, relax, tb, units,
 )
 from repro.geometry import Atoms, Cell
 from repro.linscale import LinearScalingCalculator
@@ -39,8 +39,10 @@ __all__ = [
     "classical",
     "geometry",
     "linscale",
+    "log",
     "md",
     "neighbors",
+    "obs",
     "parallel",
     "relax",
     "tb",

@@ -33,6 +33,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import GeometryError
 from repro.geometry.transform import strain as apply_strain
 from repro.analysis.eos import EOSFit, birch_murnaghan_fit, murnaghan_fit
@@ -253,9 +254,13 @@ def strain_sweep(atoms, calc, amplitudes=None, *, mode: str = "volumetric",
     for i in order:
         strained = apply_strain(atoms, tensors[i])
         t0 = time.perf_counter()
-        res = calc.compute(strained, forces=forces)
+        with obs.span("sweep.point") as sp:
+            res = calc.compute(strained, forces=forces)
+            fast = res.get("fastpath") or {}
+            sp.set(amplitude=float(amplitudes[i]), mode=fast.get("mode"))
         dt = time.perf_counter() - t0
-        fast = res.get("fastpath") or {}
+        obs.observe("sweep.point_s", dt)
+        obs.counter_inc("sweep.points")
         points.append(StrainPoint(
             amplitude=float(amplitudes[i]),
             strain=tensors[i],

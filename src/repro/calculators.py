@@ -144,7 +144,9 @@ def make_calculator(spec: dict):
     if kT <= 0.0:
         # the Fermi-operator solvers smear by construction
         kT = 0.1
-        print(f"note: solver {solver!r} needs kT > 0; using kT = {kT} eV")
+        from repro.log import get_logger
+        get_logger(__name__).warning(
+            "solver %r needs kT > 0; using kT = %s eV", solver, kT)
     order = _coerce(spec, "order", int, 200)
     reuse = bool(spec.get("reuse", True))
     if solver == "foe":

@@ -33,6 +33,13 @@ tutorial).
 calculator workers, sticky per-structure routing — see docs/service.md);
 ``client`` talks to a running server over its Unix socket.
 
+Observability (docs/observability.md): ``--trace out.jsonl`` records a
+hierarchical span trace (``out.json`` → Chrome trace-event format for
+Perfetto), ``--metrics out.json`` dumps the counter/histogram registry
+at exit, and the global ``-v`` / ``--log-level`` flags route structured
+diagnostics to stderr.  ``tools/trace_report.py`` turns a JSONL trace
+into the SC'94-style phase/cache-efficiency table.
+
 Models: ``gsp-si``, ``xu-c``, ``harrison``, ``nonortho-si`` (tight
 binding) and ``sw-si`` (classical Stillinger–Weber baseline).
 """
@@ -44,6 +51,38 @@ import json
 import sys
 
 from repro.errors import ReproError
+
+
+def _obs_begin(args) -> None:
+    """Turn on tracing/metrics before a command runs (``--trace`` /
+    ``--metrics``)."""
+    if getattr(args, "trace", None):
+        from repro import obs
+
+        obs.enable_tracing()
+        obs.enable_metrics()  # traces embed the metrics snapshot
+    elif getattr(args, "metrics_out", None):
+        from repro import obs
+
+        obs.enable_metrics()
+
+
+def _obs_finish(args) -> None:
+    """Write trace/metrics files after a command (also on error, so a
+    crashed run still leaves its telemetry behind)."""
+    trace = getattr(args, "trace", None)
+    metrics = getattr(args, "metrics_out", None)
+    if not trace and not metrics:
+        return
+    from repro.obs.export import write_metrics_json, write_trace
+
+    if trace:
+        n = write_trace(trace)
+        kind = "trace events" if str(trace).endswith(".json") else "spans"
+        print(f"wrote {n} {kind} to {trace}", file=sys.stderr)
+    if metrics:
+        write_metrics_json(metrics)
+        print(f"wrote metrics snapshot to {metrics}", file=sys.stderr)
 
 
 def _calc_spec(args) -> dict:
@@ -277,6 +316,9 @@ def cmd_client(args) -> int:
         if action == "stats":
             print(json.dumps(client.stats(), indent=2))
             return 0
+        if action == "metrics":
+            print(json.dumps(client.metrics(), indent=2))
+            return 0
         if action == "shutdown":
             client.shutdown()
             print("server draining")
@@ -288,6 +330,11 @@ def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro.cli",
         description="parallel tight-binding molecular dynamics (pytbmd)")
+    p.add_argument("--log-level", default=None,
+                   choices=["debug", "info", "warning", "error"],
+                   help="diagnostic logging threshold (stderr)")
+    p.add_argument("-v", "--verbose", action="count", default=0,
+                   help="increase log verbosity (-v info, -vv debug)")
     sub = p.add_subparsers(dest="command", required=True)
 
     sub.add_parser("models", help="list available models")
@@ -322,6 +369,14 @@ def build_parser() -> argparse.ArgumentParser:
                              "default), none (full), or the crystal "
                              "point-group irreducible wedge (symmetry) — "
                              "up to ~16x fewer k points on cubic cells")
+        sp.add_argument("--trace", metavar="PATH",
+                        help="record a span trace of the run: *.jsonl for "
+                             "tools/trace_report.py, *.json for the Chrome "
+                             "trace-event format (open in Perfetto)")
+        sp.add_argument("--metrics", metavar="PATH", dest="metrics_out",
+                        help="write the repro.obs metrics snapshot (cache "
+                             "hit rates, phase timings, ...) as JSON at "
+                             "exit")
         sp.add_argument("--no-reuse", action="store_true", dest="no_reuse",
                         help="disable step-to-step state reuse (neighbor "
                              "lists, Hamiltonian pattern, regions, spectral "
@@ -388,6 +443,13 @@ def build_parser() -> argparse.ArgumentParser:
                     help="cap on one coalesced batch")
     ps.add_argument("--debug-ops", action="store_true",
                     help="honour debug_crash fault injection (tests)")
+    ps.add_argument("--trace", metavar="PATH",
+                    help="record a span trace of every request handled "
+                         "until shutdown: *.jsonl or *.json (Perfetto)")
+    ps.add_argument("--metrics", metavar="PATH", dest="metrics_out",
+                    help="write the service-process metrics snapshot as "
+                         "JSON when the server drains (the live registry "
+                         "is available any time via the 'metrics' op)")
 
     pc = sub.add_parser("client", help="talk to a running batch service")
     pc.add_argument("--socket", default="/tmp/pytbmd.sock")
@@ -423,6 +485,8 @@ def build_parser() -> argparse.ArgumentParser:
     cu.add_argument("--id", required=True)
     ca.add_parser("list", help="list loaded structure ids")
     ca.add_parser("stats", help="service statistics (JSON)")
+    ca.add_parser("metrics",
+                  help="stats plus the server's obs metrics registry (JSON)")
     ca.add_parser("ping", help="liveness probe")
     ca.add_parser("shutdown", help="drain and stop the server")
     return p
@@ -430,6 +494,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
+    if args.log_level is not None or args.verbose:
+        from repro.log import (
+            level_from_verbosity, parse_level, setup_logging,
+        )
+
+        level = (parse_level(args.log_level) if args.log_level is not None
+                 else level_from_verbosity(args.verbose))
+        setup_logging(level)
     handler = {
         "models": cmd_models,
         "energy": cmd_energy,
@@ -439,11 +511,14 @@ def main(argv=None) -> int:
         "serve": cmd_serve,
         "client": cmd_client,
     }[args.command]
+    _obs_begin(args)
     try:
         return handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    finally:
+        _obs_finish(args)
 
 
 if __name__ == "__main__":

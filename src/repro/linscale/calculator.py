@@ -47,6 +47,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ElectronicError, ModelError, SpectralWindowError
 from repro.neighbors.verlet import VerletList
 from repro.state import CalculatorState
@@ -292,8 +293,8 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self._hbuilder = SparseHamiltonianBuilder(model)
         self._counters = {"cache_hits": 0, "foe_cold": 0, "foe_fused": 0,
                           "foe_fallback": 0, "window_refreshes": 0,
-                          "window_invalidations": 0, "region_rebuilds": 0,
-                          "region_reuses": 0}
+                          "window_reuses": 0, "window_invalidations": 0,
+                          "region_rebuilds": 0, "region_reuses": 0}
         self.invalidate()
 
     def _params(self) -> tuple:
@@ -346,8 +347,10 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         )
         if sig_ok:
             self._counters["region_reuses"] += 1
+            obs.counter_inc("regions.reuse")
             return self._regions
         self._counters["region_rebuilds"] += 1
+        obs.counter_inc("regions.rebuild")
         self._regions = extract_regions(atoms, self.model, self.r_loc,
                                         nl=nl_loc)
         self._regions_sig = (nl_loc.i.copy(), nl_loc.j.copy())
@@ -358,6 +361,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         neighbour-list rebuilds; see :func:`_padded_lanczos_window`)."""
         self._window = _padded_lanczos_window(H)
         self._counters["window_refreshes"] += 1
+        obs.counter_inc("window.refresh")
         return self._window
 
     def _refresh_windows_k(self, H_k) -> list[tuple[float, float]]:
@@ -366,6 +370,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         either leak or over-widen every expansion)."""
         self._windows_k = [_padded_lanczos_window(H) for H in H_k]
         self._counters["window_refreshes"] += 1
+        obs.counter_inc("window.refresh")
         return self._windows_k
 
     #: cap on cached densification-map memory (bytes); beyond it the
@@ -418,6 +423,8 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
                         prev_ops=grid[2] if grid else None)
             grid = (g.kpts_frac, g.weights, g.ops)
             self._sym_cache = (key, grid)
+        else:
+            obs.counter_inc("symmetry.wedge_cache_hit")
         self.kpts_frac, self.kweights = grid[0], grid[1]
         return grid[2]
 
@@ -446,6 +453,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             "regions": {"rebuilds": c["region_rebuilds"],
                         "reuses": c["region_reuses"]},
             "window": {"refreshes": c["window_refreshes"],
+                       "reuses": c["window_reuses"],
                        "invalidations": c["window_invalidations"]},
             "foe": {"cold": c["foe_cold"], "fused": c["foe_fused"],
                     "fallback": c["foe_fallback"]},
@@ -464,6 +472,16 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         (periodic cells), ``pressure``.  Energies in eV, forces in eV/Å,
         stress/pressure in eV/Å³, entropy in eV/K.
         """
+        if not obs.tracing_enabled():
+            return self._compute_impl(atoms, forces)
+        with obs.span("calc.compute") as sp_:
+            res = self._compute_impl(atoms, forces)
+            fp = res.get("fastpath") or {}
+            sp_.set(natoms=len(atoms),
+                    mode=fp.get("mode", self._last_solve_mode))
+            return res
+
+    def _compute_impl(self, atoms, forces: bool = True) -> dict:
         kmode = self._kgrid_size is not None
         if kmode and not atoms.cell.periodic:
             raise ElectronicError("k-point sampling requires a periodic cell")
@@ -476,6 +494,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         cached = self._cached(report, forces)
         if cached is not None:
             self._counters["cache_hits"] += 1
+            obs.counter_inc("calc.cache_hit")
             return cached
         if not self.reuse or report.needs_full_reset:
             self._reset_persistent()
@@ -511,6 +530,10 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
                     self._refresh_windows_k(H_k)
                 else:
                     self._refresh_window(H)
+        elif self.reuse:
+            # cached Lanczos window carried over: no re-Lanczos this step
+            self._counters["window_reuses"] += 1
+            obs.counter_inc("window.reuse")
 
         with self.timer.phase("foe"):
             if kmode:
@@ -639,12 +662,18 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
                 if foe.used_fallback:
                     self._counters["foe_fallback"] += 1
                     self._last_solve_mode = "fused+fallback"
+                    obs.counter_inc("foe.fallback")
                 else:
                     self._counters["foe_fused"] += 1
                     self._last_solve_mode = "fused"
+                    obs.counter_inc("foe.fused")
+                obs.observe("foe.mu_shift", abs(foe.mu_shift or 0.0))
+                obs.current_span().set(mode=self._last_solve_mode,
+                                       mu_shift=foe.mu_shift)
                 return foe
             except SpectralWindowError:
                 self._counters["window_invalidations"] += 1
+                obs.counter_inc("window.invalidated")
                 refresh()
                 # fall through to the verified two-pass solve
 
@@ -655,10 +684,13 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             foe = two_pass(cached_windows() if self.reuse else None, bracket)
         except SpectralWindowError:
             self._counters["window_invalidations"] += 1
+            obs.counter_inc("window.invalidated")
             refresh()
             foe = two_pass(cached_windows(), bracket)
         self._counters["foe_cold"] += 1
         self._last_solve_mode = "two-pass"
+        obs.counter_inc("foe.cold")
+        obs.current_span().set(mode="two-pass")
         return foe
 
     def get_charges(self, atoms) -> np.ndarray:

@@ -55,12 +55,14 @@ like purification.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.errors import ElectronicError, SpectralWindowError
 from repro.neighbors.base import NeighborList
 from repro.parallel.decomposition import block_partition
@@ -232,28 +234,51 @@ def _region_fused(h_sub: np.ndarray, core_local: np.ndarray,
     return m, e, outs
 
 
+def _timed_region_loop(metric: str, fn, items, extract, *fargs):
+    """Run a per-region kernel, timing each region's recursion.
+
+    ``extract(item)`` densifies one region lazily — peak memory stays at
+    one region, as before.  One histogram observation per (k, region)
+    recursion lands in *metric* when metrics are on (worker-process
+    observations ride back through the :mod:`repro.obs.remote`
+    envelope); disabled, this is the bare loop plus one boolean check.
+    """
+    if not obs.metrics_enabled():
+        return [fn(*extract(it), *fargs) for it in items]
+    out = []
+    with obs.span(metric) as sp_:
+        sp_.set(n_regions=len(items))
+        for it in items:
+            t0 = time.perf_counter()
+            out.append(fn(*extract(it), *fargs))
+            obs.observe(metric, time.perf_counter() - t0)
+    return out
+
+
+def _densify(H):
+    """Extractor: spec ``(orbitals, core_local)`` → dense kernel args."""
+    return lambda spec: (H[spec[0]][:, spec[0]].toarray(), spec[1])
+
+
 def _moments_worker(args):
     """One chunk: extract each region's dense H_loc from the (shared)
     sparse H and run the moment recursion — densifying inside the worker
     keeps peak memory at one region instead of all of them."""
     H, specs, center, span, order = args
-    return [_region_moments(H[orbitals][:, orbitals].toarray(), core_local,
-                            center, span, order)
-            for orbitals, core_local in specs]
+    return _timed_region_loop("foe.region_moments_s", _region_moments,
+                              specs, _densify(H), center, span, order)
 
 
 def _density_worker(args):
     H, specs, center, span, coeffs = args
-    return [_region_density_rows(H[orbitals][:, orbitals].toarray(),
-                                 core_local, center, span, coeffs)
-            for orbitals, core_local in specs]
+    return _timed_region_loop("foe.region_density_s", _region_density_rows,
+                              specs, _densify(H), center, span, coeffs)
 
 
 def _fused_worker(args):
     H, specs, center, span, deriv_coeffs = args
-    return [_region_fused(H[orbitals][:, orbitals].toarray(), core_local,
-                          center, span, deriv_coeffs)
-            for orbitals, core_local in specs]
+    return _timed_region_loop("foe.region_fused_s", _region_fused,
+                              specs, _densify(H), center, span, deriv_coeffs)
 
 
 def build_region_gather_maps(H: sp.csr_matrix,
@@ -608,11 +633,11 @@ def solve_density_regions_fused(H, regions: list[LocalizationRegion],
     try:
         if gather_maps is not None and executor is None and nworkers == 1:
             data_pad = np.append(H.data, 0.0)
-            per_region = [
-                _region_fused(data_pad[m], core_local, center, span,
-                              deriv_coeffs)
-                for m, (_, core_local) in zip(gather_maps, specs)
-            ]
+            items = list(zip(gather_maps, specs))
+            per_region = _timed_region_loop(
+                "foe.region_fused_s", _region_fused, items,
+                lambda it: (data_pad[it[0]], it[1][1]),
+                center, span, deriv_coeffs)
         else:
             tasks = [(H, [specs[i] for i in c], center, span, deriv_coeffs)
                      for c in chunks]

@@ -63,6 +63,7 @@ from repro.linscale.foe_local import (
     _moments_worker,
     _region_fused,
     _scaled_window,
+    _timed_region_loop,
     _validate_regions,
 )
 from repro.linscale.regions import LocalizationRegion
@@ -282,11 +283,11 @@ def solve_density_regions_k_fused(H_list, weights,
             per_k = []
             for ki in range(nk):
                 data_pad = np.append(H_list[ki].data, 0.0)
-                per_k.append([
-                    _region_fused(data_pad[m], core_local,
-                                  scaled[ki][0], scaled[ki][1], deriv_k[ki])
-                    for m, (_, core_local) in zip(gather_maps, specs)
-                ])
+                items = list(zip(gather_maps, specs))
+                per_k.append(_timed_region_loop(
+                    "foe.region_fused_s", _region_fused, items,
+                    lambda it, _pad=data_pad: (_pad[it[0]], it[1][1]),
+                    scaled[ki][0], scaled[ki][1], deriv_k[ki]))
         else:
             tasks = [(H_list[ki], [specs[i] for i in c],
                       scaled[ki][0], scaled[ki][1], deriv_k[ki])

@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro import obs
 from repro.errors import ModelError
 from repro.neighbors.base import NeighborList
 from repro.tb.hamiltonian import orbital_offsets, pair_species_groups
@@ -339,8 +340,10 @@ class SparseHamiltonianBuilder:
             and np.array_equal(self._sig_j, nl.j)
         )
         if not pattern_hit:
+            obs.counter_inc("hamiltonian.pattern_miss")
             self._build_pattern(atoms, nl)
             return
+        obs.counter_inc("hamiltonian.pattern_hit")
 
         dirty = None
         if moved is not None and moved.any() and not moved.all():

@@ -1,0 +1,108 @@
+"""Structured logging for the repro package.
+
+One ``repro`` root logger, per-module children via :func:`get_logger`,
+and contextvars-carried context fields (worker id, structure id, ...)
+that every record in scope picks up automatically::
+
+    log = get_logger(__name__)
+    with log_context(worker=wid, structure=sid):
+        log.info("evaluated in %.1f ms", dt)
+    # ... repro.service.worker [pid 4242 worker=0 structure=si512] evaluated ...
+
+Diagnostics go to **stderr** — never stdout, which several CLI paths
+reserve for JSON payloads.  :func:`setup_logging` is called once by the
+CLI (``--log-level`` / ``-v``); library code only ever calls
+:func:`get_logger` and logs, so importing repro configures nothing.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import logging
+import sys
+
+_LOG_CONTEXT: contextvars.ContextVar[tuple] = contextvars.ContextVar(
+    "repro_log_context", default=())
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s [pid %(process)d%(ctx)s] %(message)s"
+
+_LEVELS = {"debug": logging.DEBUG, "info": logging.INFO,
+           "warning": logging.WARNING, "error": logging.ERROR,
+           "critical": logging.CRITICAL}
+
+
+class _ContextFilter(logging.Filter):
+    """Injects the contextvars fields as ``record.ctx`` (`` k=v k=v``)."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        pairs = _LOG_CONTEXT.get()
+        record.ctx = "".join(f" {k}={v}" for k, v in pairs) if pairs else ""
+        return True
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A child of the ``repro`` root logger (idempotent, import-safe)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+@contextlib.contextmanager
+def log_context(**fields):
+    """Attach ``k=v`` context fields to every record emitted in scope.
+
+    Backed by a :class:`contextvars.ContextVar`, so it is correct under
+    threads and restores on exit even when the body raises.
+    """
+    token = _LOG_CONTEXT.set(_LOG_CONTEXT.get()
+                             + tuple((k, v) for k, v in fields.items()))
+    try:
+        yield
+    finally:
+        _LOG_CONTEXT.reset(token)
+
+
+def level_from_verbosity(verbosity: int) -> int:
+    """``-v`` count → level: 0 = WARNING, 1 = INFO, ≥2 = DEBUG."""
+    if verbosity <= 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def parse_level(level: int | str | None) -> int:
+    """``"debug"`` / ``"INFO"`` / numeric / None → logging level int."""
+    if level is None:
+        return logging.WARNING
+    if isinstance(level, int):
+        return level
+    try:
+        return _LEVELS[str(level).strip().lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown log level {level!r}; choose from "
+            f"{', '.join(_LEVELS)}") from None
+
+
+def setup_logging(level: int | str | None = None, stream=None) -> logging.Logger:
+    """Configure the ``repro`` root logger (idempotent; reuses handler).
+
+    *stream* defaults to ``sys.stderr``.  Returns the root logger so
+    callers can tweak it further.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(parse_level(level))
+    handler = next((h for h in root.handlers
+                    if getattr(h, "_repro_handler", False)), None)
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_handler = True
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler.addFilter(_ContextFilter())
+        root.addHandler(handler)
+        root.propagate = False
+    elif stream is not None:
+        handler.setStream(stream)
+    return root

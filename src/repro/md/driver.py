@@ -20,8 +20,11 @@ rebuild-vs-reuse behaviour.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from repro import obs as _obs
 from repro.errors import MDError
 
 
@@ -80,7 +83,10 @@ class MDDriver:
         ``epot`` / ``ekin`` / ``etot`` / ``conserved`` (eV),
         ``temperature`` (K), ``results`` (the calculator's full results
         dict) and ``calc_report`` (rebuild-vs-reuse diagnostics) when
-        the calculator provides one.
+        the calculator provides one.  Stepped records additionally carry
+        ``step_seconds`` (wall time of the step) and — when the
+        calculator has a :class:`~repro.utils.timing.PhaseTimer` —
+        ``phase_seconds``, this step's per-phase increment.
         """
         if nsteps < 0:
             raise MDError("nsteps must be >= 0")
@@ -91,9 +97,22 @@ class MDDriver:
             self._notify(data)   # step 0 snapshot
         data = None
         for _ in range(nsteps):
-            res = self.integrator.step(self.atoms, self.calc)
+            t0 = time.perf_counter()
+            phases_before = self._phase_totals()
+            with _obs.span("md.step") as sp:
+                res = self.integrator.step(self.atoms, self.calc)
+                sp.set(step=self.step_count + 1)
             self.step_count += 1
             data = self._record(res)
+            data["step_seconds"] = time.perf_counter() - t0
+            _obs.observe("md.step_s", data["step_seconds"])
+            if phases_before is not None:
+                # per-step phase breakdown: this step's increment of the
+                # calculator's cumulative phase timers (the SC'94 table,
+                # step by step)
+                after = self._phase_totals()
+                data["phase_seconds"] = {
+                    k: after[k] - phases_before.get(k, 0.0) for k in after}
             if data["temperature"] > self.blowup_temperature or \
                     not np.isfinite(data["etot"]):
                 raise MDError(
@@ -104,6 +123,15 @@ class MDDriver:
             self._notify(data)
         return data if data is not None else self._record(
             self.calc.compute(self.atoms, forces=True))
+
+    def _phase_totals(self) -> dict | None:
+        """Cumulative per-phase seconds from the calculator's PhaseTimer
+        (None when the calculator carries no timer)."""
+        timer = getattr(self.calc, "timer", None)
+        timers = getattr(timer, "timers", None)
+        if timers is None:
+            return None
+        return {name: t.elapsed for name, t in timers.items()}
 
     def _record(self, res: dict) -> dict:
         epot = res["energy"]

@@ -22,8 +22,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
 from repro.errors import NeighborError
 from repro.neighbors.base import NeighborList, neighbor_list
+
+#: every classified rebuild trigger (see :meth:`VerletList.rebuild_cause`)
+REBUILD_CAUSES = ("init", "resize", "cell-unmappable", "drift", "strain")
 
 
 class VerletList:
@@ -55,6 +59,8 @@ class VerletList:
         self.method = method
         self.n_builds = 0
         self.n_updates = 0
+        self.rebuild_causes: dict[str, int] = {c: 0 for c in REBUILD_CAUSES}
+        self.last_rebuild_cause: str | None = None
         self.reset()
 
     def reset(self) -> None:
@@ -100,37 +106,52 @@ class VerletList:
         self._shift_max = float(np.max(np.linalg.norm(s, axis=1))) \
             if len(s) else 0.0
 
-    def needs_rebuild(self, atoms) -> bool:
-        """True when the cached skin list can no longer be trusted.
+    def rebuild_cause(self, atoms) -> str | None:
+        """Why the cached skin list can no longer be trusted (else None).
 
-        Rebuild triggers: no cached list, a changed atom count, a cell
-        change that cannot be remapped through the stored image shifts,
-        or combined drift — ``2·max|Δr_i| + (‖S‖₂,max + √3)·‖Δh‖₂``
-        (atomic motion plus a bound on the image displacement from the
-        accumulated cell change, with headroom for candidate images one
-        shell beyond any cached shift) — exceeding the skin.
+        Causes: ``"init"`` (no cached list), ``"resize"`` (atom count
+        changed), ``"cell-unmappable"`` (a cell change with unrecoverable
+        image shifts), or skin exhaustion by the combined bound
+        ``2·max|Δr_i| + (‖S‖₂,max + √3)·‖Δh‖₂`` (atomic motion plus a
+        conservative image-displacement bound from the accumulated cell
+        change, with headroom for candidate images one shell beyond any
+        cached shift) — classified as ``"strain"`` when the cell term
+        dominates and ``"drift"`` when atomic motion does.
         """
         if self._list is None or self._ref_positions is None:
-            return True
+            return "init"
         if len(atoms) != len(self._ref_positions):
-            return True
+            return "resize"
         dcell = np.asarray(atoms.cell.matrix, dtype=float) - self._ref_cell
         cell_disp = 0.0
         if np.any(dcell != 0.0):
             if self._shifts is None:
-                return True
+                return "cell-unmappable"
             cell_disp = (self._shift_max + np.sqrt(3.0)) \
                 * float(np.linalg.norm(dcell, 2))
         disp = atoms.positions - self._ref_positions
         # Displacements are physical (unwrapped MD trajectories); no MIC.
         max_disp = float(np.sqrt(
             np.max(np.einsum("ij,ij->i", disp, disp))))
-        return 2.0 * max_disp + cell_disp > self.skin
+        if 2.0 * max_disp + cell_disp > self.skin:
+            return "strain" if cell_disp > 2.0 * max_disp else "drift"
+        return None
+
+    def needs_rebuild(self, atoms) -> bool:
+        """True when the cached skin list can no longer be trusted
+        (see :meth:`rebuild_cause` for the trigger taxonomy)."""
+        return self.rebuild_cause(atoms) is not None
 
     def stats(self) -> dict:
-        """Reuse counters: ``{"builds", "updates", "reused"}``."""
+        """Reuse counters: ``{"builds", "updates", "reused", "causes"}``.
+
+        ``causes`` breaks the builds down by rebuild trigger — the
+        drift-vs-strain split is what tells an NPT/strain-sweep run
+        whether its skin is sized for the motion it actually sees.
+        """
         return {"builds": self.n_builds, "updates": self.n_updates,
-                "reused": self.n_updates - self.n_builds}
+                "reused": self.n_updates - self.n_builds,
+                "causes": dict(self.rebuild_causes)}
 
     def update(self, atoms) -> NeighborList:
         """Return a current neighbour list, rebuilding if necessary.
@@ -141,7 +162,8 @@ class VerletList:
         present configuration.
         """
         self.n_updates += 1
-        if self.needs_rebuild(atoms):
+        cause = self.rebuild_cause(atoms)
+        if cause is not None:
             self._full = neighbor_list(atoms, self.rcut + self.skin,
                                        method=self.method)
             self._ref_positions = atoms.positions.copy()
@@ -149,9 +171,13 @@ class VerletList:
             self._recover_shifts(self._full, atoms)
             self.n_builds += 1
             self.last_update_rebuilt = True
+            self.last_rebuild_cause = cause
+            self.rebuild_causes[cause] = self.rebuild_causes.get(cause, 0) + 1
+            obs.counter_inc(f"neighbors.rebuild.{cause}")
             self._list = self._filter(self._full, atoms)
         else:
             self.last_update_rebuilt = False
+            obs.counter_inc("neighbors.reuse")
             self._list = self._refresh(self._full, atoms)
         return self._list
 

@@ -1,0 +1,260 @@
+"""Counters, gauges and bounded-reservoir histograms.
+
+A :class:`MetricsRegistry` owns named instruments.  Counters and gauges
+are a float behind a lock; :class:`Histogram` keeps running ``count`` /
+``sum`` / ``min`` / ``max`` plus a **bounded ring buffer** of recent
+samples (a ``deque(maxlen=...)``) from which percentiles are computed —
+never an unbounded per-event list, so a long-lived server's latency
+tracking has a hard memory ceiling.
+
+Registries snapshot to plain dicts and **merge**: counters add,
+histogram statistics combine and sample reservoirs concatenate (the ring
+keeps the most recent ``maxlen``).  That merge is how worker-process
+metrics recorded under :func:`repro.parallel.pool.map_tasks` fold into
+the parent registry (see :mod:`repro.obs.remote`).
+
+The module-level helpers (:func:`counter_inc`, :func:`observe`,
+:func:`gauge_set`) are the instrumented call sites' interface: a single
+boolean check when metrics are disabled, so the fast path pays nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, n: float = 1.0) -> None:
+        with self._lock:
+            self.value += n
+
+
+class Gauge:
+    """Last-written value (queue depth, resident structures, ...)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, v: float) -> None:
+        with self._lock:
+            self.value = float(v)
+
+
+class Histogram:
+    """Running stats + a bounded reservoir of recent samples.
+
+    ``count`` / ``sum`` / ``min`` / ``max`` cover *every* observation;
+    percentiles come from the last ``maxlen`` samples (a ring buffer).
+    For the stationary distributions we care about (request latency,
+    per-region solve time) a recent-window percentile is the right
+    estimator anyway — and it is O(maxlen) memory forever.
+    """
+
+    __slots__ = ("name", "maxlen", "count", "sum", "min", "max",
+                 "_samples", "_lock")
+
+    def __init__(self, name: str, maxlen: int = 512):
+        self.name = name
+        self.maxlen = int(maxlen)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._samples: deque = deque(maxlen=self.maxlen)
+        self._lock = threading.Lock()
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        with self._lock:
+            self.count += 1
+            self.sum += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+            self._samples.append(v)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q-th percentile (0–100) of the sample window, by linear
+        interpolation; 0.0 when no samples were observed."""
+        with self._lock:
+            data = sorted(self._samples)
+        if not data:
+            return 0.0
+        if len(data) == 1:
+            return data[0]
+        pos = (len(data) - 1) * (float(q) / 100.0)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1.0 - frac) + data[hi] * frac
+
+    def summary(self) -> dict:
+        """Count/sum/mean/min/max plus p50/p90/p99 of the window."""
+        with self._lock:
+            data = sorted(self._samples)
+            count, total = self.count, self.sum
+            vmin = self.min if self.count else 0.0
+            vmax = self.max if self.count else 0.0
+
+        def pct(q: float) -> float:
+            if not data:
+                return 0.0
+            pos = (len(data) - 1) * (q / 100.0)
+            lo = int(pos)
+            hi = min(lo + 1, len(data) - 1)
+            frac = pos - lo
+            return data[lo] * (1.0 - frac) + data[hi] * frac
+
+        return {"count": count, "sum": total,
+                "mean": total / count if count else 0.0,
+                "min": vmin, "max": vmax,
+                "p50": pct(50.0), "p90": pct(90.0), "p99": pct(99.0)}
+
+    def merge(self, snap: dict) -> None:
+        """Fold a snapshot record (``samples`` + running stats) in."""
+        with self._lock:
+            self.count += int(snap.get("count", 0))
+            self.sum += float(snap.get("sum", 0.0))
+            if snap.get("count"):
+                self.min = min(self.min, float(snap.get("min", self.min)))
+                self.max = max(self.max, float(snap.get("max", self.max)))
+            for v in snap.get("samples", ()):
+                self._samples.append(float(v))
+
+
+class MetricsRegistry:
+    """Thread-safe name → instrument map with snapshot/merge."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ------------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        try:
+            return self._counters[name]
+        except KeyError:
+            with self._lock:
+                return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        try:
+            return self._gauges[name]
+        except KeyError:
+            with self._lock:
+                return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(self, name: str, maxlen: int = 512) -> Histogram:
+        try:
+            return self._histograms[name]
+        except KeyError:
+            with self._lock:
+                return self._histograms.setdefault(
+                    name, Histogram(name, maxlen=maxlen))
+
+    # -- snapshot / merge ---------------------------------------------------
+    def snapshot(self, samples: bool = True) -> dict:
+        """Plain-dict snapshot: JSON-ready, picklable, mergeable.
+
+        ``samples=False`` omits the raw histogram reservoirs (summaries
+        only) — the compact form the service ``metrics`` op returns.
+        """
+        with self._lock:
+            counters = {n: c.value for n, c in self._counters.items()}
+            gauges = {n: g.value for n, g in self._gauges.items()}
+            hists = list(self._histograms.items())
+        out_h = {}
+        for name, h in hists:
+            rec = h.summary()
+            rec["maxlen"] = h.maxlen
+            if samples:
+                with h._lock:
+                    rec["samples"] = list(h._samples)
+            out_h[name] = rec
+        return {"counters": counters, "gauges": gauges, "histograms": out_h}
+
+    def merge(self, snap: dict) -> None:
+        """Fold a snapshot (from a worker process) into this registry."""
+        for name, v in (snap.get("counters") or {}).items():
+            self.counter(name).inc(v)
+        for name, v in (snap.get("gauges") or {}).items():
+            self.gauge(name).set(v)
+        for name, rec in (snap.get("histograms") or {}).items():
+            self.histogram(name, maxlen=int(rec.get("maxlen", 512))).merge(rec)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: process-global registry; inert until ``enable_metrics()``
+_REGISTRY = MetricsRegistry()
+_ENABLED = False
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def metrics_enabled() -> bool:
+    return _ENABLED
+
+
+def enable_metrics() -> MetricsRegistry:
+    """Turn metric collection on for this process (idempotent)."""
+    global _ENABLED
+    _ENABLED = True
+    return _REGISTRY
+
+
+def disable_metrics() -> None:
+    global _ENABLED
+    _ENABLED = False
+
+
+def counter_inc(name: str, n: float = 1.0) -> None:
+    """Increment counter *name* iff metrics are enabled (else free)."""
+    if _ENABLED:
+        _REGISTRY.counter(name).inc(n)
+
+
+def gauge_set(name: str, v: float) -> None:
+    """Set gauge *name* iff metrics are enabled (else free)."""
+    if _ENABLED:
+        _REGISTRY.gauge(name).set(v)
+
+
+def observe(name: str, v: float) -> None:
+    """Observe *v* into histogram *name* iff metrics are enabled."""
+    if _ENABLED:
+        _REGISTRY.histogram(name).observe(v)
+
+
+def _swap_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as the global one; returns the old registry."""
+    global _REGISTRY
+    old, _REGISTRY = _REGISTRY, registry
+    return old

@@ -16,6 +16,7 @@ from concurrent.futures import ProcessPoolExecutor
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ParallelError
 from repro.neighbors.base import NeighborList
 from repro.parallel.decomposition import block_partition
@@ -39,15 +40,26 @@ def map_tasks(worker, tasks, nworkers: int = 1, executor=None) -> list:
     * ``nworkers == 1`` — run inline, no IPC;
     * otherwise — a fresh ``ProcessPoolExecutor(nworkers)`` (*worker* and
       *tasks* must then be picklable).
+
+    When telemetry is enabled (:mod:`repro.obs`) and execution crosses a
+    process boundary, the worker is wrapped so spans/metrics recorded in
+    the workers ship back with the results and merge into the parent
+    trace (see :mod:`repro.obs.remote`).  Same-process paths (inline,
+    thread pools) record straight into the parent's collectors.
     """
     if nworkers < 1:
         raise ParallelError("nworkers must be >= 1")
     if executor is not None:
+        if isinstance(executor, ProcessPoolExecutor) and obs.telemetry_active():
+            worker = obs.TelemetryWorker(worker)
+            return obs.absorb_results(executor.map(worker, tasks))
         return list(executor.map(worker, tasks))
     if nworkers == 1:
         return [worker(t) for t in tasks]
+    if obs.telemetry_active():
+        worker = obs.TelemetryWorker(worker)
     with ProcessPoolExecutor(max_workers=nworkers) as pool:
-        return list(pool.map(worker, tasks))
+        return obs.absorb_results(pool.map(worker, tasks))
 
 
 def _hopping_block_worker(args):

@@ -127,6 +127,12 @@ class _ClientBase:
     def stats(self) -> dict:
         return self.request("stats")["stats"]
 
+    def metrics(self) -> dict:
+        """``stats`` plus the service-process :mod:`repro.obs` registry
+        snapshot: ``{"stats": ..., "metrics": ...}``."""
+        resp = self.request("metrics")
+        return {"stats": resp["stats"], "metrics": resp["metrics"]}
+
     def shutdown(self) -> dict:
         return self.request("shutdown")
 

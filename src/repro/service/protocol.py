@@ -44,6 +44,9 @@ Ops
     evaluates a strained copy).
 ``unload`` / ``list`` / ``stats``
     Lifecycle and introspection.
+``metrics``
+    ``stats`` plus the full :mod:`repro.obs` registry snapshot
+    (counters, gauges, histogram summaries) for the server process.
 ``shutdown``
     Ask the server to drain and stop (socket transport only).
 ``debug_crash``
@@ -63,7 +66,7 @@ from repro.errors import ProtocolError, ReproError
 #: every op the service understands; ``shutdown`` is intercepted by the
 #: socket transport, the rest reach :class:`repro.service.service.BatchService`
 OPS = ("ping", "load", "eval", "relax_step", "sweep", "unload", "list",
-       "stats", "shutdown", "debug_crash")
+       "stats", "metrics", "shutdown", "debug_crash")
 
 #: ops that address one structure and therefore route to its sticky worker
 STRUCTURE_OPS = ("load", "eval", "relax_step", "sweep", "unload",

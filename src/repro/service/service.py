@@ -36,17 +36,18 @@ from __future__ import annotations
 
 import threading
 import time
-from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
-import numpy as np
-
+from repro import obs
 from repro.errors import ReproError, ServiceError
+from repro.log import get_logger
 from repro.parallel.pool import map_tasks
 from repro.service import protocol
 from repro.service.worker import Worker
 from repro.state import StructureSnapshot
+
+log = get_logger(__name__)
 
 
 @dataclass
@@ -102,7 +103,11 @@ class BatchService:
             pool_threads = min(nworkers, 4)
         self._executor = (ThreadPoolExecutor(max_workers=pool_threads)
                           if pool_threads > 1 else None)
-        self._latencies_ms: deque = deque(maxlen=self.LATENCY_WINDOW)
+        # bounded reservoir (ring buffer of the last LATENCY_WINDOW
+        # observations + lifetime count/sum/min/max) — a long-lived
+        # server's latency tracking has a hard memory ceiling
+        self._latency_hist = obs.Histogram("service.request_ms",
+                                           maxlen=self.LATENCY_WINDOW)
         self._queue_depth_fn = None     # set by the socket transport
         self._started = time.monotonic()
         self._draining = False
@@ -133,7 +138,7 @@ class BatchService:
             try:
                 req = protocol.validate_request(req)
                 op = req["op"]
-                if op in ("ping", "stats", "list", "shutdown"):
+                if op in ("ping", "stats", "metrics", "list", "shutdown"):
                     responses[idx] = self._service_op(req)
                     continue
                 if op == "load":
@@ -158,6 +163,9 @@ class BatchService:
                 self._counters["max_batch"] = max(
                     self._counters["max_batch"],
                     max(len(b) for _, b in batches))
+            for _, b in batches:
+                obs.observe("service.batch_size", len(b))
+            obs.counter_inc("service.batches", len(batches))
             results = map_tasks(self._run_worker_batch, batches,
                                 nworkers=1, executor=self._executor)
             for batch_out in results:
@@ -165,14 +173,24 @@ class BatchService:
                     responses[idx] = resp
 
         now = time.perf_counter()
+        n_errors = 0
         with self._registry_lock:
             self._counters["requests_total"] += len(requests)
             for req, resp in zip(requests, responses):
                 if resp is not None and not resp.get("ok", False):
                     self._counters["errors_total"] += 1
+                    n_errors += 1
                 t0 = req.get("_t0", t_submit) if isinstance(req, dict) \
                     else t_submit
-                self._latencies_ms.append(1e3 * (now - t0))
+                self._latency_hist.observe(1e3 * (now - t0))
+                if isinstance(req, dict) and "_t0" in req:
+                    # transport-stamped arrival time → time spent queued
+                    # and coalesced before the batch started executing
+                    obs.observe("service.queue_wait_ms",
+                                1e3 * (t_submit - req["_t0"]))
+        obs.counter_inc("service.requests", len(requests))
+        if n_errors:
+            obs.counter_inc("service.errors", n_errors)
         self._enforce_memory_budget()
         return responses
 
@@ -237,6 +255,16 @@ class BatchService:
                     self._records))
         if op == "stats":
             return protocol.ok_response(req, stats=self.stats())
+        if op == "metrics":
+            # stats plus the full obs registry snapshot (summaries only —
+            # raw reservoirs stay server-side); the always-on latency
+            # histogram lives on the service, not the registry, so fold
+            # its summary in alongside the registered instruments
+            snap = obs.get_registry().snapshot(samples=False)
+            snap.setdefault("histograms", {})[
+                self._latency_hist.name] = self._latency_hist.summary()
+            return protocol.ok_response(
+                req, stats=self.stats(), metrics=snap)
         if op == "shutdown":
             # the transport watches for this and stops its loops; the
             # in-process client treats it as a drain request
@@ -255,6 +283,15 @@ class BatchService:
         return out
 
     def _run_one(self, wid: int, req: dict) -> dict:
+        with obs.span("service.request") as sp:
+            resp = self._run_one_impl(wid, req)
+            sp.set(op=req.get("op"), structure=req.get("structure_id"),
+                   worker=wid, ok=bool(resp.get("ok")))
+            if "warm" in resp:
+                sp.set(warm=bool(resp["warm"]))
+        return resp
+
+    def _run_one_impl(self, wid: int, req: dict) -> dict:
         worker = self.workers[wid]
         sid = req.get("structure_id")
         with self._registry_lock:
@@ -275,6 +312,8 @@ class BatchService:
                         f"{rec.structure_id!r} failed: {exc}"))
             resp = worker.handle(req)
         except Exception as exc:
+            log.warning("worker %d crashed handling op %r on %r: %s: %s",
+                        wid, req.get("op"), sid, type(exc).__name__, exc)
             self._handle_crash(wid, exc)
             resp = protocol.error_response(req, ServiceError(
                 f"worker {wid} crashed handling this request "
@@ -310,6 +349,7 @@ class BatchService:
             if "warm" in resp:
                 key = "warm_evals" if resp["warm"] else "cold_evals"
                 self._counters[key] += 1
+                obs.counter_inc(f"service.{key}")
             # advance the snapshot to the client-visible geometry
             if op == "relax_step":
                 rec.snapshot.update(positions=resp["positions"])
@@ -327,6 +367,9 @@ class BatchService:
         with self._registry_lock:
             rec.resident = True
             self._counters["rematerializations"] += 1
+        obs.counter_inc("service.rematerializations")
+        log.info("re-materialized structure %r on worker %d",
+                 rec.structure_id, worker.worker_id)
 
     def _handle_crash(self, wid: int, exc: Exception) -> None:
         """Replace a crashed worker; its structures rebuild lazily."""
@@ -336,6 +379,7 @@ class BatchService:
                 if rec.worker_id == wid:
                     rec.resident = False
             self._counters["worker_crashes"] += 1
+        obs.counter_inc("service.worker_crashes")
 
     # -- eviction ------------------------------------------------------------
     def _enforce_memory_budget(self) -> None:
@@ -372,6 +416,10 @@ class BatchService:
                         rec.structure_id, None)
                     if evicted is not None:
                         self._counters["evictions"] += 1
+                        obs.counter_inc("service.evictions")
+                        log.info("evicted structure %r from worker %d "
+                                 "(LRU, over memory budget)",
+                                 rec.structure_id, rec.worker_id)
 
     def _resident_bytes(self) -> int:
         return sum(w.resident_bytes_total() for w in self.workers)
@@ -381,7 +429,7 @@ class BatchService:
         """The ``stats`` endpoint payload (all plain-JSON values)."""
         with self._registry_lock:
             c = dict(self._counters)
-            lat = np.asarray(self._latencies_ms, dtype=float)
+            lat = self._latency_hist
             now = time.monotonic()
             structures = {}
             for sid, rec in sorted(self._records.items()):
@@ -410,11 +458,11 @@ class BatchService:
                                 c["batched_requests"] / batches, 3),
                             "max_size": c["max_batch"]},
                 "latency_ms": {
-                    "count": int(lat.size),
-                    "p50": (round(float(np.percentile(lat, 50)), 3)
-                            if lat.size else None),
-                    "p99": (round(float(np.percentile(lat, 99)), 3)
-                            if lat.size else None),
+                    "count": int(lat.count),
+                    "p50": (round(lat.percentile(50), 3)
+                            if lat.count else None),
+                    "p99": (round(lat.percentile(99), 3)
+                            if lat.count else None),
                 },
                 "state_reuse": {
                     "warm_evals": c["warm_evals"],

@@ -25,8 +25,11 @@ import time
 
 from repro.calculators import make_calculator
 from repro.errors import ProtocolError, ReproError, ServiceError
+from repro.log import get_logger, log_context
 from repro.service import protocol
 from repro.utils.memory import resident_bytes
+
+log = get_logger(__name__)
 
 
 class WorkerCrashError(Exception):
@@ -82,8 +85,14 @@ class Worker:
     def handle(self, req: dict) -> dict:
         """One request → one response.  ReproErrors become error
         responses; everything else propagates as a crash."""
+        with log_context(worker=self.worker_id,
+                         structure=req.get("structure_id")):
+            return self._handle(req)
+
+    def _handle(self, req: dict) -> dict:
         try:
             op = req["op"]
+            log.debug("handling op %r", op)
             if op == "eval":
                 return self._op_eval(req)
             if op == "relax_step":

@@ -54,6 +54,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.errors import ElectronicError
 from repro.tb.kpoints import monkhorst_pack
 
@@ -277,7 +278,9 @@ def rewedge(size, atoms, prev_ops: list[SymmetryOp] | None = None,
     if prev_ops:
         kept = filter_valid_ops(atoms, prev_ops, tol=tol)
         if len(kept) == len(prev_ops):
+            obs.counter_inc("symmetry.revalidated")
             return irreducible_kpoints(size, atoms=atoms, ops=kept)
+    obs.counter_inc("symmetry.redetected")
     return irreducible_kpoints(size, atoms=atoms, tol=tol)
 
 

@@ -13,6 +13,8 @@ import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
+from repro.obs import spans as _spans
+
 
 @dataclass
 class Timer:
@@ -71,7 +73,23 @@ class PhaseTimer:
 
     @contextmanager
     def phase(self, name: str):
+        """Time one phase; doubles as a span adapter.
+
+        When tracing is enabled (:mod:`repro.obs`), each phase also opens
+        a span of the same name, so the calculators' existing
+        ``self.timer.phase("foe")`` call sites emit a hierarchical trace
+        with no further instrumentation.  With tracing off the extra cost
+        is one attribute check.
+        """
         timer = self.timers.setdefault(name, Timer())
+        if _spans._TRACER.enabled:
+            with _spans.span(name):
+                timer.start()
+                try:
+                    yield timer
+                finally:
+                    timer.stop()
+            return
         timer.start()
         try:
             yield timer
@@ -112,13 +130,20 @@ class PhaseTimer:
 
 @contextmanager
 def timed(label: str, sink=None):
-    """Context manager printing (or passing to *sink*) elapsed seconds."""
+    """Context manager reporting elapsed seconds for one block.
+
+    With *sink* (a ``sink(label, seconds)`` callable) the measurement
+    goes there; otherwise it is logged at INFO level on the
+    ``repro.utils.timing`` logger.  It must never print to stdout — the
+    CLI's JSON-emitting paths own that stream.
+    """
     t0 = time.perf_counter()
     try:
         yield
     finally:
         dt = time.perf_counter() - t0
         if sink is None:
-            print(f"[timed] {label}: {dt:.6f} s")
+            from repro.log import get_logger
+            get_logger(__name__).info("[timed] %s: %.6f s", label, dt)
         else:
             sink(label, dt)

@@ -126,7 +126,10 @@ def test_verlet_reset_and_stats():
     vl = VerletList(rcut=2.6, skin=0.5)
     vl.update(at)
     vl.update(at)
-    assert vl.stats() == {"builds": 1, "updates": 2, "reused": 1}
+    assert vl.stats() == {
+        "builds": 1, "updates": 2, "reused": 1,
+        "causes": {"init": 1, "resize": 0, "cell-unmappable": 0,
+                   "drift": 0, "strain": 0}}
     vl.reset()
     vl.update(at)
     assert vl.n_builds == 2 and vl.last_update_rebuilt

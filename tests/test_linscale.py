@@ -13,6 +13,8 @@ The validation ladder mirrors the subsystem's own error budget:
 
 from __future__ import annotations
 
+import logging
+
 import numpy as np
 import pytest
 import scipy.sparse as sp
@@ -317,15 +319,17 @@ def test_cli_energy_linscale(tmp_path, capsys):
     assert "O(N) regions" in out and "energy" in out
 
 
-def test_cli_energy_purification_and_foe(tmp_path, capsys):
+def test_cli_energy_purification_and_foe(tmp_path, capsys, caplog):
     from repro.cli import main
 
     p = _write_si8(tmp_path)
     assert main(["energy", str(p), "--solver", "purification"]) == 0
-    # kT defaulted with a note when the FOE solvers get kT = 0
-    assert main(["energy", str(p), "--solver", "foe"]) == 0
-    out = capsys.readouterr().out
-    assert "kT = 0.1" in out
+    # kT defaulted with a logged note (never stdout) when the FOE
+    # solvers get kT = 0
+    with caplog.at_level(logging.WARNING, logger="repro"):
+        assert main(["energy", str(p), "--solver", "foe"]) == 0
+    assert "kT = 0.1" in caplog.text
+    assert "kT = 0.1" not in capsys.readouterr().out
 
 
 def test_cli_md_linscale(tmp_path, capsys):
