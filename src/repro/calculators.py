@@ -26,7 +26,7 @@ SOLVERS = ("diag", "purification", "foe", "linscale")
 
 _SPEC_KEYS = frozenset({"model", "solver", "kT", "order", "r_loc",
                         "nworkers", "reuse", "skin", "kgrid",
-                        "kgrid_reduce"})
+                        "kgrid_reduce", "backend"})
 
 #: MP-grid folding modes accepted by ``kgrid_reduce``
 KGRID_REDUCE = ("trs", "full", "symmetry")
@@ -83,7 +83,11 @@ def make_calculator(spec: dict):
     ``nworkers``, ``reuse``, ``skin`` (Å), ``kgrid`` (Monkhorst–Pack
     divisions — ``"n1xn2xn3"``, an int, or a 3-sequence; ``diag`` and
     ``linscale`` only), ``kgrid_reduce`` (``"trs"`` default / ``"full"``
-    / ``"symmetry"`` — crystal-point-group irreducible wedge).
+    / ``"symmetry"`` — crystal-point-group irreducible wedge),
+    ``backend`` (array backend for the ``linscale`` region recursions —
+    one of :func:`repro.linscale.backends.available_backends`; defaults
+    to the ``REPRO_BACKEND`` environment variable, then the package
+    default).
     """
     unknown = set(spec) - _SPEC_KEYS
     if unknown:
@@ -95,6 +99,18 @@ def make_calculator(spec: dict):
     kT = _coerce(spec, "kT", float, 0.0)
     skin = _coerce(spec, "skin", float, 0.5)
     kgrid = parse_kgrid(spec.get("kgrid"))
+    backend = spec.get("backend")
+    if backend is not None:
+        if solver != "linscale":
+            raise ReproError(
+                "backend applies to the 'linscale' solver only (the other "
+                "solvers have no region recursions to dispatch)")
+        from repro.linscale.backends import available_backends
+
+        if backend not in available_backends():
+            raise ReproError(
+                f"unknown array backend {backend!r}; available: "
+                f"{available_backends()}")
     kgrid_reduce = spec.get("kgrid_reduce")
     if kgrid_reduce is not None:
         if kgrid_reduce not in KGRID_REDUCE:
@@ -160,4 +176,4 @@ def make_calculator(spec: dict):
         model, kT=kT, order=order,
         r_loc=_coerce(spec, "r_loc", float, None),
         nworkers=_coerce(spec, "nworkers", int, 1), reuse=reuse, skin=skin,
-        kpts=kgrid, kgrid_reduce=kgrid_reduce)
+        kpts=kgrid, kgrid_reduce=kgrid_reduce, backend=backend)

@@ -13,6 +13,10 @@ The subsystem that removes the O(N³) eigensolve from the MD step:
   region recursion on complex Bloch Hamiltonians H(k), one spectral
   window per k, MP-weighted moments → one common μ, weighted per-k
   density matrices and forces (small-cell metals, strain sweeps);
+* :mod:`~repro.linscale.backends` — pluggable array backends for the
+  region recursions (``numpy_loop`` reference, ``numpy_batched``
+  shape-bucketed stacked GEMMs, optional ``numba``), selected per
+  calculator/solve or via ``REPRO_BACKEND``;
 * :mod:`~repro.linscale.calculator` — :class:`LinearScalingCalculator`
   (drop-in for :class:`~repro.tb.calculator.TBCalculator` in MD,
   relaxation and the CLI, Γ or k-sampled via ``kpts=``) and
@@ -20,6 +24,12 @@ The subsystem that removes the O(N³) eigensolve from the MD step:
   behind the same interface).
 """
 
+from repro.linscale.backends import (
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
 from repro.linscale.calculator import (
     DensityMatrixCalculator,
     LinearScalingCalculator,
@@ -70,4 +80,8 @@ __all__ = [
     "build_sparse_hamiltonian",
     "build_sparse_hamiltonian_k",
     "hamiltonian_fill_fraction",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "resolve_backend",
 ]

@@ -1,0 +1,175 @@
+"""Optional numba-JIT backend (registered only when importable AND sane).
+
+Compiles the real-dtype per-region Chebyshev recursions with
+``numba.njit`` — the recursion body then runs without interpreter
+dispatch, which helps most at small region sizes where NumPy call
+overhead rivals the GEMM.  Complex (finite-k) blocks fall back to the
+reference NumPy kernels, so physics is identical either way.
+
+This module is imported *only* by the registry probe in
+:mod:`repro.linscale.backends` and only when ``numba`` is installed;
+:func:`self_check` is then run against the reference kernels on a small
+random block and the backend is registered solely on agreement.  A
+missing or broken numba never affects the rest of the engine — the
+backend simply does not appear in ``available_backends()``.
+"""
+
+from __future__ import annotations
+
+import numba
+import numpy as np
+
+from repro.linscale.backends import kernels
+from repro.linscale.backends.numpy_loop import NumpyLoopBackend, _timed_loop
+
+
+@numba.njit(cache=True)
+def _moments_jit(h_tilde, h_cols, core_local, order):
+    n, nc = h_cols.shape
+    m = np.zeros(order + 1)
+    e = np.zeros(order + 1)
+    v_prev = np.zeros((n, nc))
+    for c in range(nc):
+        v_prev[core_local[c], c] = 1.0
+    m[0] = float(nc)
+    e[0] = (v_prev * h_cols).sum()
+    v_cur = h_tilde @ v_prev
+    if order >= 1:
+        s = 0.0
+        for c in range(nc):
+            s += v_cur[core_local[c], c]
+        m[1] = s
+        e[1] = (v_cur * h_cols).sum()
+    for k in range(2, order + 1):
+        v_next = 2.0 * (h_tilde @ v_cur) - v_prev
+        s = 0.0
+        for c in range(nc):
+            s += v_next[core_local[c], c]
+        m[k] = s
+        e[k] = (v_next * h_cols).sum()
+        v_prev, v_cur = v_cur, v_next
+    return m, e
+
+
+@numba.njit(cache=True)
+def _density_jit(h_tilde, core_local, coeffs):
+    n = h_tilde.shape[0]
+    nc = core_local.shape[0]
+    v_prev = np.zeros((n, nc))
+    for c in range(nc):
+        v_prev[core_local[c], c] = 1.0
+    out = coeffs[0] * v_prev
+    v_cur = h_tilde @ v_prev
+    if len(coeffs) > 1:
+        out = out + coeffs[1] * v_cur
+    for k in range(2, len(coeffs)):
+        v_next = 2.0 * (h_tilde @ v_cur) - v_prev
+        out += coeffs[k] * v_next
+        v_prev, v_cur = v_cur, v_next
+    return out.T.copy()
+
+
+@numba.njit(cache=True)
+def _fused_jit(h_tilde, h_cols, core_local, deriv_coeffs):
+    n, nc = h_cols.shape
+    s_stack, k1 = deriv_coeffs.shape
+    m = np.zeros(k1)
+    e = np.zeros(k1)
+    outs = np.zeros((s_stack, n, nc))
+    v_prev = np.zeros((n, nc))
+    for c in range(nc):
+        v_prev[core_local[c], c] = 1.0
+    m[0] = float(nc)
+    e[0] = (v_prev * h_cols).sum()
+    for s in range(s_stack):
+        outs[s] += deriv_coeffs[s, 0] * v_prev
+    v_cur = h_tilde @ v_prev
+    for k in range(1, k1):
+        if k >= 2:
+            v_next = 2.0 * (h_tilde @ v_cur) - v_prev
+            v_prev, v_cur = v_cur, v_next
+        s_m = 0.0
+        for c in range(nc):
+            s_m += v_cur[core_local[c], c]
+        m[k] = s_m
+        e[k] = (v_cur * h_cols).sum()
+        for s in range(s_stack):
+            outs[s] += deriv_coeffs[s, k] * v_cur
+    return m, e, outs
+
+
+def _scale(h_sub, center, span):
+    n = h_sub.shape[0]
+    return (h_sub - center * np.eye(n)) / span
+
+
+def _moments(h_sub, core_local, center, span, order):
+    if np.iscomplexobj(h_sub):
+        return kernels.region_moments(h_sub, core_local, center, span, order)
+    return _moments_jit(_scale(h_sub, center, span),
+                        np.ascontiguousarray(h_sub[:, core_local]),
+                        np.asarray(core_local, dtype=np.int64), order)
+
+
+def _density(h_sub, core_local, center, span, coeffs):
+    if np.iscomplexobj(h_sub):
+        return kernels.region_density_rows(h_sub, core_local, center, span,
+                                           coeffs)
+    return _density_jit(_scale(h_sub, center, span),
+                        np.asarray(core_local, dtype=np.int64),
+                        np.ascontiguousarray(coeffs, dtype=np.float64))
+
+
+def _fused(h_sub, core_local, center, span, deriv_coeffs):
+    if np.iscomplexobj(h_sub):
+        return kernels.region_fused(h_sub, core_local, center, span,
+                                    deriv_coeffs)
+    return _fused_jit(_scale(h_sub, center, span),
+                      np.ascontiguousarray(h_sub[:, core_local]),
+                      np.asarray(core_local, dtype=np.int64),
+                      np.ascontiguousarray(deriv_coeffs, dtype=np.float64))
+
+
+class NumbaBackend(NumpyLoopBackend):
+    """JIT-compiled per-region recursions (real H; complex falls back)."""
+
+    name = "numba"
+
+    def moments(self, blocks, center, span, order):
+        return _timed_loop("foe.region_moments_s", _moments, blocks,
+                           center, span, order)
+
+    def density_rows(self, blocks, center, span, coeffs):
+        return _timed_loop("foe.region_density_s", _density, blocks,
+                           center, span, coeffs)
+
+    def fused(self, blocks, center, span, deriv_coeffs):
+        return _timed_loop("foe.region_fused_s", _fused, blocks,
+                           center, span, deriv_coeffs)
+
+
+def self_check(atol: float = 1e-12) -> None:
+    """Compile the kernels and verify them against the reference ones.
+
+    Raises on any disagreement — the registry then refuses to register
+    the backend, so a subtly broken numba install degrades to the NumPy
+    backends instead of corrupting physics.
+    """
+    rng = np.random.default_rng(7)
+    n, nc, order = 12, 3, 9
+    a = rng.standard_normal((n, n))
+    h = 0.5 * (a + a.T)
+    core = np.array([0, 4, 9])
+    center, span = 0.1, float(np.abs(np.linalg.eigvalsh(h)).max() * 1.1)
+    dc = rng.standard_normal((4, order + 1))
+
+    m_ref, e_ref = kernels.region_moments(h, core, center, span, order)
+    m_jit, e_jit = _moments(h, core, center, span, order)
+    rows_ref = kernels.region_density_rows(h, core, center, span, dc[0])
+    rows_jit = _density(h, core, center, span, dc[0])
+    fr = kernels.region_fused(h, core, center, span, dc)
+    fj = _fused(h, core, center, span, dc)
+    for ref, jit in [(m_ref, m_jit), (e_ref, e_jit), (rows_ref, rows_jit),
+                     (fr[0], fj[0]), (fr[1], fj[1]), (fr[2], fj[2])]:
+        if not np.allclose(ref, jit, rtol=0.0, atol=atol):
+            raise AssertionError("numba kernels disagree with reference")

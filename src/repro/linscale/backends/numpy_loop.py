@@ -1,0 +1,66 @@
+"""Reference backend: the per-region Python loop (the oracle).
+
+Runs the original one-region-at-a-time kernels of
+:mod:`repro.linscale.backends.kernels` over the block source, keeping
+the exact numerics (and the per-region recursion-timing histograms) the
+engine always had.  Every other backend is validated against this one
+by the conformance suite.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.linscale.backends.base import Backend, RegionBlockSource
+from repro.linscale.backends.kernels import (
+    region_density_rows,
+    region_fused,
+    region_moments,
+)
+
+
+def _timed_loop(metric: str, fn, blocks: RegionBlockSource, *fargs) -> list:
+    """Run a per-region kernel over the source, timing each recursion.
+
+    One histogram observation per (k, region) recursion lands in
+    *metric* when metrics are on (worker-process observations ride back
+    through the :mod:`repro.obs.remote` envelope); disabled, this is
+    the bare loop plus one boolean check.
+    """
+    if not obs.metrics_enabled():
+        return [fn(blocks.get(i), blocks.core_local(i), *fargs)
+                for i in range(len(blocks))]
+    out = []
+    with obs.span(metric) as sp_:
+        sp_.set(n_regions=len(blocks))
+        for i in range(len(blocks)):
+            h_sub, core = blocks.get(i), blocks.core_local(i)
+            t0 = time.perf_counter()
+            out.append(fn(h_sub, core, *fargs))
+            obs.observe(metric, time.perf_counter() - t0)
+    return out
+
+
+class NumpyLoopBackend(Backend):
+    """Per-region dense NumPy recursions — simple, exact, unbatched."""
+
+    name = "numpy_loop"
+
+    def moments(self, blocks: RegionBlockSource, center: float, span: float,
+                order: int) -> list[tuple[np.ndarray, np.ndarray]]:
+        return _timed_loop("foe.region_moments_s", region_moments, blocks,
+                           center, span, order)
+
+    def density_rows(self, blocks: RegionBlockSource, center: float,
+                     span: float, coeffs: np.ndarray) -> list[np.ndarray]:
+        return _timed_loop("foe.region_density_s", region_density_rows,
+                           blocks, center, span, coeffs)
+
+    def fused(self, blocks: RegionBlockSource, center: float, span: float,
+              deriv_coeffs: np.ndarray
+              ) -> list[tuple[np.ndarray, np.ndarray, np.ndarray]]:
+        return _timed_loop("foe.region_fused_s", region_fused, blocks,
+                           center, span, deriv_coeffs)

@@ -62,6 +62,7 @@ from repro.tb.purification import (
 from repro.units import EV_PER_A3_TO_GPA, KB
 from repro.utils.timing import PhaseTimer
 
+from repro.linscale.backends import resolve_backend
 from repro.linscale.foe_local import (
     build_region_gather_maps,
     solve_density_regions,
@@ -237,13 +238,23 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         through the folding ops.  A symmetry-broken structure degrades
         to the time-reversal reduction; the per-k pattern cache, window
         caches and warm-μ fast path all run on the wedge unchanged.
+    backend :
+        Array backend for the region Chebyshev recursions — a name from
+        :func:`repro.linscale.backends.available_backends`
+        (``"numpy_loop"``, ``"numpy_batched"``, …), a
+        :class:`~repro.linscale.backends.base.Backend` instance, or
+        ``None`` to resolve from the ``REPRO_BACKEND`` environment
+        variable / the package default.  Backends are physics-equivalent
+        (conformance-tested); ``numpy_batched`` runs each shape bucket of
+        regions as one stacked-GEMM recursion and is the fast choice for
+        inline (``nworkers == 1``) MD.
     """
 
     def __init__(self, model, kT: float = 0.1, r_loc: float | None = None,
                  order: int = 150, nworkers: int = 1, executor=None,
                  neighbor_method: str = "auto", skin: float = 0.5,
                  reuse: bool = True, rho_tol: float = 1e-10, kpts=None,
-                 kgrid_reduce: str = "trs"):
+                 kgrid_reduce: str = "trs", backend=None):
         if not model.orthogonal:
             raise ElectronicError(
                 "LinearScalingCalculator supports orthogonal models only "
@@ -267,6 +278,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self.executor = executor
         self.reuse = bool(reuse)
         self.rho_tol = float(rho_tol)
+        self.backend = resolve_backend(backend)
         if kgrid_reduce not in KGRID_REDUCE_MODES:
             raise ElectronicError(
                 f"unknown kgrid_reduce {kgrid_reduce!r}; choose from "
@@ -300,7 +312,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
     def _params(self) -> tuple:
         ksig = None if self.kpts_frac is None else \
             tuple(map(tuple, np.round(self.kpts_frac, 12)))
-        return (self.kT, self.r_loc, self.order, ksig)
+        return (self.kT, self.r_loc, self.order, ksig, self.backend.name)
 
     def _reset_persistent(self) -> None:
         """Drop every step-to-step cache; the next compute is cold."""
@@ -447,6 +459,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         c = self._counters
         return {
             "reuse": self.reuse,
+            "backend": self.backend.name,
             "neighbors": self._vlist.stats(),
             "neighbors_loc": self._vlist_loc.stats(),
             "hamiltonian": self._hbuilder.stats(),
@@ -603,14 +616,16 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
                 H, regions, nelec, self.kT, order=self.order,
                 window=self._window, mu_guess=mu_guess,
                 nworkers=self.nworkers, executor=executor,
-                rho_tol=self.rho_tol,
+                rho_tol=self.rho_tol, backend=self.backend,
                 gather_maps=self._gather_maps(H, regions))
 
         def two_pass(window, bracket):
             return solve_density_regions(
                 H, regions, nelec, self.kT, order=self.order,
                 nworkers=self.nworkers, executor=executor,
-                with_rho=with_rho, window=window, mu_bracket=bracket)
+                with_rho=with_rho, window=window, mu_bracket=bracket,
+                backend=self.backend,
+                gather_maps=self._gather_maps(H, regions))
 
         return self._dispatch_solve(with_rho, fused, two_pass,
                                     lambda: self._window,
@@ -628,6 +643,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
                 order=self.order, windows=self._windows_k,
                 mu_guess=mu_guess, nworkers=self.nworkers,
                 executor=executor, rho_tol=self.rho_tol,
+                backend=self.backend,
                 # every H(k) shares the builder's CSR structure, so one
                 # cached map set serves all k points
                 gather_maps=self._gather_maps(H_k[0], regions))
@@ -636,7 +652,9 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
             return solve_density_regions_k(
                 H_k, self.kweights, regions, nelec, self.kT,
                 order=self.order, nworkers=self.nworkers, executor=executor,
-                with_rho=with_rho, windows=windows, mu_bracket=bracket)
+                with_rho=with_rho, windows=windows, mu_bracket=bracket,
+                backend=self.backend,
+                gather_maps=self._gather_maps(H_k[0], regions))
 
         return self._dispatch_solve(with_rho, fused, two_pass,
                                     lambda: self._windows_k,
@@ -707,7 +725,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         return (f"LinearScalingCalculator(model={self.model.name!r}, "
                 f"{kmode}, kT={self.kT} eV, r_loc={self.r_loc:.2f} Å, "
                 f"order={self.order}, nworkers={self.nworkers}, "
-                f"reuse={self.reuse})")
+                f"reuse={self.reuse}, backend={self.backend.name!r})")
 
 
 class DensityMatrixCalculator(_DensityMatrixCalculatorBase):

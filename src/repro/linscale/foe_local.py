@@ -51,18 +51,25 @@ is then checked a posteriori from the moments (``|m_k| ≤ n_core`` on a
 valid window) and a stale window raises
 :class:`~repro.errors.SpectralWindowError`.  Orthogonal models only,
 like purification.
+
+The region recursions themselves are evaluated through a pluggable
+array backend (:mod:`repro.linscale.backends`): the solvers hand each
+batch of regions to the selected :class:`~repro.linscale.backends.base.
+Backend` as a :class:`~repro.linscale.backends.base.RegionBlockSource`
+— ``numpy_loop`` reproduces the historical per-region loop exactly,
+``numpy_batched`` runs shape-bucketed stacked-GEMM recursions (the MD
+fast path's production backend).  Pass ``backend=`` by name or
+instance, or set the ``REPRO_BACKEND`` environment variable.
 """
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro import obs
 from repro.errors import ElectronicError, SpectralWindowError
 from repro.neighbors.base import NeighborList
 from repro.parallel.decomposition import block_partition
@@ -76,209 +83,49 @@ from repro.tb.chebyshev import (
 from repro.tb.hamiltonian import orbital_offsets, pair_species_groups
 from repro.tb.purification import lanczos_spectral_bounds
 from repro.tb.slater_koster import sk_block_gradients
+from repro.linscale.backends import resolve_backend
+from repro.linscale.backends.base import RegionBlockSource
+from repro.linscale.backends.kernels import (
+    hermitian_inner,
+    region_density_rows,
+    region_fused,
+    region_moments,
+)
 from repro.linscale.regions import LocalizationRegion
 from repro.linscale.sparse_hamiltonian import block_index_grids
 
 
 # ---------------------------------------------------------------------------
-# Per-region kernels (pure, picklable — they run inside pool workers)
+# Per-region kernels — owned by the backend layer now
+# (:mod:`repro.linscale.backends.kernels`); the historical private names
+# stay importable from here.
 # ---------------------------------------------------------------------------
 
-def _hermitian_inner(a: np.ndarray, b: np.ndarray) -> float:
-    """Re Σ conj(a)·b — the partial-trace contraction ``Σ [T_k H]_μμ``.
-
-    For real symmetric blocks this is the plain elementwise sum the Γ
-    engine always used; for complex Hermitian H(k) blocks the conjugate
-    appears because column μ of the Hermitian ``T_k`` is the conjugate
-    of row μ.  The imaginary part is pure truncation noise and is
-    discarded (exactly zero summed over a time-reversal pair).
-    """
-    if np.iscomplexobj(a) or np.iscomplexobj(b):
-        return float(np.real(np.vdot(a, b)))
-    return float(np.sum(a * b))
-
-
-def _region_moments(h_sub: np.ndarray, core_local: np.ndarray,
-                    center: float, span: float, order: int
-                    ) -> tuple[np.ndarray, np.ndarray]:
-    """Chebyshev moments (m_k, e_k) of one region's core orbitals.
-
-    Works on real symmetric (Γ) and complex Hermitian (finite-k) region
-    blocks alike; moments are real either way (diagonal entries of a
-    Hermitian polynomial).
-    """
-    n = h_sub.shape[0]
-    nc = len(core_local)
-    v = np.zeros((n, nc), dtype=h_sub.dtype)
-    v[core_local, np.arange(nc)] = 1.0
-    h_cols = h_sub[:, core_local]
-
-    m = np.zeros(order + 1)
-    e = np.zeros(order + 1)
-    m[0] = float(nc)
-    e[0] = _hermitian_inner(v, h_cols)
-
-    h_tilde = (h_sub - center * np.eye(n)) / span
-    v_prev = v
-    v_cur = h_tilde @ v
-    if order >= 1:
-        m[1] = float(np.real(v_cur[core_local, np.arange(nc)].sum()))
-        e[1] = _hermitian_inner(v_cur, h_cols)
-    for k in range(2, order + 1):
-        v_next = 2.0 * (h_tilde @ v_cur) - v_prev
-        m[k] = float(np.real(v_next[core_local, np.arange(nc)].sum()))
-        e[k] = _hermitian_inner(v_next, h_cols)
-        v_prev, v_cur = v_cur, v_next
-    return m, e
-
-
-def _region_density_rows(h_sub: np.ndarray, core_local: np.ndarray,
-                         center: float, span: float, coeffs: np.ndarray
-                         ) -> np.ndarray:
-    """Core rows of ρ_loc = Σ c_k T_k(H̃_loc), shape (n_core, n_region).
-
-    The recursion produces core *columns*; rows follow by (conjugate)
-    transposition — ρ_loc is symmetric for real H, Hermitian for H(k).
-    """
-    n = h_sub.shape[0]
-    nc = len(core_local)
-    v = np.zeros((n, nc), dtype=h_sub.dtype)
-    v[core_local, np.arange(nc)] = 1.0
-
-    out = coeffs[0] * v
-    h_tilde = (h_sub - center * np.eye(n)) / span
-    v_prev = v
-    v_cur = h_tilde @ v
-    if len(coeffs) > 1:
-        out = out + coeffs[1] * v_cur
-    for k in range(2, len(coeffs)):
-        v_next = 2.0 * (h_tilde @ v_cur) - v_prev
-        out += coeffs[k] * v_next
-        v_prev, v_cur = v_cur, v_next
-    return np.conj(out.T) if np.iscomplexobj(out) else out.T
-
-
-def _region_fused(h_sub: np.ndarray, core_local: np.ndarray,
-                  center: float, span: float, deriv_coeffs: np.ndarray,
-                  block: int = 24
-                  ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """One Chebyshev recursion → moments *and* μ-Taylor density accumulants.
-
-    Parameters
-    ----------
-    deriv_coeffs :
-        (S, K+1) coefficient stack from
-        :func:`repro.tb.chebyshev.fermi_mu_derivative_coefficients` — row
-        *s* expands ∂ˢf/∂μˢ at the guessed μ.
-    block :
-        Iterates are buffered in blocks of this many k-steps so moment
-        extraction and the S accumulations happen as a handful of BLAS
-        calls per block instead of per k (the per-k numpy call overhead
-        is comparable to the matvec at typical region sizes).
-
-    Returns
-    -------
-    ``(m, e, outs)`` — moments (K+1,), energy moments (K+1,), and the
-    accumulant stack (S, n_region, n_core) with
-    ``outs[s] = Σ_k c^{(s)}_k T_k(H̃) v₀``.
-    """
-    n = h_sub.shape[0]
-    nc = len(core_local)
-    s_stack, k1 = deriv_coeffs.shape
-    order = k1 - 1
-    ar = np.arange(nc)
-    is_complex = np.iscomplexobj(h_sub)
-
-    v0 = np.zeros((n, nc), dtype=h_sub.dtype)
-    v0[core_local, ar] = 1.0
-    h_cols = np.ascontiguousarray(h_sub[:, core_local])
-    if is_complex:
-        h_cols = np.conj(h_cols)      # e_k = Re Σ conj(T_k)·H = Σ T_k·conj(H)
-    h_tilde = (h_sub - center * np.eye(n)) / span
-
-    m = np.empty(k1)
-    e = np.empty(k1)
-    outs = np.zeros((s_stack, n, nc), dtype=h_sub.dtype)
-    block = max(3, min(block, k1))
-    buf = np.empty((block, n, nc), dtype=h_sub.dtype)
-    v_prev = v0
-    v_cur = v0            # placeholder until k = 1 exists
-
-    kpos = 0
-    while kpos <= order:
-        jmax = min(block, order + 1 - kpos)
-        for j in range(jmax):
-            k = kpos + j
-            if k == 0:
-                buf[j] = v0
-            elif k == 1:
-                np.matmul(h_tilde, v0, out=buf[j])
-            else:
-                np.matmul(h_tilde, v_cur, out=buf[j])
-                buf[j] *= 2.0
-                buf[j] -= v_prev
-            if k >= 1:
-                v_prev, v_cur = v_cur, buf[j]
-        chunk = buf[:jmax]
-        if is_complex:
-            m[kpos:kpos + jmax] = chunk[:, core_local, ar].sum(axis=1).real
-            e[kpos:kpos + jmax] = np.tensordot(chunk, h_cols,
-                                               axes=([1, 2], [0, 1])).real
-        else:
-            m[kpos:kpos + jmax] = chunk[:, core_local, ar].sum(axis=1)
-            e[kpos:kpos + jmax] = np.tensordot(chunk, h_cols,
-                                               axes=([1, 2], [0, 1]))
-        outs += np.tensordot(deriv_coeffs[:, kpos:kpos + jmax], chunk,
-                             axes=([1], [0]))
-        kpos += jmax
-    return m, e, outs
-
-
-def _timed_region_loop(metric: str, fn, items, extract, *fargs):
-    """Run a per-region kernel, timing each region's recursion.
-
-    ``extract(item)`` densifies one region lazily — peak memory stays at
-    one region, as before.  One histogram observation per (k, region)
-    recursion lands in *metric* when metrics are on (worker-process
-    observations ride back through the :mod:`repro.obs.remote`
-    envelope); disabled, this is the bare loop plus one boolean check.
-    """
-    if not obs.metrics_enabled():
-        return [fn(*extract(it), *fargs) for it in items]
-    out = []
-    with obs.span(metric) as sp_:
-        sp_.set(n_regions=len(items))
-        for it in items:
-            t0 = time.perf_counter()
-            out.append(fn(*extract(it), *fargs))
-            obs.observe(metric, time.perf_counter() - t0)
-    return out
-
-
-def _densify(H):
-    """Extractor: spec ``(orbitals, core_local)`` → dense kernel args."""
-    return lambda spec: (H[spec[0]][:, spec[0]].toarray(), spec[1])
+_hermitian_inner = hermitian_inner
+_region_moments = region_moments
+_region_density_rows = region_density_rows
+_region_fused = region_fused
 
 
 def _moments_worker(args):
-    """One chunk: extract each region's dense H_loc from the (shared)
-    sparse H and run the moment recursion — densifying inside the worker
-    keeps peak memory at one region instead of all of them."""
-    H, specs, center, span, order = args
-    return _timed_region_loop("foe.region_moments_s", _region_moments,
-                              specs, _densify(H), center, span, order)
+    """One chunk: build a block source over the (shared) sparse H and run
+    the named backend's moment batch — densifying inside the worker keeps
+    the parent from shipping dense blocks through the pipe."""
+    H, specs, center, span, order, backend = args
+    blocks = RegionBlockSource(H, specs)
+    return resolve_backend(backend).moments(blocks, center, span, order)
 
 
 def _density_worker(args):
-    H, specs, center, span, coeffs = args
-    return _timed_region_loop("foe.region_density_s", _region_density_rows,
-                              specs, _densify(H), center, span, coeffs)
+    H, specs, center, span, coeffs, backend = args
+    blocks = RegionBlockSource(H, specs)
+    return resolve_backend(backend).density_rows(blocks, center, span, coeffs)
 
 
 def _fused_worker(args):
-    H, specs, center, span, deriv_coeffs = args
-    return _timed_region_loop("foe.region_fused_s", _region_fused,
-                              specs, _densify(H), center, span, deriv_coeffs)
+    H, specs, center, span, deriv_coeffs, backend = args
+    blocks = RegionBlockSource(H, specs)
+    return resolve_backend(backend).fused(blocks, center, span, deriv_coeffs)
 
 
 def build_region_gather_maps(H: sp.csr_matrix,
@@ -467,7 +314,9 @@ def solve_density_regions(H, regions: list[LocalizationRegion],
                           mu: float | None = None, nworkers: int = 1,
                           executor=None, with_rho: bool = True,
                           window: tuple[float, float] | None = None,
-                          mu_bracket: tuple[float, float] | None = None
+                          mu_bracket: tuple[float, float] | None = None,
+                          backend=None,
+                          gather_maps: list[np.ndarray] | None = None
                           ) -> RegionFOEResult:
     """FOE-in-regions density matrix from a sparse Hamiltonian (two-pass).
 
@@ -502,6 +351,16 @@ def solve_density_regions(H, regions: list[LocalizationRegion],
     mu_bracket :
         Optional warm μ bracket (e.g. last step's μ ± a few kT); verified
         and widened automatically when it no longer brackets the count.
+    backend :
+        Array backend evaluating the region batches — a name from
+        :func:`repro.linscale.backends.available_backends`, an instance,
+        or ``None`` for the ``REPRO_BACKEND``/default resolution.
+    gather_maps :
+        Optional cached :func:`build_region_gather_maps` output; the
+        inline (``nworkers == 1``, no executor) path then densifies each
+        region with one fancy gather instead of CSR slicing.  Ignored on
+        the pooled path, where shipping the maps would cost more than
+        they save.
     """
     if kT <= 0:
         raise ElectronicError("FOE-in-regions needs kT > 0")
@@ -509,12 +368,18 @@ def solve_density_regions(H, regions: list[LocalizationRegion],
         raise ElectronicError("expansion order must be >= 2")
     H = _validate_regions(H, regions)
     m_total = H.shape[0]
+    backend = resolve_backend(backend)
 
     cached_window = window is not None
     emin, emax = window if cached_window else lanczos_spectral_bounds(H)
     center, span = _scaled_window(emin, emax)
 
     specs, chunks = _chunk_specs(regions, nworkers)
+    inline = executor is None and nworkers == 1
+    if inline:
+        # both passes share one densification per region (cache capped)
+        blocks = RegionBlockSource(H, specs, gather_maps=gather_maps,
+                                   cache=with_rho)
 
     own_pool = None
     if executor is None and nworkers > 1:
@@ -523,11 +388,15 @@ def solve_density_regions(H, regions: list[LocalizationRegion],
         executor = own_pool
     try:
         # -- pass 1: moments → μ, band energy, entropy, populations --------
-        tasks = [(H, [specs[i] for i in c], center, span, order)
-                 for c in chunks]
-        per_region = [mo for chunk in
-                      map_tasks(_moments_worker, tasks, nworkers, executor)
-                      for mo in chunk]
+        if inline:
+            per_region = backend.moments(blocks, center, span, order)
+        else:
+            tasks = [(H, [specs[i] for i in c], center, span, order,
+                      backend.name) for c in chunks]
+            per_region = [mo for chunk in
+                          map_tasks(_moments_worker, tasks, nworkers,
+                                    executor)
+                          for mo in chunk]
         m_per = np.stack([m for m, _ in per_region])      # (R, K+1)
         e_per = np.stack([e for _, e in per_region])
         if cached_window:
@@ -549,12 +418,16 @@ def solve_density_regions(H, regions: list[LocalizationRegion],
         # -- pass 2: core density rows → sparse ρ --------------------------
         rho = None
         if with_rho:
-            tasks = [(H, [specs[i] for i in c], center, span, coeffs)
-                     for c in chunks]
-            rows_per_region = [rr for chunk in
-                               map_tasks(_density_worker, tasks, nworkers,
-                                         executor)
-                               for rr in chunk]
+            if inline:
+                rows_per_region = backend.density_rows(blocks, center, span,
+                                                       coeffs)
+            else:
+                tasks = [(H, [specs[i] for i in c], center, span, coeffs,
+                          backend.name) for c in chunks]
+                rows_per_region = [rr for chunk in
+                                   map_tasks(_density_worker, tasks,
+                                             nworkers, executor)
+                                   for rr in chunk]
     finally:
         if own_pool is not None:
             own_pool.shutdown()
@@ -575,7 +448,8 @@ def solve_density_regions_fused(H, regions: list[LocalizationRegion],
                                 mu_guess: float,
                                 nworkers: int = 1, executor=None,
                                 rho_tol: float = 1e-10,
-                                gather_maps: list[np.ndarray] | None = None
+                                gather_maps: list[np.ndarray] | None = None,
+                                backend=None
                                 ) -> RegionFOEResult:
     """Single-pass FOE-in-regions with μ-Taylor correction (MD fast path).
 
@@ -607,6 +481,10 @@ def solve_density_regions_fused(H, regions: list[LocalizationRegion],
         region with one fancy gather instead of CSR slicing.  Ignored on
         the pooled path, where shipping the maps would cost more than
         they save.
+    backend :
+        Array backend evaluating the region batches — a name from
+        :func:`repro.linscale.backends.available_backends`, an instance,
+        or ``None`` for the ``REPRO_BACKEND``/default resolution.
 
     Returns
     -------
@@ -618,6 +496,7 @@ def solve_density_regions_fused(H, regions: list[LocalizationRegion],
         raise ElectronicError("expansion order must be >= 2")
     H = _validate_regions(H, regions)
     m_total = H.shape[0]
+    backend = resolve_backend(backend)
 
     emin, emax = window
     center, span = _scaled_window(emin, emax)
@@ -625,22 +504,20 @@ def solve_density_regions_fused(H, regions: list[LocalizationRegion],
         center, span, float(mu_guess), kT, order, nderiv=3)
 
     specs, chunks = _chunk_specs(regions, nworkers)
+    inline = executor is None and nworkers == 1
+    if inline:
+        blocks = RegionBlockSource(H, specs, gather_maps=gather_maps)
 
     own_pool = None
     if executor is None and nworkers > 1:
         own_pool = ProcessPoolExecutor(max_workers=nworkers)
         executor = own_pool
     try:
-        if gather_maps is not None and executor is None and nworkers == 1:
-            data_pad = np.append(H.data, 0.0)
-            items = list(zip(gather_maps, specs))
-            per_region = _timed_region_loop(
-                "foe.region_fused_s", _region_fused, items,
-                lambda it: (data_pad[it[0]], it[1][1]),
-                center, span, deriv_coeffs)
+        if inline:
+            per_region = backend.fused(blocks, center, span, deriv_coeffs)
         else:
-            tasks = [(H, [specs[i] for i in c], center, span, deriv_coeffs)
-                     for c in chunks]
+            tasks = [(H, [specs[i] for i in c], center, span, deriv_coeffs,
+                      backend.name) for c in chunks]
             per_region = [r for chunk in
                           map_tasks(_fused_worker, tasks, nworkers, executor)
                           for r in chunk]
@@ -666,12 +543,16 @@ def solve_density_regions_fused(H, regions: list[LocalizationRegion],
         used_fallback = abs(dmu) > mu_shift_tol
         if used_fallback:
             # guess too far off: pay the explicit second pass (exact)
-            tasks = [(H, [specs[i] for i in c], center, span, coeffs)
-                     for c in chunks]
-            rows_per_region = [rr for chunk in
-                               map_tasks(_density_worker, tasks, nworkers,
-                                         executor)
-                               for rr in chunk]
+            if inline:
+                rows_per_region = backend.density_rows(blocks, center, span,
+                                                       coeffs)
+            else:
+                tasks = [(H, [specs[i] for i in c], center, span, coeffs,
+                          backend.name) for c in chunks]
+                rows_per_region = [rr for chunk in
+                                   map_tasks(_density_worker, tasks,
+                                             nworkers, executor)
+                                   for rr in chunk]
         else:
             w = np.array([1.0, dmu, 0.5 * dmu * dmu,
                           dmu * dmu * dmu / 6.0])

@@ -53,6 +53,8 @@ from repro.tb.forces import k_bond_force_terms
 from repro.tb.hamiltonian import orbital_offsets, pair_species_groups
 from repro.tb.purification import lanczos_spectral_bounds
 from repro.tb.slater_koster import sk_block_gradients, sk_blocks
+from repro.linscale.backends import resolve_backend
+from repro.linscale.backends.base import RegionBlockSource
 from repro.linscale.foe_local import (
     _assemble_rho,
     _chunk_specs,
@@ -61,9 +63,7 @@ from repro.linscale.foe_local import (
     _fused_worker,
     _gather_blocks,
     _moments_worker,
-    _region_fused,
     _scaled_window,
-    _timed_region_loop,
     _validate_regions,
 )
 from repro.linscale.regions import LocalizationRegion
@@ -136,7 +136,9 @@ def solve_density_regions_k(H_list, weights,
                             mu: float | None = None, nworkers: int = 1,
                             executor=None, with_rho: bool = True,
                             windows: list[tuple[float, float]] | None = None,
-                            mu_bracket: tuple[float, float] | None = None
+                            mu_bracket: tuple[float, float] | None = None,
+                            backend=None,
+                            gather_maps: list[np.ndarray] | None = None
                             ) -> KRegionFOEResult:
     """k-sampled FOE-in-regions (reference two-pass solve).
 
@@ -160,6 +162,10 @@ def solve_density_regions_k(H_list, weights,
     mu_bracket :
         Optional warm bracket for the common μ (e.g. last step's μ ± a
         few kT); verified and widened automatically.
+    backend, gather_maps :
+        As in :func:`repro.linscale.foe_local.solve_density_regions`;
+        every H(k) shares one CSR structure, so a single gather-map set
+        serves all k points on the inline path.
 
     Other parameters as in
     :func:`repro.linscale.foe_local.solve_density_regions`.
@@ -171,6 +177,7 @@ def solve_density_regions_k(H_list, weights,
     H_list, weights = _validate_k_inputs(H_list, weights, regions)
     m_total = H_list[0].shape[0]
     nk = len(H_list)
+    backend = resolve_backend(backend)
 
     cached_window = windows is not None
     if not cached_window:
@@ -178,6 +185,11 @@ def solve_density_regions_k(H_list, weights,
     scaled = [_scaled_window(emin, emax) for emin, emax in windows]
 
     specs, chunks = _chunk_specs(regions, nworkers)
+    inline = executor is None and nworkers == 1
+    if inline:
+        # one densification per (k, region), shared by both passes
+        sources = [RegionBlockSource(H, specs, gather_maps=gather_maps,
+                                     cache=with_rho) for H in H_list]
 
     own_pool = None
     if executor is None and nworkers > 1:
@@ -185,11 +197,18 @@ def solve_density_regions_k(H_list, weights,
         executor = own_pool
     try:
         # -- pass 1: per-(k, region) moments → common μ --------------------
-        tasks = [(H_list[ki], [specs[i] for i in c],
-                  scaled[ki][0], scaled[ki][1], order)
-                 for ki in range(nk) for c in chunks]
-        flat = map_tasks(_moments_worker, tasks, nworkers, executor)
-        m_per_k, e_per_k = _unpack_per_k(flat, nk, len(chunks))
+        if inline:
+            per_k = [backend.moments(sources[ki], scaled[ki][0],
+                                     scaled[ki][1], order)
+                     for ki in range(nk)]
+            m_per_k = [np.stack([m for m, _ in pk]) for pk in per_k]
+            e_per_k = [np.stack([e for _, e in pk]) for pk in per_k]
+        else:
+            tasks = [(H_list[ki], [specs[i] for i in c],
+                      scaled[ki][0], scaled[ki][1], order, backend.name)
+                     for ki in range(nk) for c in chunks]
+            flat = map_tasks(_moments_worker, tasks, nworkers, executor)
+            m_per_k, e_per_k = _unpack_per_k(flat, nk, len(chunks))
         for ki in range(nk):
             if cached_window:
                 _check_window(m_per_k[ki], regions, windows[ki])
@@ -210,12 +229,20 @@ def solve_density_regions_k(H_list, weights,
         # -- pass 2: per-k core density rows → per-k sparse ρ(k) -----------
         rho_k = None
         if with_rho:
-            tasks = [(H_list[ki], [specs[i] for i in c],
-                      scaled[ki][0], scaled[ki][1], coeffs_k[ki])
-                     for ki in range(nk) for c in chunks]
-            flat = map_tasks(_density_worker, tasks, nworkers, executor)
-            rho_k = _assemble_rho_per_k(flat, nk, len(chunks), regions,
-                                        m_total)
+            if inline:
+                rho_k = [_assemble_rho(
+                    regions,
+                    backend.density_rows(sources[ki], scaled[ki][0],
+                                         scaled[ki][1], coeffs_k[ki]),
+                    m_total) for ki in range(nk)]
+            else:
+                tasks = [(H_list[ki], [specs[i] for i in c],
+                          scaled[ki][0], scaled[ki][1], coeffs_k[ki],
+                          backend.name)
+                         for ki in range(nk) for c in chunks]
+                flat = map_tasks(_density_worker, tasks, nworkers, executor)
+                rho_k = _assemble_rho_per_k(flat, nk, len(chunks), regions,
+                                            m_total)
     finally:
         if own_pool is not None:
             own_pool.shutdown()
@@ -235,7 +262,8 @@ def solve_density_regions_k_fused(H_list, weights,
                                   mu_guess: float,
                                   nworkers: int = 1, executor=None,
                                   rho_tol: float = 1e-10,
-                                  gather_maps: list[np.ndarray] | None = None
+                                  gather_maps: list[np.ndarray] | None = None,
+                                  backend=None
                                   ) -> KRegionFOEResult:
     """Single-pass k-sampled FOE with per-k μ-Taylor correction.
 
@@ -257,6 +285,7 @@ def solve_density_regions_k_fused(H_list, weights,
     :meth:`~repro.linscale.sparse_hamiltonian.SparseHamiltonianBuilder.build_k`
     shares one CSR structure, so a single map set serves all k points.
     Ignored on the pooled path, exactly as in the Γ fast solve.
+    *backend* selects the array backend, as in the Γ solvers.
     """
     if kT <= 0:
         raise ElectronicError("FOE-in-regions needs kT > 0")
@@ -265,6 +294,7 @@ def solve_density_regions_k_fused(H_list, weights,
     H_list, weights = _validate_k_inputs(H_list, weights, regions)
     m_total = H_list[0].shape[0]
     nk = len(H_list)
+    backend = resolve_backend(backend)
 
     scaled = [_scaled_window(emin, emax) for emin, emax in windows]
     deriv_k = [fermi_mu_derivative_coefficients(c, s, float(mu_guess), kT,
@@ -272,6 +302,10 @@ def solve_density_regions_k_fused(H_list, weights,
                for c, s in scaled]
 
     specs, chunks = _chunk_specs(regions, nworkers)
+    inline = executor is None and nworkers == 1
+    if inline:
+        sources = [RegionBlockSource(H, specs, gather_maps=gather_maps)
+                   for H in H_list]
 
     own_pool = None
     if executor is None and nworkers > 1:
@@ -279,18 +313,14 @@ def solve_density_regions_k_fused(H_list, weights,
         executor = own_pool
     try:
         per_chunk = len(chunks)
-        if gather_maps is not None and executor is None and nworkers == 1:
-            per_k = []
-            for ki in range(nk):
-                data_pad = np.append(H_list[ki].data, 0.0)
-                items = list(zip(gather_maps, specs))
-                per_k.append(_timed_region_loop(
-                    "foe.region_fused_s", _region_fused, items,
-                    lambda it, _pad=data_pad: (_pad[it[0]], it[1][1]),
-                    scaled[ki][0], scaled[ki][1], deriv_k[ki]))
+        if inline:
+            per_k = [backend.fused(sources[ki], scaled[ki][0],
+                                   scaled[ki][1], deriv_k[ki])
+                     for ki in range(nk)]
         else:
             tasks = [(H_list[ki], [specs[i] for i in c],
-                      scaled[ki][0], scaled[ki][1], deriv_k[ki])
+                      scaled[ki][0], scaled[ki][1], deriv_k[ki],
+                      backend.name)
                      for ki in range(nk) for c in chunks]
             flat = map_tasks(_fused_worker, tasks, nworkers, executor)
             per_k = [[r for chunk in
@@ -319,12 +349,20 @@ def solve_density_regions_k_fused(H_list, weights,
         used_fallback = abs(dmu) > mu_shift_tol
         rho_k = []
         if used_fallback:
-            tasks = [(H_list[ki], [specs[i] for i in c],
-                      scaled[ki][0], scaled[ki][1], coeffs_k[ki])
-                     for ki in range(nk) for c in chunks]
-            flat = map_tasks(_density_worker, tasks, nworkers, executor)
-            rho_k = _assemble_rho_per_k(flat, nk, per_chunk, regions,
-                                        m_total)
+            if inline:
+                rho_k = [_assemble_rho(
+                    regions,
+                    backend.density_rows(sources[ki], scaled[ki][0],
+                                         scaled[ki][1], coeffs_k[ki]),
+                    m_total) for ki in range(nk)]
+            else:
+                tasks = [(H_list[ki], [specs[i] for i in c],
+                          scaled[ki][0], scaled[ki][1], coeffs_k[ki],
+                          backend.name)
+                         for ki in range(nk) for c in chunks]
+                flat = map_tasks(_density_worker, tasks, nworkers, executor)
+                rho_k = _assemble_rho_per_k(flat, nk, per_chunk, regions,
+                                            m_total)
         else:
             w_taylor = np.array([1.0, dmu, 0.5 * dmu * dmu,
                                  dmu * dmu * dmu / 6.0])

@@ -11,10 +11,13 @@ instead.
 
 Exit 1 if the fused-path or pattern-cache hit rate falls below its
 pinned floor (rates with no observations pass — a diag-solver snapshot
-has no fused counters).  Run::
+has no fused counters).  The backend benchmark's speedup gauge
+(``foe.backend_speedup``, batched vs per-region-loop MD step) is gated
+the same way with ``--min-backend-speedup``.  Run::
 
     python tools/check_metrics.py metrics.json \
         --min-fused-hit 0.4 --min-pattern-hit 0.5
+    python tools/check_metrics.py bench.json --min-backend-speedup 1.05
 """
 
 from __future__ import annotations
@@ -57,10 +60,14 @@ def main(argv=None) -> int:
                     help="floor on the sparse-pattern cache hit rate")
     ap.add_argument("--min-neighbor-reuse", type=float, default=0.0,
                     help="floor on the Verlet-list reuse rate")
+    ap.add_argument("--min-backend-speedup", type=float, default=0.0,
+                    help="floor on the foe.backend_speedup gauge (batched "
+                         "vs loop MD-step ratio from the A8 benchmark)")
     args = ap.parse_args(argv)
     with open(args.snapshot, encoding="utf-8") as fh:
         snap = json.load(fh)
     counters = snap.get("counters") or {}
+    gauges = snap.get("gauges") or {}
     failed = False
     for name, (hits, misses, attr) in GATES.items():
         floor = getattr(args, attr)
@@ -73,6 +80,16 @@ def main(argv=None) -> int:
             status = "ok"
         shown = "   --" if value is None else f"{value:5.1%}"
         print(f"{name:<16} {shown}  (floor {floor:.1%}, n={n})  {status}")
+    speedup = gauges.get("foe.backend_speedup")
+    if speedup is None:
+        status = "no data"
+    elif speedup + 1e-12 < args.min_backend_speedup:
+        status, failed = "FAIL", True
+    else:
+        status = "ok"
+    shown = "   --" if speedup is None else f"{speedup:4.2f}x"
+    print(f"{'backend-speedup':<16} {shown}  "
+          f"(floor {args.min_backend_speedup:.2f}x)  {status}")
     if failed:
         print("\nmetrics gate FAILED: a cache-efficiency rate regressed "
               "below its floor", file=sys.stderr)
