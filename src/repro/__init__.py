@@ -28,6 +28,7 @@ from repro import (
     analysis, classical, geometry, linscale, log, md, neighbors, obs,
     parallel, relax, tb, units,
 )
+from repro.calculators import CalculatorSpec, make_calculator
 from repro.geometry import Atoms, Cell
 from repro.linscale import LinearScalingCalculator
 from repro.state import CalculatorState, ChangeReport
@@ -49,6 +50,8 @@ __all__ = [
     "units",
     "Atoms",
     "Cell",
+    "CalculatorSpec",
+    "make_calculator",
     "CalculatorState",
     "ChangeReport",
     "TBCalculator",

@@ -14,6 +14,8 @@ without writing Python::
     python -m repro.cli relax   structure.xyz --model xu-c --fmax 0.02 -o out.xyz
     python -m repro.cli md      structure.xyz --steps 500 --temperature 1000 \
                                 --thermostat nose-hoover --traj run.xyz
+    python -m repro.cli campaign matrix.toml -o results.jsonl --sqlite results.sqlite
+    python -m repro.cli campaign --quick
     python -m repro.cli serve   --socket /tmp/pytbmd.sock --workers 2
     python -m repro.cli client  --socket /tmp/pytbmd.sock load si.xyz --id si
     python -m repro.cli client  --socket /tmp/pytbmd.sock eval --id si
@@ -29,9 +31,13 @@ docs/symmetry.md).  ``sweep`` walks a strain path with one warm
 calculator and fits an equation of state (docs/symmetry.md has the
 tutorial).
 
-``serve`` starts the long-lived multi-structure batch service (resident
-calculator workers, sticky per-structure routing — see docs/service.md);
-``client`` talks to a running server over its Unix socket.
+``campaign`` expands a TOML/JSON (structure × scenario × params) matrix
+and runs every cell through the batch service into one queryable
+JSONL/SQLite artifact (scenario registry, matrix format and artifact
+schema: docs/campaigns.md).  ``serve`` starts the long-lived
+multi-structure batch service (resident calculator workers, sticky
+per-structure routing — see docs/service.md); ``client`` talks to a
+running server over its Unix socket.
 
 Observability (docs/observability.md): ``--trace out.jsonl`` records a
 hierarchical span trace (``out.json`` → Chrome trace-event format for
@@ -119,11 +125,15 @@ def cmd_models(_args) -> int:
 
 
 def cmd_energy(args) -> int:
+    import time
+
     from repro.geometry import read_xyz
 
     atoms = read_xyz(args.structure)
     calc = _make_calculator(args.model, args.kt, args)
+    t0 = time.perf_counter()
     res = calc.compute(atoms, forces=True)
+    seconds = time.perf_counter() - t0
     print(f"atoms            : {len(atoms)}")
     print(f"energy           : {res['energy']:.6f} eV "
           f"({res['energy'] / len(atoms):.6f} eV/atom)")
@@ -145,6 +155,14 @@ def cmd_energy(args) -> int:
     print(f"max |force|      : {np.abs(res['forces']).max():.6f} eV/Å")
     if "pressure_gpa" in res:
         print(f"pressure         : {res['pressure_gpa']:.4f} GPa")
+    if args.json:
+        value = {"natoms": len(atoms), "energy": res["energy"],
+                 "free_energy": res.get("free_energy", res["energy"]),
+                 "max_force": float(np.abs(res["forces"]).max())}
+        for key in ("gap", "fermi_level", "pressure_gpa"):
+            if key in res:
+                value[key] = res[key]
+        _result_json(args.json, value, timings={"seconds": seconds})
     return 0
 
 
@@ -202,6 +220,8 @@ def cmd_md(args) -> int:
 
 
 def cmd_sweep(args) -> int:
+    import time
+
     from repro.analysis import strain_sweep, sweep_amplitudes
     from repro.geometry import read_xyz
 
@@ -209,9 +229,11 @@ def cmd_sweep(args) -> int:
     calc = _make_calculator(args.model, args.kt, args)
     amplitudes = sweep_amplitudes(args.amplitude, args.npoints)
     fit = None if args.fit == "none" else args.fit
+    t0 = time.perf_counter()
     res = strain_sweep(atoms, calc, amplitudes, mode=args.mode,
                        axis=args.axis, forces=args.forces, fit=fit,
                        energy_ref=args.eref)
+    seconds = time.perf_counter() - t0
     print(f"{args.mode} strain sweep: {len(res.points)} points, "
           f"{res.natoms} atoms")
     header = f"{'ε':>9} {'V (Å³/at)':>11} {'E (eV/at)':>12}"
@@ -237,10 +259,80 @@ def cmd_sweep(args) -> int:
               f"two-pass solves, "
               f"{rep['hamiltonian']['pattern_builds']} pattern builds")
     if args.json:
-        with open(args.json, "w") as fh:
-            json.dump(res.as_dict(), fh, indent=2)
-        print(f"wrote {args.json}")
+        metrics = None
+        if foe:
+            metrics = {"fused": foe["fused"], "fallback": foe["fallback"],
+                       "cold": foe["cold"]}
+        _result_json(args.json, res.as_dict(),
+                     timings={"seconds": seconds}, metrics=metrics)
     return 0
+
+
+def _result_json(path, value, *, timings=None, metrics=None,
+                 error=None) -> None:
+    """Write a CLI command's ``--json`` output as the same
+    :class:`~repro.service.protocol.Result` envelope the service
+    speaks — one shape for every machine-readable payload (the
+    campaign store ingests either source unchanged)."""
+    from repro.service import protocol
+
+    if error is not None:
+        res = protocol.Result.failure(error)
+    else:
+        res = protocol.Result.success(value, timings=timings,
+                                      metrics=metrics)
+    with open(path, "wb") as fh:
+        fh.write(protocol.dumps(res))
+    print(f"wrote {path}")
+
+
+def cmd_campaign(args) -> int:
+    import time
+
+    from repro import scenarios
+    from repro.scenarios import store
+
+    if args.list_scenarios:
+        for name in scenarios.available_scenarios():
+            sc = scenarios.get_scenario(name)
+            print(f"{name:12s} [{', '.join(sc.tags)}] {sc.description}")
+            for p in sc.describe_params():
+                extra = (f" one of {p['choices']}" if p["choices"] else "")
+                print(f"    {p['name']:18s} {p['type']:6s} "
+                      f"default={p['default']!r}{extra}  {p['doc']}")
+        return 0
+    if args.matrix:
+        spec = scenarios.load_campaign_spec(args.matrix)
+    elif args.quick:
+        spec = scenarios.CampaignSpec.from_dict(scenarios.QUICK_MATRIX)
+    else:
+        raise ReproError("campaign needs a matrix file (or --quick for "
+                         "the built-in smoke matrix)")
+    cells = scenarios.expand_matrix(spec)
+    print(f"campaign {spec.name!r}: {len(cells)} cells "
+          f"({len(spec.structures)} structures x "
+          f"{len(spec.scenarios)} scenario entries)")
+    t0 = time.perf_counter()
+    if args.socket:
+        from repro.service import SocketClient
+
+        with SocketClient(args.socket) as client:
+            run = scenarios.run_campaign(spec, client=client,
+                                         nworkers=args.nworkers, log=print)
+    else:
+        run = scenarios.run_campaign(spec, nworkers=args.nworkers,
+                                     service_workers=args.service_workers,
+                                     log=print)
+    counts = run.counts
+    print(f"{counts['ok']}/{counts['total']} cells ok"
+          + (f", {counts['failed']} failed" if counts["failed"] else "")
+          + f" in {time.perf_counter() - t0:.2f}s")
+    store.write_jsonl(args.output, run)
+    print(f"wrote {args.output}")
+    if args.sqlite:
+        store.write_sqlite(args.sqlite, run)
+        print(f"wrote {args.sqlite}")
+    return 1 if (args.strict and counts["failed"]) else 0
 
 
 def cmd_serve(args) -> int:
@@ -390,6 +482,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     pe = sub.add_parser("energy", help="single-point energy and forces")
     add_common(pe)
+    pe.add_argument("--json",
+                    help="write the result as a Result-envelope JSON file")
 
     pr = sub.add_parser("relax", help="structural relaxation")
     add_common(pr)
@@ -430,7 +524,44 @@ def build_parser() -> argparse.ArgumentParser:
                          "the fit (free-atom reference → cohesive energy)")
     pw.add_argument("--forces", action="store_true",
                     help="also compute forces and pressure per point")
-    pw.add_argument("--json", help="write points + fit as JSON here")
+    pw.add_argument("--json", help="write points + fit as a "
+                                   "Result-envelope JSON file")
+
+    pca = sub.add_parser(
+        "campaign",
+        help="expand and run a (structure x scenario x params) matrix")
+    pca.add_argument("matrix", nargs="?",
+                     help="TOML or JSON campaign matrix (docs/campaigns.md)")
+    pca.add_argument("--quick", action="store_true",
+                     help="run the built-in 2-structure x 2-scenario "
+                          "smoke matrix (no matrix file needed)")
+    pca.add_argument("-o", "--output", default="campaign.jsonl",
+                     help="JSONL artifact path (default campaign.jsonl)")
+    pca.add_argument("--sqlite", metavar="PATH",
+                     help="also write/append a SQLite artifact")
+    pca.add_argument("--nworkers", type=int, default=1,
+                     help="campaign-level cell fan-out (thread pool over "
+                          "the batch service)")
+    pca.add_argument("--service-workers", type=int, default=2,
+                     dest="service_workers",
+                     help="resident workers of the private in-process "
+                          "service (ignored with --socket)")
+    pca.add_argument("--socket", default=None,
+                     help="run against a live 'repro.cli serve' server "
+                          "instead of a private in-process service")
+    pca.add_argument("--strict", action="store_true",
+                     help="exit 1 if any cell failed (default: failures "
+                          "are recorded in the artifact, exit 0)")
+    pca.add_argument("--list-scenarios", action="store_true",
+                     dest="list_scenarios",
+                     help="list registered scenarios and their parameter "
+                          "schemas, then exit")
+    pca.add_argument("--trace", metavar="PATH",
+                     help="record a span trace of the campaign (*.jsonl "
+                          "or *.json for Perfetto)")
+    pca.add_argument("--metrics", metavar="PATH", dest="metrics_out",
+                     help="write the repro.obs metrics snapshot as JSON "
+                          "at exit")
 
     ps = sub.add_parser(
         "serve", help="run the multi-structure batch service")
@@ -516,6 +647,7 @@ def main(argv=None) -> int:
         "relax": cmd_relax,
         "md": cmd_md,
         "sweep": cmd_sweep,
+        "campaign": cmd_campaign,
         "serve": cmd_serve,
         "client": cmd_client,
     }[args.command]

@@ -69,3 +69,10 @@ class ProtocolError(ServiceError):
     """Malformed service request: bad JSON, unknown op, missing or
     ill-shaped fields.  Always answered with an error *response* — a
     broken client must never take the server down."""
+
+
+class CampaignError(ReproError):
+    """Malformed campaign matrix or scenario parameters: unknown
+    scenario/structure names, bad param values, unreadable matrix files.
+    Failures *inside* a cell are recorded per-cell instead of raised —
+    one diverging run must never abort the rest of the matrix."""

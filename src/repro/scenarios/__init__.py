@@ -1,0 +1,51 @@
+"""Scenario campaign framework: registered physics workloads, matrix
+expansion, batched execution and queryable artifacts.
+
+Importing this package registers the built-in scenarios (``eos``,
+``vacancy``, ``elastic``, ``phonons``, ``melt-quench`` — plus
+``ase-relax`` when the optional ``ase`` extra is installed).  See
+docs/campaigns.md for the matrix format and ``repro.cli campaign`` for
+the command-line runner.
+"""
+
+from repro.scenarios import store  # noqa: F401  (re-exported submodule)
+from repro.scenarios.base import (
+    ParamSpec, Scenario, ScenarioResult, StructureHandle,
+    available_scenarios, get_scenario, register_scenario, scenarios_by_tag,
+)
+from repro.scenarios.campaign import (
+    QUICK_MATRIX, CampaignCell, CampaignRun, CampaignSpec, build_structure,
+    expand_matrix, load_campaign_spec, run_campaign,
+)
+from repro.scenarios.store import (
+    query_cells, read_artifact, write_jsonl, write_sqlite,
+)
+
+# built-in scenario registrations (import side effect)
+from repro.scenarios import (  # noqa: E402,F401  isort: skip
+    defects, elastic, eos, melt_quench, phonons, ase_relax,
+)
+
+__all__ = [
+    "ParamSpec",
+    "Scenario",
+    "ScenarioResult",
+    "StructureHandle",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenarios_by_tag",
+    "CampaignCell",
+    "CampaignRun",
+    "CampaignSpec",
+    "QUICK_MATRIX",
+    "build_structure",
+    "expand_matrix",
+    "load_campaign_spec",
+    "run_campaign",
+    "store",
+    "query_cells",
+    "read_artifact",
+    "write_jsonl",
+    "write_sqlite",
+]

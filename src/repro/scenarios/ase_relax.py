@@ -1,0 +1,73 @@
+"""ASE-driven relaxation scenario (optional — needs the ``ase`` extra).
+
+Demonstrates the other half of the bridge: an ASE optimizer (BFGS/FIRE)
+relaxing a structure through :class:`repro.ase_bridge.PytbmdCalculator`.
+Runs entirely in-process — the bridge's persistent-state mirror gives
+the optimizer the same warm-calculator fast path the service gives MD.
+Registered only when ASE imports, so campaigns on numpy/scipy-only
+environments simply don't list it.
+"""
+
+from __future__ import annotations
+
+import io
+
+import numpy as np
+
+from repro import ase_bridge
+from repro.scenarios.base import (
+    ParamSpec, Scenario, ScenarioResult, StructureHandle, register_scenario,
+)
+
+
+class ASERelaxScenario(Scenario):
+    name = "ase-relax"
+    tags = ("static", "relax", "ase")
+    description = ("relax with an ASE optimizer through the "
+                   "PytbmdCalculator bridge (needs the 'ase' extra)")
+    params = (
+        ParamSpec("fmax", float, 0.05, "convergence force threshold (eV/Å)"),
+        ParamSpec("max_steps", int, 100, "optimizer step cap"),
+        ParamSpec("optimizer", str, "bfgs", "ASE optimizer",
+                  choices=("bfgs", "fire")),
+        ParamSpec("rattle", float, 0.0,
+                  "random displacement (Å) applied before relaxing "
+                  "(0 = start from the given geometry)"),
+        ParamSpec("seed", int, 11, "rattle RNG seed"),
+    )
+
+    def run(self, client, structure: StructureHandle,
+            params: dict) -> ScenarioResult:
+        import ase
+        from ase.optimize import BFGS, FIRE
+
+        src = structure.atoms
+        ase_atoms = ase.Atoms(
+            symbols=src.symbols,
+            positions=np.asarray(src.positions, dtype=float),
+            cell=np.asarray(src.cell.matrix, dtype=float),
+            pbc=list(src.cell.pbc))
+        if params["rattle"] > 0:
+            ase_atoms.rattle(stdev=params["rattle"], seed=params["seed"])
+        calc = ase_bridge.PytbmdCalculator(structure.calc_spec)
+        ase_atoms.calc = calc
+        e_initial = float(ase_atoms.get_potential_energy())
+        opt_cls = {"bfgs": BFGS, "fire": FIRE}[params["optimizer"]]
+        opt = opt_cls(ase_atoms, logfile=io.StringIO())
+        converged = bool(opt.run(fmax=params["fmax"],
+                                 steps=params["max_steps"]))
+        forces = ase_atoms.get_forces()
+        metrics = {
+            "converged": converged,
+            "e_initial_ev": e_initial,
+            "e_final_ev": float(ase_atoms.get_potential_energy()),
+            "fmax_final": float(np.linalg.norm(forces, axis=1).max()),
+            "nsteps": int(opt.get_number_of_steps()),
+        }
+        return ScenarioResult(
+            self.name, metrics=metrics,
+            value={**metrics, "state_report": calc.state_report()})
+
+
+if ase_bridge.HAVE_ASE:  # pragma: no cover - optional-deps CI job
+    register_scenario(ASERelaxScenario)

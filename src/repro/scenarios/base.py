@@ -1,0 +1,202 @@
+"""Scenario protocol and registry.
+
+A *scenario* is one physics workload — EOS, vacancy formation, elastic
+constants, Γ phonons, melt-quench — packaged behind one uniform call::
+
+    result = scenario.run(client, structure, params)
+
+*client* is a :class:`~repro.service.client.BatchClient` or
+:class:`~repro.service.client.SocketClient` (every evaluation goes
+through the batch service, so scenarios ride the resident workers'
+state-reuse fast path); *structure* is a :class:`StructureHandle` naming
+a structure the campaign runner has already loaded; *params* are the
+scenario's resolved parameters.  The return is a
+:class:`ScenarioResult`: a ``value`` payload (full detail), flat
+``metrics`` (the numbers a campaign table plots) and ``timings``.
+
+Scenarios declare their parameters as :class:`ParamSpec` rows, so the
+campaign runner validates a matrix *before* spending any compute on it,
+with did-you-mean suggestions on typos — the same contract
+:class:`repro.calculators.CalculatorSpec` applies to calculator specs.
+
+Registration is by instance::
+
+    @register_scenario
+    class EOSScenario(Scenario):
+        name = "eos"
+        ...
+
+and lookup by :func:`get_scenario` / :func:`available_scenarios` /
+:func:`scenarios_by_tag`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass, field
+
+from repro.calculators import suggest_key
+from repro.errors import CampaignError
+
+#: sentinel distinguishing "no default — the param is required"
+_REQUIRED = object()
+
+#: process-wide uniquifier for scratch structure ids
+_SCRATCH_IDS = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One scenario parameter: name, converter, default and doc line."""
+
+    name: str
+    conv: type | None = float
+    default: object = None
+    doc: str = ""
+    choices: tuple | None = None
+
+    def resolve(self, raw: dict, scenario: str):
+        if self.name in raw:
+            value = raw[self.name]
+            if value is not None and self.conv is not None:
+                try:
+                    value = self.conv(value)
+                except (TypeError, ValueError) as exc:
+                    raise CampaignError(
+                        f"scenario {scenario!r}: parameter "
+                        f"{self.name!r} must be {self.conv.__name__}, "
+                        f"got {raw[self.name]!r}") from exc
+        elif self.default is _REQUIRED:
+            raise CampaignError(
+                f"scenario {scenario!r}: parameter {self.name!r} is "
+                f"required")
+        else:
+            value = self.default
+        if self.choices is not None and value not in self.choices:
+            raise CampaignError(
+                f"scenario {scenario!r}: parameter {self.name!r} must be "
+                f"one of {self.choices}, got {value!r}")
+        return value
+
+
+@dataclass(frozen=True)
+class StructureHandle:
+    """A structure the campaign runner has made service-resident.
+
+    ``structure_id`` addresses the resident copy; ``atoms`` is the
+    client-side original (scenarios that need derived geometries —
+    vacancies, MD copies — start from it and load scratch structures of
+    their own); ``calc_spec`` is the spec dict the structure was loaded
+    with, so derived loads evaluate with the identical calculator.
+    """
+
+    structure_id: str
+    atoms: object
+    calc_spec: dict = field(default_factory=dict)
+
+    def scratch_id(self, suffix: str) -> str:
+        """Unique structure id for a derived scratch load
+        (``'si8::vacancy-3'``).  The counter keeps concurrent campaign
+        cells on the same structure from colliding on one resident
+        scratch slot (itertools.count is atomic under the GIL)."""
+        return f"{self.structure_id}::{suffix}-{next(_SCRATCH_IDS)}"
+
+
+@dataclass
+class ScenarioResult:
+    """What one scenario run hands back to the campaign runner."""
+
+    scenario: str
+    value: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    timings: dict = field(default_factory=dict)
+
+
+class Scenario:
+    """Base class: subclasses set ``name``/``tags``/``params`` and
+    implement :meth:`run`."""
+
+    name: str = ""
+    tags: tuple[str, ...] = ()
+    description: str = ""
+    params: tuple[ParamSpec, ...] = ()
+
+    def resolve_params(self, raw: dict | None) -> dict:
+        """Validate and default a raw param dict against the schema.
+
+        Unknown parameter names are rejected (with a suggestion) —
+        a typo'd knob must fail the matrix at expansion time, not
+        silently run the scenario at its default.
+        """
+        raw = dict(raw or {})
+        known = [p.name for p in self.params]
+        unknown = sorted(set(raw) - set(known))
+        if unknown:
+            raise CampaignError(
+                f"scenario {self.name!r}: unknown parameter(s) {unknown}; "
+                f"accepted: {sorted(known)}"
+                f"{suggest_key(unknown[0], known)}")
+        return {p.name: p.resolve(raw, self.name) for p in self.params}
+
+    def run(self, client, structure: StructureHandle,
+            params: dict) -> ScenarioResult:
+        raise NotImplementedError  # pragma: no cover
+
+    def describe_params(self) -> list[dict]:
+        """Schema rows for ``campaign --list-scenarios`` and the docs."""
+        return [{"name": p.name,
+                 "type": p.conv.__name__ if p.conv else "any",
+                 "default": None if p.default is _REQUIRED else p.default,
+                 "required": p.default is _REQUIRED,
+                 "choices": list(p.choices) if p.choices else None,
+                 "doc": p.doc}
+                for p in self.params]
+
+
+class _timed:
+    """``with _timed(result.timings, "md"):`` — phase timing helper."""
+
+    def __init__(self, timings: dict, key: str):
+        self.timings = timings
+        self.key = key
+
+    def __enter__(self):
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        self.timings[self.key] = (self.timings.get(self.key, 0.0)
+                                  + time.perf_counter() - self.t0)
+        return False
+
+
+# -- registry --------------------------------------------------------------
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(cls):
+    """Class decorator: instantiate and register under ``cls.name``."""
+    inst = cls()
+    if not inst.name:
+        raise CampaignError(f"scenario class {cls.__name__} has no name")
+    _REGISTRY[inst.name] = inst
+    return cls
+
+
+def available_scenarios() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def get_scenario(name: str) -> Scenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise CampaignError(
+            f"unknown scenario {name!r}; available: "
+            f"{available_scenarios()}"
+            f"{suggest_key(name, _REGISTRY)}") from None
+
+
+def scenarios_by_tag(tag: str) -> tuple[str, ...]:
+    return tuple(sorted(n for n, s in _REGISTRY.items() if tag in s.tags))

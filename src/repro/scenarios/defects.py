@@ -1,0 +1,63 @@
+"""Vacancy-formation scenario.
+
+E_f = E(N−1) − (N−1)/N · E(N) (see
+:func:`repro.geometry.defects.vacancy_formation_energy`): the perfect
+cell evaluates on its resident calculator, the vacancy cell is loaded
+as a scratch structure with the *same* calculator spec, optionally
+relaxed with server-side ``relax_step`` damped descent, and unloaded
+again whatever happens — a failing cell must not leak resident state.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.defects import make_vacancy, vacancy_formation_energy
+from repro.scenarios.base import (
+    ParamSpec, Scenario, ScenarioResult, StructureHandle, register_scenario,
+)
+
+
+@register_scenario
+class VacancyScenario(Scenario):
+    name = "vacancy"
+    tags = ("static", "defects")
+    description = ("unrelaxed/relaxed vacancy formation energy "
+                   "via a scratch service load")
+    params = (
+        ParamSpec("index", int, 0, "atom removed from the perfect cell"),
+        ParamSpec("relax_steps", int, 0,
+                  "damped-descent steps on the defect cell (0 = unrelaxed)"),
+        ParamSpec("step_size", float, 0.05, "descent step size (Å²/eV)"),
+        ParamSpec("max_step", float, 0.1, "per-atom displacement cap (Å)"),
+    )
+
+    def run(self, client, structure: StructureHandle,
+            params: dict) -> ScenarioResult:
+        perfect = client.evaluate(structure.structure_id, forces=False)
+        n_perfect = int(perfect["natoms"])
+        defect_atoms = make_vacancy(structure.atoms.copy(),
+                                    index=params["index"])
+        scratch = structure.scratch_id("vacancy")
+        client.load(scratch, defect_atoms, calc=structure.calc_spec)
+        try:
+            fmax = None
+            for _ in range(params["relax_steps"]):
+                step = client.relax_step(scratch,
+                                         step_size=params["step_size"],
+                                         max_step=params["max_step"])
+                fmax = float(step["fmax"])
+            defect = client.evaluate(scratch, forces=False)
+        finally:
+            client.unload(scratch)
+        e_perfect = float(perfect["energy"])
+        e_defect = float(defect["energy"])
+        e_f = vacancy_formation_energy(e_defect, e_perfect, n_perfect)
+        metrics = {"formation_ev": e_f, "e_perfect_ev": e_perfect,
+                   "e_defect_ev": e_defect}
+        if fmax is not None:
+            metrics["fmax_final"] = fmax
+        return ScenarioResult(
+            self.name, metrics=metrics,
+            value={"natoms_perfect": n_perfect,
+                   "natoms_defect": int(defect["natoms"]),
+                   "removed_index": params["index"],
+                   "relax_steps": params["relax_steps"], **metrics})

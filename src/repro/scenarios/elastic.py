@@ -1,0 +1,55 @@
+"""Cubic elastic-constants scenario (C11, C12, C44, B).
+
+:func:`repro.analysis.elastic.cubic_elastic_constants` drives a
+calculator *factory* so strained evaluations are cache-isolated; here
+each factory call returns a fresh
+:class:`~repro.service.calculator.RemoteCalculator` bound to one
+scratch service load of the structure.  The resident calculator's
+:class:`~repro.state.CalculatorState` contract handles the strained
+cells correctly (a cell change invalidates exactly what it must — the
+state-parity suite guarantees it), so sharing the resident state across
+the strain points is safe and keeps the sweep warm.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.elastic import born_stability_cubic, cubic_elastic_constants
+from repro.scenarios.base import (
+    ParamSpec, Scenario, ScenarioResult, StructureHandle, register_scenario,
+)
+from repro.service.calculator import RemoteCalculator
+
+
+@register_scenario
+class ElasticScenario(Scenario):
+    name = "elastic"
+    tags = ("static", "elastic")
+    description = ("cubic elastic constants C11/C12/C44 and bulk modulus "
+                   "by strain-energy curvature")
+    params = (
+        ParamSpec("delta", float, 0.01, "strain amplitude"),
+        ParamSpec("n_points", int, 2, "curvature fit points per branch"),
+        ParamSpec("relax_internal_c44", bool, True,
+                  "relax internal coordinates under the C44 shear "
+                  "(required for diamond lattices)"),
+    )
+
+    def run(self, client, structure: StructureHandle,
+            params: dict) -> ScenarioResult:
+        scratch = structure.scratch_id("elastic")
+        client.load(scratch, structure.atoms.copy(),
+                    calc=structure.calc_spec)
+        try:
+            out = cubic_elastic_constants(
+                structure.atoms.copy(),
+                lambda: RemoteCalculator(client, scratch),
+                delta=params["delta"], n_points=params["n_points"],
+                relax_internal_c44=params["relax_internal_c44"])
+        finally:
+            client.unload(scratch)
+        stable = born_stability_cubic(out["c11"], out["c12"], out["c44"])
+        metrics = {"c11_gpa": out["c11_gpa"], "c12_gpa": out["c12_gpa"],
+                   "c44_gpa": out["c44_gpa"],
+                   "bulk_gpa": out["bulk_modulus_gpa"],
+                   "born_stable": bool(stable)}
+        return ScenarioResult(self.name, value=dict(out), metrics=metrics)

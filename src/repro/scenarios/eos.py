@@ -1,0 +1,50 @@
+"""EOS scenario: server-side strain sweep + Birch–Murnaghan fit.
+
+One ``sweep`` request per cell — the whole E(ε) curve is evaluated by
+the structure's resident calculator with warm state (see
+:func:`repro.analysis.strain_sweep.strain_sweep`), and the fitted
+equation of state lands in the metrics.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    ParamSpec, Scenario, ScenarioResult, StructureHandle, register_scenario,
+)
+
+
+@register_scenario
+class EOSScenario(Scenario):
+    name = "eos"
+    tags = ("static", "eos", "elastic")
+    description = ("strain sweep + equation-of-state fit "
+                   "(V0, E0, B0, B0') on the resident structure")
+    params = (
+        ParamSpec("amplitude", float, 0.04, "max |strain| of the path"),
+        ParamSpec("npoints", int, 7, "strain points across ±amplitude"),
+        ParamSpec("mode", str, "volumetric", "strain path",
+                  choices=("volumetric", "uniaxial", "shear")),
+        ParamSpec("axis", int, 2, "strained axis (uniaxial/shear)"),
+        ParamSpec("fit", str, "birch", "EOS form fitted to E(V)",
+                  choices=("birch", "murnaghan", "none")),
+        ParamSpec("energy_ref", float, 0.0,
+                  "per-atom reference subtracted before the fit"),
+    )
+
+    def run(self, client, structure: StructureHandle,
+            params: dict) -> ScenarioResult:
+        resp = client.sweep(structure.structure_id,
+                            amplitude=params["amplitude"],
+                            npoints=params["npoints"],
+                            mode=params["mode"], axis=params["axis"],
+                            fit=params["fit"],
+                            energy_ref=params["energy_ref"])
+        value = dict(resp.value)
+        metrics = {"npoints": len(value.get("points", ()))}
+        eos = value.get("eos")
+        if eos:
+            metrics.update(
+                e0_ev=eos["e0"], v0_aa3=eos["v0"], b0_gpa=eos["b0_gpa"],
+                b0_prime=eos["b0_prime"], fit_residual=eos["residual"])
+        return ScenarioResult(self.name, value=value, metrics=metrics,
+                              timings=dict(resp.timings))

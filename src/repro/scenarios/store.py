@@ -1,0 +1,205 @@
+"""Campaign artifacts: one queryable JSONL or SQLite file per run.
+
+JSONL layout — line 1 is the campaign header, every further line one
+cell row::
+
+    {"kind": "campaign", "name": ..., "created": ..., "seconds": ...,
+     "total": ..., "ok": ..., "failed": ..., "metrics": {...}}
+    {"kind": "cell", "cell": "si-diamond/eos", "structure": ...,
+     "scenario": ..., "params": {...}, "status": "ok"|"failed",
+     "ok": ..., "value": {...}, "metrics": {...},
+     "timings": {"seconds": ...}, "error": null | {...}}
+
+The SQLite layout is the same data normalised into two tables
+(``campaigns``, ``cells``) with the nested dicts as JSON columns, so
+``sqlite3 artifact.sqlite "SELECT cell, status, seconds FROM cells
+WHERE scenario='eos'"`` works out of the box.
+
+:func:`read_artifact` / :func:`query_cells` dispatch on the file
+suffix, so analysis code is format-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+
+import numpy as np
+
+from repro.errors import CampaignError
+
+
+def _jsonable(obj):
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.floating, np.integer, np.bool_)):
+        return obj.item()
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+
+
+def _dump(obj) -> str:
+    return json.dumps(obj, default=_jsonable, sort_keys=True)
+
+
+def _cell_row(row: dict) -> dict:
+    return {"kind": "cell", "cell": row["cell"],
+            "structure": row["structure"], "scenario": row["scenario"],
+            "params": row.get("params") or {},
+            "status": row["status"], "ok": row["status"] == "ok",
+            "value": row.get("value") or {},
+            "metrics": row.get("metrics") or {},
+            "timings": row.get("timings") or {},
+            "error": row.get("error")}
+
+
+def write_jsonl(path, run) -> str:
+    """Write a :class:`~repro.scenarios.campaign.CampaignRun` as JSONL."""
+    path = str(path)
+    with open(path, "w") as fh:
+        fh.write(_dump({"kind": "campaign", **run.summary()}) + "\n")
+        for row in run.cells:
+            fh.write(_dump(_cell_row(row)) + "\n")
+    return path
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    name     TEXT NOT NULL,
+    created  REAL NOT NULL,
+    seconds  REAL NOT NULL,
+    total    INTEGER NOT NULL,
+    ok       INTEGER NOT NULL,
+    failed   INTEGER NOT NULL,
+    metrics_json TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS cells (
+    campaign  TEXT NOT NULL,
+    cell      TEXT NOT NULL,
+    structure TEXT NOT NULL,
+    scenario  TEXT NOT NULL,
+    status    TEXT NOT NULL,
+    seconds   REAL,
+    params_json  TEXT NOT NULL DEFAULT '{}',
+    value_json   TEXT NOT NULL DEFAULT '{}',
+    metrics_json TEXT NOT NULL DEFAULT '{}',
+    timings_json TEXT NOT NULL DEFAULT '{}',
+    error_type    TEXT,
+    error_message TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_cells_lookup
+    ON cells (campaign, structure, scenario, status);
+"""
+
+
+def write_sqlite(path, run) -> str:
+    """Write (append) a campaign run into a SQLite artifact."""
+    path = str(path)
+    con = sqlite3.connect(path)
+    try:
+        con.executescript(_SCHEMA)
+        s = run.summary()
+        con.execute(
+            "INSERT INTO campaigns (name, created, seconds, total, ok, "
+            "failed, metrics_json) VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (s["name"], s["created"], s["seconds"], s["total"], s["ok"],
+             s["failed"], _dump(s["metrics"])))
+        for row in run.cells:
+            err = row.get("error") or {}
+            con.execute(
+                "INSERT INTO cells (campaign, cell, structure, scenario, "
+                "status, seconds, params_json, value_json, metrics_json, "
+                "timings_json, error_type, error_message) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+                (run.name, row["cell"], row["structure"], row["scenario"],
+                 row["status"], (row.get("timings") or {}).get("seconds"),
+                 _dump(row.get("params") or {}),
+                 _dump(row.get("value") or {}),
+                 _dump(row.get("metrics") or {}),
+                 _dump(row.get("timings") or {}),
+                 err.get("type"), err.get("message")))
+        con.commit()
+    finally:
+        con.close()
+    return path
+
+
+def _read_jsonl(path):
+    campaign = None
+    cells = []
+    with open(path) as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            row = json.loads(line)
+            if row.get("kind") == "campaign":
+                campaign = row
+            else:
+                cells.append(row)
+    if campaign is None:
+        raise CampaignError(f"{path}: no campaign header line")
+    return campaign, cells
+
+
+def _read_sqlite(path):
+    con = sqlite3.connect(path)
+    con.row_factory = sqlite3.Row
+    try:
+        camp = con.execute(
+            "SELECT * FROM campaigns ORDER BY created DESC LIMIT 1"
+        ).fetchone()
+        if camp is None:
+            raise CampaignError(f"{path}: no campaign rows")
+        campaign = {"kind": "campaign", "name": camp["name"],
+                    "created": camp["created"], "seconds": camp["seconds"],
+                    "total": camp["total"], "ok": camp["ok"],
+                    "failed": camp["failed"],
+                    "metrics": json.loads(camp["metrics_json"])}
+        cells = []
+        for r in con.execute("SELECT * FROM cells WHERE campaign = ?",
+                             (camp["name"],)):
+            error = None
+            if r["error_type"] is not None:
+                error = {"type": r["error_type"],
+                         "message": r["error_message"]}
+            cells.append({"kind": "cell", "cell": r["cell"],
+                          "structure": r["structure"],
+                          "scenario": r["scenario"],
+                          "status": r["status"],
+                          "ok": r["status"] == "ok",
+                          "params": json.loads(r["params_json"]),
+                          "value": json.loads(r["value_json"]),
+                          "metrics": json.loads(r["metrics_json"]),
+                          "timings": json.loads(r["timings_json"]),
+                          "error": error})
+        return campaign, cells
+    finally:
+        con.close()
+
+
+def read_artifact(path):
+    """``(campaign_header, cell_rows)`` from a JSONL or SQLite artifact."""
+    path = str(path)
+    if path.endswith(".jsonl"):
+        return _read_jsonl(path)
+    if path.endswith((".sqlite", ".db")):
+        return _read_sqlite(path)
+    raise CampaignError(
+        f"unknown artifact format {path!r} (expected .jsonl, .sqlite "
+        f"or .db)")
+
+
+def query_cells(path, structure: str | None = None,
+                scenario: str | None = None,
+                status: str | None = None) -> list[dict]:
+    """Filter an artifact's cell rows by structure/scenario/status."""
+    _, cells = read_artifact(path)
+    out = []
+    for c in cells:
+        if structure is not None and c["structure"] != structure:
+            continue
+        if scenario is not None and c["scenario"] != scenario:
+            continue
+        if status is not None and c["status"] != status:
+            continue
+        out.append(c)
+    return out

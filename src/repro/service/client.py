@@ -9,9 +9,12 @@ the same convenience surface (``load`` / ``evaluate`` / ``evaluate_many``
 ``request_many`` primitive, so code written against one runs against the
 other.
 
-Responses are returned as plain dicts.  By default a ``{"ok": false}``
-response is raised as :class:`~repro.errors.ServiceError` — pass
-``raise_on_error=False`` to inspect error envelopes instead.
+Responses are returned as :class:`~repro.service.protocol.Result`
+envelopes (dict subclasses — flat key access like ``resp["energy"]``
+falls through into the ``value`` payload, so pre-envelope call sites
+keep working).  By default a ``{"ok": false}`` response is raised as
+:class:`~repro.errors.ServiceError` carrying the failing op's name —
+pass ``raise_on_error=False`` to inspect error envelopes instead.
 """
 
 from __future__ import annotations
@@ -36,15 +39,18 @@ class _ClientBase:
     def request_many(self, requests: list[dict]) -> list[dict]:
         raise NotImplementedError  # pragma: no cover
 
-    def _check(self, responses: list[dict]) -> list[dict]:
+    def _check(self, responses: list[dict]) -> list[protocol.Result]:
+        out = [protocol.Result.from_response(r) for r in responses]
         if self.raise_on_error:
-            for resp in responses:
-                if not resp.get("ok", False):
-                    err = resp.get("error") or {}
+            for resp in out:
+                if not resp.ok:
+                    err = resp.error or {}
+                    where = (f" during op {err['op']!r}"
+                             if err.get("op") else "")
                     raise ServiceError(
-                        f"service error [{err.get('type', '?')}]: "
+                        f"service error [{err.get('type', '?')}]{where}: "
                         f"{err.get('message', 'unknown failure')}")
-        return responses
+        return out
 
     # -- convenience ops ----------------------------------------------------
     def ping(self) -> bool:

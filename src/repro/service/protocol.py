@@ -13,10 +13,21 @@ Request envelope::
 
     {"id": <any>, "op": "<op>", ...op fields...}
 
-Success / error responses::
+Success / error responses are one :class:`Result` envelope::
 
-    {"id": <echoed>, "ok": true,  ...result fields...}
-    {"id": <echoed>, "ok": false, "error": {"type": "...", "message": "..."}}
+    {"id": <echoed>, "ok": true,  "value": {...op result fields...},
+     "timings": {"seconds": ...}, "metrics": {...}}
+    {"id": <echoed>, "ok": false,
+     "error": {"type": "...", "message": "...", "op": "<op>"}}
+
+``value`` carries the op-specific payload; ``timings`` the server-side
+wall-clock spent on the request; ``metrics`` op-level counters (e.g.
+``warm`` for state-reuse ops).  The campaign store
+(:mod:`repro.scenarios.store`) ingests every op through this one shape.
+:class:`Result` keeps *flat* access working — ``resp["energy"]`` falls
+through into ``value`` — so pre-envelope clients and the convenience
+methods on :class:`~repro.service.client.BatchClient` read either form
+(:meth:`Result.from_response` upgrades flat dicts from old servers).
 
 Ops
 ---
@@ -145,17 +156,147 @@ def validate_request(req) -> dict:
     return req
 
 
-def ok_response(req, **fields) -> dict:
-    resp = {"id": req.get("id"), "ok": True}
-    resp.update(fields)
-    return resp
+#: keys that live in the envelope itself; everything else is payload
+ENVELOPE_KEYS = ("id", "ok", "value", "error", "timings", "metrics")
 
 
-def error_response(req, exc: Exception) -> dict:
-    """Uniform error envelope; the exception class name is the ``type``."""
+class Result(dict):
+    """The one response envelope every op and CLI command returns.
+
+    A ``dict`` subclass whose *stored* mapping is the envelope
+    (``id`` / ``ok`` / ``value`` / ``error`` / ``timings`` /
+    ``metrics``) — so ``json.dumps`` (and :func:`dumps`) emit the
+    enveloped wire format — while item access falls through into
+    ``value`` for any non-envelope key: ``resp["energy"]`` keeps
+    working for every pre-envelope call site.  Writes to non-envelope
+    keys land in ``value`` too (the client normalises ``forces`` to an
+    array in place).
+
+    Use :meth:`success` / :meth:`failure` to build one,
+    :meth:`from_response` to adopt whatever came off the wire.
+    """
+
+    # -- typed accessors ---------------------------------------------------
+    @property
+    def ok(self) -> bool:
+        return bool(dict.get(self, "ok"))
+
+    @property
+    def value(self) -> dict:
+        return dict.get(self, "value") or {}
+
+    @property
+    def error(self) -> dict | None:
+        return dict.get(self, "error")
+
+    @property
+    def timings(self) -> dict:
+        return dict.get(self, "timings") or {}
+
+    @property
+    def metrics(self) -> dict:
+        return dict.get(self, "metrics") or {}
+
+    # -- flat-access compatibility ----------------------------------------
+    def __getitem__(self, key):
+        if dict.__contains__(self, key):
+            return dict.__getitem__(self, key)
+        value = dict.get(self, "value")
+        if isinstance(value, dict) and key in value:
+            return value[key]
+        raise KeyError(key)
+
+    def __contains__(self, key):
+        if dict.__contains__(self, key):
+            return True
+        value = dict.get(self, "value")
+        return isinstance(value, dict) and key in value
+
+    def get(self, key, default=None):
+        try:
+            return self[key]
+        except KeyError:
+            return default
+
+    def __setitem__(self, key, val):
+        if key in ENVELOPE_KEYS:
+            dict.__setitem__(self, key, val)
+            return
+        value = dict.get(self, "value")
+        if not isinstance(value, dict):
+            value = {}
+            dict.__setitem__(self, "value", value)
+        value[key] = val
+
+    # -- constructors ------------------------------------------------------
+    @classmethod
+    def success(cls, value: dict | None = None, *, id=None,
+                timings: dict | None = None,
+                metrics: dict | None = None) -> "Result":
+        resp = cls({"id": id, "ok": True, "value": dict(value or {})})
+        if timings:
+            dict.__setitem__(resp, "timings", dict(timings))
+        if metrics:
+            dict.__setitem__(resp, "metrics", dict(metrics))
+        return resp
+
+    @classmethod
+    def failure(cls, exc: Exception, *, id=None,
+                op: str | None = None) -> "Result":
+        err = {"type": type(exc).__name__, "message": str(exc)}
+        if op is not None:
+            err["op"] = op
+        return cls({"id": id, "ok": False, "error": err})
+
+    @classmethod
+    def from_response(cls, resp) -> "Result":
+        """Adopt a decoded response: envelopes pass through, legacy flat
+        payloads (pre-envelope servers) get their non-envelope keys
+        folded into ``value`` so callers see one shape."""
+        if isinstance(resp, cls):
+            return resp
+        if not isinstance(resp, dict):
+            raise ProtocolError(
+                f"response must be an object, got {type(resp).__name__}")
+        out = cls({k: resp[k] for k in ENVELOPE_KEYS if k in resp})
+        extra = {k: v for k, v in resp.items() if k not in ENVELOPE_KEYS}
+        if extra:
+            value = dict.get(out, "value")
+            if isinstance(value, dict):
+                value = {**value, **extra}
+            else:
+                value = extra
+            dict.__setitem__(out, "value", value)
+        return out
+
+    def merge_timings(self, **fields) -> "Result":
+        timings = dict(dict.get(self, "timings") or {})
+        timings.update(fields)
+        dict.__setitem__(self, "timings", timings)
+        return self
+
+    def merge_metrics(self, **fields) -> "Result":
+        metrics = dict(dict.get(self, "metrics") or {})
+        metrics.update(fields)
+        dict.__setitem__(self, "metrics", metrics)
+        return self
+
+
+def ok_response(req, **fields) -> Result:
+    """Success :class:`Result` for *req*; ``timings``/``metrics`` kwargs
+    land in their envelope slots, everything else is the ``value``."""
+    timings = fields.pop("timings", None)
+    metrics = fields.pop("metrics", None)
+    return Result.success(fields, id=req.get("id"),
+                          timings=timings, metrics=metrics)
+
+
+def error_response(req, exc: Exception) -> Result:
+    """Uniform error envelope; the exception class name is the ``type``,
+    the request's op (when known) rides along for context."""
     rid = req.get("id") if isinstance(req, dict) else None
-    return {"id": rid, "ok": False,
-            "error": {"type": type(exc).__name__, "message": str(exc)}}
+    op = req.get("op") if isinstance(req, dict) else None
+    return Result.failure(exc, id=rid, op=op)
 
 
 def _jsonable(obj):

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import time
 
-from repro.calculators import make_calculator
+from repro.calculators import CalculatorSpec, make_calculator
 from repro.errors import ProtocolError, ReproError, ServiceError
 from repro.log import get_logger, log_context
 from repro.service import protocol
@@ -41,10 +41,13 @@ class WorkerCrashError(Exception):
 class StructureSlot:
     """One resident structure: live atoms + calculator + counters."""
 
-    def __init__(self, structure_id: str, atoms, calc_spec: dict):
+    def __init__(self, structure_id: str, atoms, calc_spec):
         self.structure_id = structure_id
         self.atoms = atoms
-        self.calc_spec = dict(calc_spec)
+        # op context rides into every spec validation error, so a typo'd
+        # field in a request is reported against the op that carried it
+        self.calc_spec = CalculatorSpec.from_dict(calc_spec,
+                                                  context="op 'load'")
         self.calc = make_calculator(self.calc_spec)
         self.evals = 0
         self.created = time.monotonic()
@@ -82,12 +85,22 @@ class Worker:
         return sum(s.bytes_estimate for s in self.slots.values())
 
     # -- request handling ---------------------------------------------------
-    def handle(self, req: dict) -> dict:
-        """One request → one response.  ReproErrors become error
-        responses; everything else propagates as a crash."""
+    def handle(self, req: dict) -> protocol.Result:
+        """One request → one :class:`~repro.service.protocol.Result`.
+        ReproErrors become error responses; everything else propagates
+        as a crash.  Server-side wall-clock lands in the envelope's
+        ``timings`` slot and the state-reuse ``warm`` flag is mirrored
+        into ``metrics`` — the campaign store reads both without
+        knowing any op-specific payload."""
         with log_context(worker=self.worker_id,
                          structure=req.get("structure_id")):
-            return self._handle(req)
+            t0 = time.perf_counter()
+            resp = self._handle(req)
+            if isinstance(resp, protocol.Result):
+                resp.merge_timings(seconds=time.perf_counter() - t0)
+                if resp.ok and "warm" in resp.value:
+                    resp.merge_metrics(warm=bool(resp.value["warm"]))
+            return resp
 
     def _handle(self, req: dict) -> dict:
         try:

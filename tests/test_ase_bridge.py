@@ -1,0 +1,181 @@
+"""ASE calculator bridge: parity with the native calculators.
+
+``ase`` is an optional extra — the parity suite skips cleanly when it
+is absent (the CI ``ase-bridge`` job installs ``.[ase]`` and runs it),
+while the import-guard tests run only *without* ase, so this module
+exercises both halves of the optionality contract whichever
+environment it lands in.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ase_bridge import HAVE_ASE, PytbmdCalculator, _voigt
+from repro.calculators import make_calculator
+from repro.errors import ReproError
+from repro.geometry import bulk_silicon, rattle
+
+needs_ase = pytest.mark.skipif(
+    not HAVE_ASE, reason="optional dependency 'ase' not installed")
+without_ase = pytest.mark.skipif(
+    HAVE_ASE, reason="ase is installed; guard path unreachable")
+
+#: the acceptance bar: the bridge is a repack, not a recomputation
+TOL = 1e-10
+
+
+def _ase_atoms_from(repro_atoms):
+    from ase import Atoms
+
+    return Atoms(symbols=repro_atoms.symbols,
+                 positions=repro_atoms.positions.copy(),
+                 cell=repro_atoms.cell.matrix.copy(), pbc=True)
+
+
+# -- environment-independent -----------------------------------------------
+
+def test_module_imports_without_ase():
+    """The module (and the subclass definition) always import; only the
+    constructor needs the real dependency."""
+    assert isinstance(HAVE_ASE, bool)
+    assert PytbmdCalculator.implemented_properties == [
+        "energy", "free_energy", "forces", "stress"]
+
+
+def test_voigt_order():
+    s = np.arange(9.0).reshape(3, 3)
+    sym = 0.5 * (s + s.T)
+    np.testing.assert_allclose(
+        _voigt(s), [sym[0, 0], sym[1, 1], sym[2, 2],
+                    sym[1, 2], sym[0, 2], sym[0, 1]])
+
+
+# -- without ase: the import guard -----------------------------------------
+
+@without_ase
+def test_constructor_raises_with_install_hint():
+    with pytest.raises(ReproError, match=r"pip install pytbmd\[ase\]"):
+        PytbmdCalculator(model="sw-si")
+
+
+@without_ase
+def test_ase_relax_scenario_not_registered():
+    from repro.scenarios import available_scenarios
+
+    assert "ase-relax" not in available_scenarios()
+
+
+# -- with ase: parity against the native calculators -----------------------
+
+@needs_ase
+@pytest.mark.parametrize("spec", [
+    {"model": "sw-si"},
+    {"model": "gsp-si", "kT": 0.1},
+    {"model": "gsp-si", "kT": 0.1, "kgrid": 2, "kgrid_reduce": "symmetry"},
+    {"model": "gsp-si", "solver": "linscale", "kT": 0.2, "r_loc": 6.0,
+     "order": 150},
+], ids=["sw", "tb-gamma", "tb-kgrid", "linscale"])
+def test_parity_energy_forces_stress(spec):
+    at = rattle(bulk_silicon(), 0.05, seed=11)
+    native = make_calculator(dict(spec)).compute(at, forces=True)
+
+    aa = _ase_atoms_from(at)
+    aa.calc = PytbmdCalculator(dict(spec))
+    assert abs(aa.get_potential_energy() - native["energy"]) <= TOL
+    np.testing.assert_allclose(aa.get_forces(), native["forces"],
+                               atol=TOL)
+    if "free_energy" in native:
+        e_free = aa.get_potential_energy(force_consistent=True)
+        assert abs(e_free - native["free_energy"]) <= TOL
+    if "stress" in native:
+        np.testing.assert_allclose(aa.get_stress(voigt=True),
+                                   _voigt(native["stress"]), atol=TOL)
+
+
+@needs_ase
+def test_kwargs_win_over_spec_and_validate():
+    calc = PytbmdCalculator({"model": "sw-si", "skin": 0.5}, skin=1.0)
+    assert calc.spec.skin == 1.0 and calc.spec.model == "sw-si"
+    with pytest.raises(ReproError, match="did you mean 'gsp-si'"):
+        PytbmdCalculator(model="gsp_si")
+
+
+@needs_ase
+def test_positions_only_updates_ride_the_fast_path():
+    """Moving atoms through ASE hits the wrapped calculator's
+    positions-only state path (the in-place mirror contract)."""
+    aa = _ase_atoms_from(bulk_silicon())
+    calc = PytbmdCalculator(model="gsp-si", solver="linscale", kT=0.2,
+                            r_loc=6.0, order=150)
+    aa.calc = calc
+    aa.get_potential_energy()
+    aa.positions[0, 0] += 0.02
+    aa.get_potential_energy()
+    aa.positions[0, 1] += 0.02
+    aa.get_potential_energy()
+    report = calc.state_report()
+    assert report["hamiltonian"]["pattern_builds"] == 1
+
+
+@needs_ase
+def test_reuse_parity_across_bfgs_relax():
+    """A full ASE BFGS relaxation lands on the same minimum with warm
+    state reuse on and off — the bridge twin of the sweep/MD warm-parity
+    contract (1e-6, the repo-wide fast-path tolerance)."""
+    from ase.optimize import BFGS
+
+    results = {}
+    for reuse in (True, False):
+        aa = _ase_atoms_from(rattle(bulk_silicon(), 0.08, seed=3))
+        aa.calc = PytbmdCalculator(model="gsp-si", solver="linscale",
+                                   kT=0.2, r_loc=6.0, order=200,
+                                   reuse=reuse)
+        BFGS(aa, logfile=None).run(fmax=0.05, steps=15)
+        results[reuse] = (aa.get_potential_energy(),
+                          aa.positions.copy())
+    e_on, pos_on = results[True]
+    e_off, pos_off = results[False]
+    assert e_on == pytest.approx(e_off, abs=1e-6)
+    np.testing.assert_allclose(pos_on, pos_off, atol=1e-6)
+
+
+@needs_ase
+def test_cell_change_invalidates_correctly():
+    """Scaling the cell through ASE matches a fresh calculator on the
+    scaled structure — the state contract's cell-change branch."""
+    at = bulk_silicon()
+    aa = _ase_atoms_from(at)
+    aa.calc = PytbmdCalculator(model="gsp-si", kT=0.1)
+    aa.get_potential_energy()
+    aa.set_cell(aa.cell[:] * 1.01, scale_atoms=True)
+    warm = aa.get_potential_energy()
+
+    from repro.geometry.transform import strain
+
+    strained = strain(at, 0.01 * np.eye(3))
+    cold = make_calculator({"model": "gsp-si",
+                            "kT": 0.1}).compute(strained, forces=False)
+    assert abs(warm - cold["energy"]) <= TOL
+
+
+@needs_ase
+def test_ase_relax_scenario_registered_and_runs():
+    from repro.scenarios import StructureHandle, get_scenario
+    from repro.service import BatchClient, BatchService
+
+    svc = BatchService(nworkers=1)
+    try:
+        client = BatchClient(svc)
+        at = bulk_silicon()
+        client.load("ase-si", at, calc={"model": "sw-si"})
+        handle = StructureHandle("ase-si", at, {"model": "sw-si"})
+        scn = get_scenario("ase-relax")
+        res = scn.run(client, handle, scn.resolve_params(
+            {"rattle": 0.05, "fmax": 0.05, "max_steps": 40}))
+        assert res.metrics["converged"] is True
+        assert res.metrics["e_final_ev"] < res.metrics["e_initial_ev"]
+        assert res.metrics["fmax_final"] <= 0.05
+    finally:
+        svc.close()

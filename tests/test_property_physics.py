@@ -168,6 +168,12 @@ def test_property_wedge_matches_full_grid(e1, e2, e3, shear, size):
     from repro.geometry.transform import strain
 
     eps = np.array([[e1, shear, 0.0], [shear, e2, 0.0], [0.0, 0.0, e3]])
+    # strains below the symmetry detector's contract (~1e-6 breaks an
+    # op; see lattice_point_group) are indistinguishable from zero to
+    # the wedge but leave round-off asymmetry ~2e-10 in the full-grid
+    # virial — snap them to exactly zero so both paths agree on the
+    # residual symmetry group
+    eps[np.abs(eps) < 1e-6] = 0.0
     at = strain(bulk_silicon(), eps)
     full = TBCalculator(GSPSilicon(), kpts=size, kT=0.1,
                         kgrid_reduce="full").compute(at, forces=True)

@@ -506,3 +506,55 @@ def test_make_calculator_specs():
         make_calculator({"model": "gsp-si", "solver": "magic"})
     with pytest.raises(ReproError, match="classical"):
         make_calculator({"model": "sw-si", "solver": "linscale"})
+
+
+# -- Result envelope ---------------------------------------------------------
+def test_result_envelope_wire_format(client, si8):
+    """Responses serialise as the documented envelope — id/ok/value/
+    error/timings/metrics at the top level, payload under "value" —
+    while item access still reaches the flat payload keys."""
+    client.load("si", si8, calc=SW)
+    resp = client.request("eval", structure_id="si", forces=True)
+    assert isinstance(resp, protocol.Result)
+    wire = protocol.loads(protocol.dumps(resp))
+    assert set(wire) <= set(protocol.ENVELOPE_KEYS)
+    assert wire["ok"] is True
+    assert "energy" in wire["value"] and "energy" not in wire
+    # flat fall-through: all pre-envelope call sites keep working
+    assert resp["energy"] == wire["value"]["energy"]
+    assert "energy" in resp and "nonexistent" not in resp
+    assert resp.get("nonexistent", 42) == 42
+
+
+def test_result_envelope_carries_worker_timings(client, si8):
+    client.load("si", si8, calc=SW)
+    resp = client.request("eval", structure_id="si")
+    assert resp.timings["seconds"] > 0
+    # warm/cold is mirrored into envelope metrics by the worker
+    resp2 = client.request("eval", structure_id="si")
+    assert resp2.metrics["warm"] in (True, False)
+
+
+def test_error_envelope_carries_op(client, si8):
+    client.raise_on_error = False
+    resp = client.request("eval", structure_id="ghost")
+    assert resp.ok is False
+    assert resp.error["type"] == "ServiceError"
+    assert resp.error["op"] == "eval"
+    # and the raising client threads the op into the message
+    client.raise_on_error = True
+    with pytest.raises(ServiceError, match="during op 'eval'"):
+        client.request("eval", structure_id="ghost")
+
+
+def test_result_from_response_folds_legacy_flat_payloads():
+    legacy = {"id": 7, "ok": True, "energy": -34.5, "natoms": 8}
+    res = protocol.Result.from_response(legacy)
+    assert res.ok is True and res["energy"] == -34.5
+    assert res.value == {"energy": -34.5, "natoms": 8}
+    assert protocol.Result.from_response(res) is res
+
+
+def test_bad_spec_error_names_the_load_op(client, si8):
+    with pytest.raises(ServiceError, match="op 'load'.*did you mean"):
+        client.load("si", si8, calc={"model": "sw-si", "skim": 1.0})

@@ -163,8 +163,12 @@ def test_cli_sweep(tmp_path, capsys):
                  "--npoints", "5", "--json", str(out_json)]) == 0
     out = capsys.readouterr().out
     assert "birch fit" in out and "V0" in out
+    # --json writes the Result envelope (ok/value/timings), with the
+    # sweep payload under "value"
     data = json.loads(out_json.read_text())
-    assert len(data["points"]) == 5
+    assert data["ok"] is True
+    assert len(data["value"]["points"]) == 5
+    assert data["timings"]["seconds"] > 0
 
 
 def test_service_sweep_op(si8):
