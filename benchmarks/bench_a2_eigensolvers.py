@@ -51,7 +51,7 @@ def test_a2_eigensolver_ablation(benchmark):
         rows, float_fmt="{:.3e}")
 
     # --- shape assertions -------------------------------------------------
-    for n, t_lap, t_hh, t_jac, err_hh, err_jac in rows:
+    for _n, t_lap, t_hh, t_jac, err_hh, err_jac in rows:
         assert err_hh < 1e-7
         assert err_jac < 1e-7
         assert t_lap <= t_hh + 1e-4

@@ -193,8 +193,9 @@ def test_a8_backend_batched_speedup(benchmark, quick):
         # quiet on a single-core container, floored with headroom
         assert speedup >= 1.2, f"batched backend only {speedup:.2f}x faster"
 
-    def one_step(calc=batched, atoms=at_bat,
-                 rng=np.random.default_rng(5)):
+    step_rng = np.random.default_rng(5)
+
+    def one_step(calc=batched, atoms=at_bat, rng=step_rng):
         atoms.positions += rng.normal(0.0, 0.003, atoms.positions.shape)
         calc.compute(atoms, forces=True)
 

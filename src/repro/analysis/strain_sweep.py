@@ -28,7 +28,6 @@ The sweep feeds the existing :mod:`repro.analysis.eos` fits
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -38,6 +37,7 @@ from repro.errors import GeometryError
 from repro.geometry.transform import strain as apply_strain
 from repro.analysis.eos import EOSFit, birch_murnaghan_fit, murnaghan_fit
 from repro.units import EV_PER_A3_TO_GPA
+from repro.utils.timing import tick
 
 #: strain paths the driver knows how to build itself
 SWEEP_MODES = ("volumetric", "uniaxial", "shear", "custom")
@@ -253,12 +253,12 @@ def strain_sweep(atoms, calc, amplitudes=None, *, mode: str = "volumetric",
     points: list[StrainPoint] = []
     for i in order:
         strained = apply_strain(atoms, tensors[i])
-        t0 = time.perf_counter()
+        t0 = tick()
         with obs.span("sweep.point") as sp:
             res = calc.compute(strained, forces=forces)
             fast = res.get("fastpath") or {}
             sp.set(amplitude=float(amplitudes[i]), mode=fast.get("mode"))
-        dt = time.perf_counter() - t0
+        dt = tick() - t0
         obs.observe("sweep.point_s", dt)
         obs.counter_inc("sweep.points")
         points.append(StrainPoint(

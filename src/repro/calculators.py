@@ -32,6 +32,8 @@ from __future__ import annotations
 
 import difflib
 from dataclasses import asdict, dataclass, fields
+from collections.abc import Callable, Iterable
+from typing import Any
 
 import numpy as np
 
@@ -46,7 +48,7 @@ SOLVERS = ("diag", "purification", "foe", "linscale")
 KGRID_REDUCE = ("trs", "full", "symmetry")
 
 
-def suggest_key(name: str, known) -> str:
+def suggest_key(name: str, known: Iterable[object]) -> str:
     """``"; did you mean 'x'?"`` for the closest match, or ``""``.
 
     Shared by the spec validation here and the scenario parameter
@@ -67,7 +69,7 @@ def with_context(exc: ReproError, context: str | None) -> ReproError:
     return wrapped
 
 
-def parse_kgrid(value, context: str | None = None
+def parse_kgrid(value: Any, context: str | None = None
                 ) -> tuple[int, int, int] | None:
     """Normalise a k-grid spec: ``None``, an int, ``"n1xn2xn3"`` (the CLI
     form), or a 3-sequence → MP divisions tuple (or ``None`` for Γ).
@@ -98,12 +100,13 @@ def parse_kgrid(value, context: str | None = None
         if len(grid) != 3 or any(g < 1 for g in grid):
             raise ReproError(
                 f"kgrid needs three divisions >= 1, got {value!r}")
-        return grid
+        return (grid[0], grid[1], grid[2])
     except ReproError as exc:
         raise with_context(exc, context) from exc.__cause__
 
 
-def _coerce(key: str, value, conv, default):
+def _coerce(key: str, value: Any, conv: Callable[[Any], Any],
+            default: Any) -> Any:
     """Numeric spec field → *conv*; bad values become ReproError, so a
     malformed service request is answered politely instead of being
     mistaken for a worker crash."""
@@ -148,7 +151,7 @@ class CalculatorSpec:
     kgrid_reduce: str | None = None
     backend: str | None = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         set_ = object.__setattr__
         set_(self, "kT", _coerce("kT", self.kT, float, 0.0))
         set_(self, "order", _coerce("order", self.order, int, 200))
@@ -207,7 +210,8 @@ class CalculatorSpec:
         return tuple(f.name for f in fields(cls))
 
     @classmethod
-    def from_dict(cls, data, context: str | None = None) -> "CalculatorSpec":
+    def from_dict(cls, data: Any,
+                  context: str | None = None) -> "CalculatorSpec":
         """Build a spec from a plain dict (the service wire format).
 
         Accepts an existing :class:`CalculatorSpec` unchanged, rejects
@@ -236,17 +240,17 @@ class CalculatorSpec:
         except ReproError as exc:
             raise with_context(exc, context) from exc.__cause__
 
-    def get(self, key: str, default=None):
+    def get(self, key: str, default: Any = None) -> Any:
         """Mapping-style read (``spec.get("skin")``) — code written
         against the plain-dict spec keeps working on the dataclass."""
         return getattr(self, key) if key in self.field_names() else default
 
-    def __getitem__(self, key: str):
+    def __getitem__(self, key: str) -> Any:
         if key not in self.field_names():
             raise KeyError(key)
         return getattr(self, key)
 
-    def keys(self):
+    def keys(self) -> tuple[str, ...]:
         """With ``__getitem__`` this makes ``dict(spec)`` work."""
         return self.field_names()
 
@@ -264,7 +268,7 @@ class CalculatorSpec:
             out[name] = list(value) if isinstance(value, tuple) else value
         return out
 
-    def replace(self, **changes) -> "CalculatorSpec":
+    def replace(self, **changes: Any) -> "CalculatorSpec":
         """A copy with *changes* applied (re-validated)."""
         merged = asdict(self)
         merged.update(changes)
@@ -276,7 +280,8 @@ class CalculatorSpec:
         if self.kT:
             bits.append(f"kT={self.kT:g}")
         if self.kgrid is not None:
-            bits.append("kgrid=%dx%dx%d" % self.kgrid)
+            k1, k2, k3 = self.kgrid
+            bits.append(f"kgrid={k1}x{k2}x{k3}")
             bits.append(f"reduce={self.kgrid_reduce or 'trs'}")
         if self.solver == "linscale" and self.r_loc is not None:
             bits.append(f"r_loc={self.r_loc:g}")
@@ -285,7 +290,7 @@ class CalculatorSpec:
         return " ".join(bits)
 
 
-def make_calculator(spec, context: str | None = None):
+def make_calculator(spec: Any, context: str | None = None) -> Any:
     """Build a calculator from a :class:`CalculatorSpec` (or dict shim).
 
     Spec fields (all optional except ``model``): ``model``, ``solver``

@@ -125,15 +125,15 @@ def cmd_models(_args) -> int:
 
 
 def cmd_energy(args) -> int:
-    import time
+    from repro.utils.timing import tick
 
     from repro.geometry import read_xyz
 
     atoms = read_xyz(args.structure)
     calc = _make_calculator(args.model, args.kt, args)
-    t0 = time.perf_counter()
+    t0 = tick()
     res = calc.compute(atoms, forces=True)
-    seconds = time.perf_counter() - t0
+    seconds = tick() - t0
     print(f"atoms            : {len(atoms)}")
     print(f"energy           : {res['energy']:.6f} eV "
           f"({res['energy'] / len(atoms):.6f} eV/atom)")
@@ -220,7 +220,7 @@ def cmd_md(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    import time
+    from repro.utils.timing import tick
 
     from repro.analysis import strain_sweep, sweep_amplitudes
     from repro.geometry import read_xyz
@@ -229,11 +229,11 @@ def cmd_sweep(args) -> int:
     calc = _make_calculator(args.model, args.kt, args)
     amplitudes = sweep_amplitudes(args.amplitude, args.npoints)
     fit = None if args.fit == "none" else args.fit
-    t0 = time.perf_counter()
+    t0 = tick()
     res = strain_sweep(atoms, calc, amplitudes, mode=args.mode,
                        axis=args.axis, forces=args.forces, fit=fit,
                        energy_ref=args.eref)
-    seconds = time.perf_counter() - t0
+    seconds = tick() - t0
     print(f"{args.mode} strain sweep: {len(res.points)} points, "
           f"{res.natoms} atoms")
     header = f"{'ε':>9} {'V (Å³/at)':>11} {'E (eV/at)':>12}"
@@ -287,7 +287,7 @@ def _result_json(path, value, *, timings=None, metrics=None,
 
 
 def cmd_campaign(args) -> int:
-    import time
+    from repro.utils.timing import tick
 
     from repro import scenarios
     from repro.scenarios import store
@@ -312,7 +312,7 @@ def cmd_campaign(args) -> int:
     print(f"campaign {spec.name!r}: {len(cells)} cells "
           f"({len(spec.structures)} structures x "
           f"{len(spec.scenarios)} scenario entries)")
-    t0 = time.perf_counter()
+    t0 = tick()
     if args.socket:
         from repro.service import SocketClient
 
@@ -326,7 +326,7 @@ def cmd_campaign(args) -> int:
     counts = run.counts
     print(f"{counts['ok']}/{counts['total']} cells ok"
           + (f", {counts['failed']} failed" if counts["failed"] else "")
-          + f" in {time.perf_counter() - t0:.2f}s")
+          + f" in {tick() - t0:.2f}s")
     store.write_jsonl(args.output, run)
     print(f"wrote {args.output}")
     if args.sqlite:

@@ -43,7 +43,7 @@ class ConvergenceError(ReproError):
     to converge within its iteration budget."""
 
     def __init__(self, message: str, iterations: int | None = None,
-                 residual: float | None = None):
+                 residual: float | None = None) -> None:
         super().__init__(message)
         self.iterations = iterations
         self.residual = residual

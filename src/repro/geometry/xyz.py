@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import re
 from pathlib import Path
-from typing import Iterator, TextIO
+from collections.abc import Iterator
+from typing import TextIO
 
 import numpy as np
 

@@ -21,6 +21,7 @@ the same data as the inline path.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Any
 
 import numpy as np
 import scipy.sparse as sp
@@ -64,7 +65,9 @@ class RegionBlockSource:
     #: cache is declined and blocks are re-densified on demand.
     CACHE_BYTES_MAX = 512 * 1024 * 1024
 
-    def __init__(self, H, specs: list, gather_maps=None, cache: bool = False):
+    def __init__(self, H: Any, specs: list,
+                 gather_maps: "list[np.ndarray] | None" = None,
+                 cache: bool = False) -> None:
         self._H = H if sp.issparse(H) else sp.csr_matrix(H)
         self.specs = specs
         self._maps = gather_maps
@@ -74,10 +77,11 @@ class RegionBlockSource:
             nbytes = sum(len(orb) ** 2 for orb, _ in specs) \
                 * self._H.dtype.itemsize
             cache = nbytes <= self.CACHE_BYTES_MAX
-        self._cache = [None] * len(specs) if cache else None
+        self._cache: list[np.ndarray | None] | None = \
+            [None] * len(specs) if cache else None
 
     @property
-    def dtype(self):
+    def dtype(self) -> np.dtype:
         return self._H.dtype
 
     def __len__(self) -> int:
@@ -92,10 +96,12 @@ class RegionBlockSource:
 
     def get(self, i: int) -> np.ndarray:
         """Dense (n, n) Hamiltonian block of region *i*."""
-        if self._cache is not None and self._cache[i] is not None:
-            return self._cache[i]
+        if self._cache is not None:
+            cached = self._cache[i]
+            if cached is not None:
+                return cached
         obs.counter_inc("foe.densify")
-        if self._maps is not None:
+        if self._maps is not None and self._data_pad is not None:
             block = self._data_pad[self._maps[i]]
         else:
             orb = self.specs[i][0]

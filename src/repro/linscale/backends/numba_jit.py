@@ -16,7 +16,10 @@ backend simply does not appear in ``available_backends()``.
 
 from __future__ import annotations
 
-import numba
+# the find_spec guard lives one level up: repro.linscale.backends only
+# imports this module after probing importlib.util.find_spec("numba"),
+# so a top-level import here can never break a numba-less install
+import numba  # reprolint: disable=import-guard
 import numpy as np
 
 from repro.linscale.backends import kernels

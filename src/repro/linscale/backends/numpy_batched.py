@@ -30,12 +30,11 @@ how the region population bucketed.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro import obs
 from repro.linscale.backends.base import Backend, RegionBlockSource
+from repro.utils.timing import tick
 from repro.linscale.backends.bucketing import (
     GRANULARITY,
     MAX_BUCKET_BYTES,
@@ -167,10 +166,10 @@ class NumpyBatchedBackend(Backend):
                 with obs.span("foe.bucket") as sp_:
                     sp_.set(op=op, n_pad=bucket.n_pad,
                             nc_pad=bucket.nc_pad, n_regions=len(bucket))
-                    t0 = time.perf_counter()
+                    t0 = tick()
                     out = run_bucket(bucket, with_cols)
                     obs.observe("foe.bucket.batch_s",
-                                time.perf_counter() - t0)
+                                tick() - t0)
                 obs.counter_inc("foe.bucket.launch")
                 obs.counter_inc("foe.bucket.regions", len(bucket))
                 obs.observe("foe.bucket.size", len(bucket))

@@ -9,12 +9,11 @@ by the conformance suite.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro import obs
 from repro.linscale.backends.base import Backend, RegionBlockSource
+from repro.utils.timing import tick
 from repro.linscale.backends.kernels import (
     region_density_rows,
     region_fused,
@@ -38,9 +37,9 @@ def _timed_loop(metric: str, fn, blocks: RegionBlockSource, *fargs) -> list:
         sp_.set(n_regions=len(blocks))
         for i in range(len(blocks)):
             h_sub, core = blocks.get(i), blocks.core_local(i)
-            t0 = time.perf_counter()
+            t0 = tick()
             out.append(fn(h_sub, core, *fargs))
-            obs.observe(metric, time.perf_counter() - t0)
+            obs.observe(metric, tick() - t0)
     return out
 
 

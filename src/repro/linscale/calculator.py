@@ -327,6 +327,7 @@ class LinearScalingCalculator(_DensityMatrixCalculatorBase):
         self._last_solve_mode = "none"
         self._gmaps = None
         self._gmaps_key = (None, None)
+        self._sym_cache = (None, None)
 
     def _region_executor(self):
         """The executor region solves run on — user-supplied, or one pool

@@ -325,9 +325,8 @@ class SparseHamiltonianBuilder:
     def _emit(self) -> sp.csr_matrix:
         data = np.add.reduceat(self._raw[self._perm], self._starts) \
             if len(self._starts) else np.zeros(0)
-        H = sp.csr_matrix((data, self._indices, self._indptr),
-                          shape=(self._m, self._m))
-        return H
+        return sp.csr_matrix((data, self._indices, self._indptr),
+                             shape=(self._m, self._m))
 
     def _ensure_values(self, atoms, nl: NeighborList,
                        moved: np.ndarray | None) -> None:

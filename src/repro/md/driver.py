@@ -20,12 +20,11 @@ rebuild-vs-reuse behaviour.
 
 from __future__ import annotations
 
-import time
-
 import numpy as np
 
 from repro import obs as _obs
 from repro.errors import MDError
+from repro.utils.timing import tick
 
 
 class MDDriver:
@@ -97,14 +96,14 @@ class MDDriver:
             self._notify(data)   # step 0 snapshot
         data = None
         for _ in range(nsteps):
-            t0 = time.perf_counter()
+            t0 = tick()
             phases_before = self._phase_totals()
             with _obs.span("md.step") as sp:
                 res = self.integrator.step(self.atoms, self.calc)
                 sp.set(step=self.step_count + 1)
             self.step_count += 1
             data = self._record(res)
-            data["step_seconds"] = time.perf_counter() - t0
+            data["step_seconds"] = tick() - t0
             _obs.observe("md.step_s", data["step_seconds"])
             if phases_before is not None:
                 # per-step phase breakdown: this step's increment of the

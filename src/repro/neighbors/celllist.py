@@ -21,10 +21,8 @@ def cell_list_admissible(atoms, rcut: float) -> bool:
     """True if the linked-cell algorithm is valid for this cell + cutoff."""
     cell = atoms.cell
     widths = cell.perpendicular_widths()
-    for k in range(3):
-        if cell.pbc[k] and int(widths[k] / rcut) < 3:
-            return False
-    return True
+    return not any(cell.pbc[k] and int(widths[k] / rcut) < 3
+                   for k in range(3))
 
 
 # Half of the 26 neighbour offsets (lexicographically positive), so each

@@ -29,6 +29,16 @@ from repro.neighbors.base import NeighborList, neighbor_list
 #: every classified rebuild trigger (see :meth:`VerletList.rebuild_cause`)
 REBUILD_CAUSES = ("init", "resize", "cell-unmappable", "drift", "strain")
 
+#: fixed per-cause counter names (the telemetry-catalog lint rule bans
+#: runtime-built metric names; the CI gates key on these literals)
+_REBUILD_COUNTERS = {
+    "init": "neighbors.rebuild.init",
+    "resize": "neighbors.rebuild.resize",
+    "cell-unmappable": "neighbors.rebuild.cell-unmappable",
+    "drift": "neighbors.rebuild.drift",
+    "strain": "neighbors.rebuild.strain",
+}
+
 
 class VerletList:
     """Stateful skin list around :func:`repro.neighbors.neighbor_list`.
@@ -173,7 +183,7 @@ class VerletList:
             self.last_update_rebuilt = True
             self.last_rebuild_cause = cause
             self.rebuild_causes[cause] = self.rebuild_causes.get(cause, 0) + 1
-            obs.counter_inc(f"neighbors.rebuild.{cause}")
+            obs.counter_inc(_REBUILD_COUNTERS[cause])
             self._list = self._filter(self._full, atoms)
         else:
             self.last_update_rebuilt = False

@@ -18,6 +18,9 @@ from __future__ import annotations
 
 import json
 import time
+from os import PathLike
+
+StrPath = str | PathLike[str]
 
 from repro.obs.metrics import MetricsRegistry, get_registry
 from repro.obs.spans import Tracer, get_tracer
@@ -30,7 +33,7 @@ def _meta(tracer: Tracer) -> dict:
             "written_at": time.time(), "dropped_spans": tracer.dropped}
 
 
-def write_jsonl(path, tracer: Tracer | None = None,
+def write_jsonl(path: StrPath, tracer: Tracer | None = None,
                 registry: MetricsRegistry | None = None) -> int:
     """Write the JSONL trace; returns the number of span records."""
     tracer = tracer if tracer is not None else get_tracer()
@@ -45,7 +48,7 @@ def write_jsonl(path, tracer: Tracer | None = None,
     return len(spans)
 
 
-def read_jsonl(path) -> tuple[dict, list[dict], dict]:
+def read_jsonl(path: StrPath) -> tuple[dict, list[dict], dict]:
     """Parse a JSONL trace → ``(meta, span_records, metrics_snapshot)``."""
     meta: dict = {}
     spans: list[dict] = []
@@ -83,7 +86,7 @@ def chrome_trace_events(spans: list[dict]) -> list[dict]:
     return events
 
 
-def write_chrome_trace(path, tracer: Tracer | None = None,
+def write_chrome_trace(path: StrPath, tracer: Tracer | None = None,
                        registry: MetricsRegistry | None = None) -> int:
     """Write a Perfetto-viewable Chrome trace; returns the event count."""
     tracer = tracer if tracer is not None else get_tracer()
@@ -98,7 +101,7 @@ def write_chrome_trace(path, tracer: Tracer | None = None,
     return len(events)
 
 
-def write_trace(path, tracer: Tracer | None = None,
+def write_trace(path: StrPath, tracer: Tracer | None = None,
                 registry: MetricsRegistry | None = None) -> int:
     """Dispatch on extension: ``.json`` → Chrome trace, else JSONL."""
     if str(path).endswith(".json"):
@@ -106,7 +109,7 @@ def write_trace(path, tracer: Tracer | None = None,
     return write_jsonl(path, tracer, registry)
 
 
-def write_metrics_json(path, registry: MetricsRegistry | None = None) -> dict:
+def write_metrics_json(path: StrPath, registry: MetricsRegistry | None = None) -> dict:
     """Dump the registry snapshot as one JSON document; returns it."""
     registry = registry if registry is not None else get_registry()
     snap = registry.snapshot()

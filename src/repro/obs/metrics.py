@@ -29,7 +29,7 @@ class Counter:
 
     __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self._lock = threading.Lock()
@@ -44,7 +44,7 @@ class Gauge:
 
     __slots__ = ("name", "value", "_lock")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str) -> None:
         self.name = name
         self.value = 0.0
         self._lock = threading.Lock()
@@ -67,7 +67,7 @@ class Histogram:
     __slots__ = ("name", "maxlen", "count", "sum", "min", "max",
                  "_samples", "_lock")
 
-    def __init__(self, name: str, maxlen: int = 512):
+    def __init__(self, name: str, maxlen: int = 512) -> None:
         self.name = name
         self.maxlen = int(maxlen)
         self.count = 0
@@ -144,7 +144,7 @@ class Histogram:
 class MetricsRegistry:
     """Thread-safe name → instrument map with snapshot/merge."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}

@@ -25,6 +25,9 @@ thread-pool execution records straight into the parent's globals.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable
+from typing import Any
+
 from repro.obs import metrics as _metrics
 from repro.obs import spans as _spans
 
@@ -39,7 +42,8 @@ class TelemetryEnvelope:
 
     __slots__ = ("result", "spans", "metrics")
 
-    def __init__(self, result, spans: list[dict], metrics: dict | None):
+    def __init__(self, result: Any, spans: list[dict],
+                 metrics: dict | None) -> None:
         self.result = result
         self.spans = spans
         self.metrics = metrics
@@ -50,10 +54,10 @@ class TelemetryWorker:
 
     __slots__ = ("fn",)
 
-    def __init__(self, fn):
+    def __init__(self, fn: Callable[[Any], Any]) -> None:
         self.fn = fn
 
-    def __call__(self, task):
+    def __call__(self, task: Any) -> TelemetryEnvelope:
         tracer = _spans.Tracer(enabled=True)
         registry = _metrics.MetricsRegistry()
         old_tracer = _spans._swap_tracer(tracer)
@@ -69,7 +73,7 @@ class TelemetryWorker:
         return TelemetryEnvelope(result, tracer.drain(), registry.snapshot())
 
 
-def absorb_results(results) -> list:
+def absorb_results(results: Iterable[Any]) -> list:
     """Unbox envelopes, merging their telemetry into this process.
 
     Plain (non-envelope) results pass through untouched, so the caller

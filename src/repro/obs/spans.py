@@ -24,6 +24,8 @@ import itertools
 import os
 import threading
 import time
+from types import TracebackType
+from typing import Any
 
 #: converts ``time.perf_counter()`` readings to wall-clock seconds so span
 #: timestamps from different processes on the same host are comparable.
@@ -42,7 +44,7 @@ class Span:
     __slots__ = ("name", "span_id", "parent_id", "pid", "tid", "start",
                  "duration", "attrs", "status", "_tracer", "_t0")
 
-    def __init__(self, name: str, tracer: "Tracer"):
+    def __init__(self, name: str, tracer: "Tracer") -> None:
         self.name = name
         self._tracer = tracer
         self.span_id = tracer.next_id()
@@ -55,7 +57,7 @@ class Span:
         self.status = "ok"
         self._t0 = 0.0
 
-    def set(self, **attrs) -> "Span":
+    def set(self, **attrs: Any) -> "Span":
         """Attach attributes (last write per key wins)."""
         if self.attrs is None:
             self.attrs = {}
@@ -70,7 +72,9 @@ class Span:
         self.start = _EPOCH_OFFSET + self._t0
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
         self.duration = time.perf_counter() - self._t0
         if exc_type is not None:
             self.status = "error"
@@ -100,14 +104,16 @@ class _NullSpan:
 
     __slots__ = ()
 
-    def set(self, **attrs) -> "_NullSpan":
+    def set(self, **attrs: Any) -> "_NullSpan":
         return self
 
     def __enter__(self) -> "_NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> None:
-        return None
+    def __exit__(self, exc_type: type[BaseException] | None,
+                 exc: BaseException | None,
+                 tb: TracebackType | None) -> None:
+        """Never suppresses the exception (implicitly returns None)."""
 
 
 #: the one instance every disabled ``span()`` call returns
@@ -123,7 +129,8 @@ class Tracer:
     buffer is guarded by a lock.
     """
 
-    def __init__(self, enabled: bool = False, max_spans: int = 200_000):
+    def __init__(self, enabled: bool = False,
+                 max_spans: int = 200_000) -> None:
         self.enabled = bool(enabled)
         self.max_spans = int(max_spans)
         self.dropped = 0
@@ -221,7 +228,7 @@ def disable_tracing() -> None:
     _TRACER.enabled = False
 
 
-def span(name: str):
+def span(name: str) -> "Span | _NullSpan":
     """A live span when tracing is on, :data:`NULL_SPAN` otherwise.
 
     The disabled path must stay allocation-free: no kwargs, no closure,
@@ -232,7 +239,7 @@ def span(name: str):
     return NULL_SPAN
 
 
-def current_span():
+def current_span() -> "Span | _NullSpan":
     """The innermost live span on this thread (:data:`NULL_SPAN` if none).
 
     Lets deep call sites annotate the operation that is already being

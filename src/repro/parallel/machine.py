@@ -11,6 +11,7 @@ see docs/architecture.md).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from types import MappingProxyType
 
 from repro.errors import ParallelError
 
@@ -78,12 +79,15 @@ class MachineSpec:
                    bandwidth=1.0e10, max_nodes=4096)
 
 
-PRESETS = {
+# read-only by construction (MappingProxyType): machine.py is imported
+# from parallel workers, so the preset table must not be mutable shared
+# state (see the shared-state lint rule)
+PRESETS = MappingProxyType({
     "paragon": MachineSpec.paragon,
     "delta": MachineSpec.delta,
     "cm5": MachineSpec.cm5,
     "modern": MachineSpec.modern,
-}
+})
 
 
 def get_machine(name: str) -> MachineSpec:

@@ -33,11 +33,12 @@ and lookup by :func:`get_scenario` / :func:`available_scenarios` /
 from __future__ import annotations
 
 import itertools
-import time
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.calculators import suggest_key
 from repro.errors import CampaignError
+from repro.utils.timing import tick
 
 #: sentinel distinguishing "no default — the param is required"
 _REQUIRED = object()
@@ -56,7 +57,7 @@ class ParamSpec:
     doc: str = ""
     choices: tuple | None = None
 
-    def resolve(self, raw: dict, scenario: str):
+    def resolve(self, raw: dict, scenario: str) -> Any:
         if self.name in raw:
             value = raw[self.name]
             if value is not None and self.conv is not None:
@@ -67,12 +68,12 @@ class ParamSpec:
                         f"scenario {scenario!r}: parameter "
                         f"{self.name!r} must be {self.conv.__name__}, "
                         f"got {raw[self.name]!r}") from exc
-        elif self.default is _REQUIRED:
+        elif self.default is not _REQUIRED:
+            value = self.default
+        else:
             raise CampaignError(
                 f"scenario {scenario!r}: parameter {self.name!r} is "
                 f"required")
-        else:
-            value = self.default
         if self.choices is not None and value not in self.choices:
             raise CampaignError(
                 f"scenario {scenario!r}: parameter {self.name!r} must be "
@@ -139,7 +140,7 @@ class Scenario:
                 f"{suggest_key(unknown[0], known)}")
         return {p.name: p.resolve(raw, self.name) for p in self.params}
 
-    def run(self, client, structure: StructureHandle,
+    def run(self, client: Any, structure: StructureHandle,
             params: dict) -> ScenarioResult:
         raise NotImplementedError  # pragma: no cover
 
@@ -157,17 +158,17 @@ class Scenario:
 class _timed:
     """``with _timed(result.timings, "md"):`` — phase timing helper."""
 
-    def __init__(self, timings: dict, key: str):
+    def __init__(self, timings: dict, key: str) -> None:
         self.timings = timings
         self.key = key
 
-    def __enter__(self):
-        self.t0 = time.perf_counter()
+    def __enter__(self) -> "_timed":
+        self.t0 = tick()
         return self
 
-    def __exit__(self, *exc_info):
+    def __exit__(self, *exc_info: object) -> bool:
         self.timings[self.key] = (self.timings.get(self.key, 0.0)
-                                  + time.perf_counter() - self.t0)
+                                  + tick() - self.t0)
         return False
 
 
@@ -175,7 +176,7 @@ class _timed:
 _REGISTRY: dict[str, Scenario] = {}
 
 
-def register_scenario(cls):
+def register_scenario(cls: type) -> type:
     """Class decorator: instantiate and register under ``cls.name``."""
     inst = cls()
     if not inst.name:

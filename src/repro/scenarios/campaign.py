@@ -48,7 +48,6 @@ from __future__ import annotations
 
 import json
 import threading
-import time
 from dataclasses import dataclass, field
 
 from repro import obs
@@ -56,6 +55,8 @@ from repro.calculators import CalculatorSpec, suggest_key
 from repro.errors import CampaignError, ReproError
 from repro.parallel.pool import map_tasks
 from repro.scenarios.base import StructureHandle, get_scenario
+from repro.service.protocol import Result
+from repro.utils.timing import tick, wall_now
 
 #: structure builders a matrix can name in ``kind = "..."``
 STRUCTURE_KINDS = ("diamond", "beta-tin", "fcc", "bcc", "sc", "xyz")
@@ -306,8 +307,8 @@ def run_campaign(spec: CampaignSpec, *, client=None, nworkers: int = 1,
     structure_calcs = sorted({(c.structure,
                                json.dumps(c.calc_spec, sort_keys=True))
                               for c in cells})
-    t0 = time.perf_counter()
-    created = time.time()
+    t0 = tick()
+    created = wall_now()
     per_name_count: dict[str, int] = {}
     for sname, calc_json in structure_calcs:
         k = per_name_count.get(sname, 0)
@@ -325,7 +326,7 @@ def run_campaign(spec: CampaignSpec, *, client=None, nworkers: int = 1,
         scenario = get_scenario(cell.scenario)
         row = {"cell": cell.cell_id, "structure": cell.structure,
                "scenario": cell.scenario, "params": dict(cell.params)}
-        t_cell = time.perf_counter()
+        t_cell = tick()
         try:
             with obs.span("campaign.cell") as sp:
                 sp.set(cell=cell.cell_id)
@@ -334,19 +335,21 @@ def run_campaign(spec: CampaignSpec, *, client=None, nworkers: int = 1,
                         result = scenario.run(client, handle, cell.params)
                 else:
                     result = scenario.run(client, handle, cell.params)
-            status, payload = "ok", {
-                "ok": True, "value": result.value,
-                "metrics": result.metrics,
-                "timings": {**result.timings,
-                            "seconds": time.perf_counter() - t_cell}}
+            status = "ok"
+            # merge_* (not the success() kwargs) so the metrics/timings
+            # slots exist on the row even when a scenario returns none
+            payload = Result.success(result.value).merge_metrics(
+                **result.metrics).merge_timings(
+                **{**result.timings, "seconds": tick() - t_cell})
         except Exception as exc:        # noqa: BLE001 - recorded, not raised
             obs.counter_inc("campaign.cell_failures")
-            status, payload = "failed", {
-                "ok": False,
-                "error": {"type": type(exc).__name__,
-                          "message": str(exc), "op": cell.scenario},
-                "timings": {"seconds": time.perf_counter() - t_cell}}
-        row.update(status=status, **payload)
+            status = "failed"
+            payload = Result.failure(exc, op=cell.scenario).merge_timings(
+                seconds=tick() - t_cell)
+        # rows persist the envelope fields flat; the per-request id slot
+        # is the wire's concern, not the artifact's
+        row.update(status=status, **{k: v for k, v in dict.items(payload)
+                                     if k != "id"})
         if log is not None:
             mark = "ok    " if status == "ok" else "FAILED"
             log(f"  {mark} {cell.cell_id:40s} "
@@ -371,7 +374,7 @@ def run_campaign(spec: CampaignSpec, *, client=None, nworkers: int = 1,
         if snap.get("counters"):
             metrics["obs"] = snap
         return CampaignRun(name=spec.name, cells=rows,
-                           seconds=time.perf_counter() - t0,
+                           seconds=tick() - t0,
                            created=created, metrics=metrics)
     finally:
         if own_service is not None:

@@ -69,6 +69,7 @@ Ops
 from __future__ import annotations
 
 import json
+from typing import Any
 
 import numpy as np
 
@@ -84,7 +85,7 @@ STRUCTURE_OPS = ("load", "eval", "relax_step", "sweep", "unload",
                  "debug_crash")
 
 
-def encode_atoms(atoms) -> dict:
+def encode_atoms(atoms: Any) -> dict:
     """Structure → plain-JSON dict (symbols, positions, cell, pbc)."""
     return {
         "symbols": list(atoms.symbols),
@@ -94,7 +95,7 @@ def encode_atoms(atoms) -> dict:
     }
 
 
-def decode_atoms(d: dict):
+def decode_atoms(d: dict) -> Any:
     """Plain-JSON dict → :class:`~repro.geometry.atoms.Atoms` (validated)."""
     from repro.geometry.atoms import Atoms
     from repro.geometry.cell import Cell
@@ -117,7 +118,7 @@ def decode_atoms(d: dict):
         raise ProtocolError(f"bad structure payload: {exc}") from exc
 
 
-def as_positions(obj) -> np.ndarray:
+def as_positions(obj: Any) -> np.ndarray:
     """Validate an (N, 3) float position payload."""
     try:
         pos = np.asarray(obj, dtype=float)
@@ -130,7 +131,7 @@ def as_positions(obj) -> np.ndarray:
     return pos
 
 
-def as_cell(obj) -> np.ndarray:
+def as_cell(obj: Any) -> np.ndarray:
     """Validate a 3×3 float cell-matrix payload."""
     try:
         mat = np.asarray(obj, dtype=float)
@@ -141,7 +142,7 @@ def as_cell(obj) -> np.ndarray:
     return mat
 
 
-def validate_request(req) -> dict:
+def validate_request(req: Any) -> dict:
     """Check the envelope of one decoded request (op known, id JSON-safe)."""
     if not isinstance(req, dict):
         raise ProtocolError(f"request must be an object, got {type(req).__name__}")
@@ -198,27 +199,29 @@ class Result(dict):
         return dict.get(self, "metrics") or {}
 
     # -- flat-access compatibility ----------------------------------------
-    def __getitem__(self, key):
+    def __getitem__(self, key: Any) -> Any:
         if dict.__contains__(self, key):
             return dict.__getitem__(self, key)
         value = dict.get(self, "value")
         if isinstance(value, dict) and key in value:
             return value[key]
-        raise KeyError(key)
+        # the Mapping contract: __getitem__ signals a missing key with
+        # KeyError, which dict.get/`in` and every caller rely on
+        raise KeyError(key)  # reprolint: disable=error-discipline
 
-    def __contains__(self, key):
+    def __contains__(self, key: object) -> bool:
         if dict.__contains__(self, key):
             return True
         value = dict.get(self, "value")
         return isinstance(value, dict) and key in value
 
-    def get(self, key, default=None):
+    def get(self, key: Any, default: Any = None) -> Any:
         try:
             return self[key]
         except KeyError:
             return default
 
-    def __setitem__(self, key, val):
+    def __setitem__(self, key: Any, val: Any) -> None:
         if key in ENVELOPE_KEYS:
             dict.__setitem__(self, key, val)
             return
@@ -230,7 +233,7 @@ class Result(dict):
 
     # -- constructors ------------------------------------------------------
     @classmethod
-    def success(cls, value: dict | None = None, *, id=None,
+    def success(cls, value: dict | None = None, *, id: Any = None,
                 timings: dict | None = None,
                 metrics: dict | None = None) -> "Result":
         resp = cls({"id": id, "ok": True, "value": dict(value or {})})
@@ -241,7 +244,7 @@ class Result(dict):
         return resp
 
     @classmethod
-    def failure(cls, exc: Exception, *, id=None,
+    def failure(cls, exc: Exception, *, id: Any = None,
                 op: str | None = None) -> "Result":
         err = {"type": type(exc).__name__, "message": str(exc)}
         if op is not None:
@@ -249,7 +252,7 @@ class Result(dict):
         return cls({"id": id, "ok": False, "error": err})
 
     @classmethod
-    def from_response(cls, resp) -> "Result":
+    def from_response(cls, resp: Any) -> "Result":
         """Adopt a decoded response: envelopes pass through, legacy flat
         payloads (pre-envelope servers) get their non-envelope keys
         folded into ``value`` so callers see one shape."""
@@ -269,20 +272,20 @@ class Result(dict):
             dict.__setitem__(out, "value", value)
         return out
 
-    def merge_timings(self, **fields) -> "Result":
+    def merge_timings(self, **fields: Any) -> "Result":
         timings = dict(dict.get(self, "timings") or {})
         timings.update(fields)
         dict.__setitem__(self, "timings", timings)
         return self
 
-    def merge_metrics(self, **fields) -> "Result":
+    def merge_metrics(self, **fields: Any) -> "Result":
         metrics = dict(dict.get(self, "metrics") or {})
         metrics.update(fields)
         dict.__setitem__(self, "metrics", metrics)
         return self
 
 
-def ok_response(req, **fields) -> Result:
+def ok_response(req: dict, **fields: Any) -> Result:
     """Success :class:`Result` for *req*; ``timings``/``metrics`` kwargs
     land in their envelope slots, everything else is the ``value``."""
     timings = fields.pop("timings", None)
@@ -291,7 +294,7 @@ def ok_response(req, **fields) -> Result:
                           timings=timings, metrics=metrics)
 
 
-def error_response(req, exc: Exception) -> Result:
+def error_response(req: Any, exc: Exception) -> Result:
     """Uniform error envelope; the exception class name is the ``type``,
     the request's op (when known) rides along for context."""
     rid = req.get("id") if isinstance(req, dict) else None
@@ -299,13 +302,14 @@ def error_response(req, exc: Exception) -> Result:
     return Result.failure(exc, id=rid, op=op)
 
 
-def _jsonable(obj):
+def _jsonable(obj: Any) -> Any:
     """json.dumps fallback: numpy arrays/scalars → plain Python."""
     if isinstance(obj, np.ndarray):
         return obj.tolist()
     if isinstance(obj, (np.floating, np.integer, np.bool_)):
         return obj.item()
-    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")
+    # json.dumps requires its default hook to raise TypeError
+    raise TypeError(f"not JSON-serializable: {type(obj).__name__}")  # reprolint: disable=error-discipline
 
 
 def dumps(message: dict) -> bytes:

@@ -20,12 +20,12 @@ import contextlib
 import os
 import socket
 import threading
-import time
 
 from repro.errors import ServiceError
 from repro.service import protocol
 from repro.service.batcher import CoalescingQueue
 from repro.service.service import BatchService
+from repro.utils.timing import tick
 
 
 class UnixSocketServer:
@@ -222,7 +222,7 @@ class UnixSocketServer:
         except Exception as exc:
             reply(protocol.error_response(None, exc))
             return
-        req["_t0"] = time.perf_counter()     # queue wait counts as latency
+        req["_t0"] = tick()     # queue wait counts as latency
         if req["op"] == "shutdown":
             # answer first, then let the dispatcher drain what is queued
             reply(protocol.ok_response(req, draining=True))

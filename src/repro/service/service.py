@@ -46,6 +46,7 @@ from repro.parallel.pool import map_tasks
 from repro.service import protocol
 from repro.service.worker import Worker
 from repro.state import StructureSnapshot
+from repro.utils.timing import tick
 
 log = get_logger(__name__)
 
@@ -130,7 +131,7 @@ class BatchService:
         service has a thread pool); requests for one structure run in
         list order on its sticky worker.
         """
-        t_submit = time.perf_counter()
+        t_submit = tick()
         responses: list[dict | None] = [None] * len(requests)
         per_worker: dict[int, list[tuple[int, dict]]] = {}
 
@@ -172,7 +173,7 @@ class BatchService:
                 for idx, resp in batch_out:
                     responses[idx] = resp
 
-        now = time.perf_counter()
+        now = tick()
         n_errors = 0
         with self._registry_lock:
             self._counters["requests_total"] += len(requests)
@@ -347,9 +348,12 @@ class BatchService:
                 return
             rec.evals += 1
             if "warm" in resp:
-                key = "warm_evals" if resp["warm"] else "cold_evals"
-                self._counters[key] += 1
-                obs.counter_inc(f"service.{key}")
+                if resp["warm"]:
+                    self._counters["warm_evals"] += 1
+                    obs.counter_inc("service.warm_evals")
+                else:
+                    self._counters["cold_evals"] += 1
+                    obs.counter_inc("service.cold_evals")
             # advance the snapshot to the client-visible geometry
             if op == "relax_step":
                 rec.snapshot.update(positions=resp["positions"])
@@ -407,19 +411,18 @@ class BatchService:
                 victims.append((rec, rec.last_used))
         for rec, seen_last_used in victims:
             # worker-then-registry, the same order the batch path uses
-            with self._worker_locks[rec.worker_id]:
-                with self._registry_lock:
-                    if not rec.resident or rec.last_used != seen_last_used:
-                        continue   # touched since selection — spare it
-                    rec.resident = False
-                    evicted = self.workers[rec.worker_id].slots.pop(
-                        rec.structure_id, None)
-                    if evicted is not None:
-                        self._counters["evictions"] += 1
-                        obs.counter_inc("service.evictions")
-                        log.info("evicted structure %r from worker %d "
-                                 "(LRU, over memory budget)",
-                                 rec.structure_id, rec.worker_id)
+            with self._worker_locks[rec.worker_id], self._registry_lock:
+                if not rec.resident or rec.last_used != seen_last_used:
+                    continue   # touched since selection — spare it
+                rec.resident = False
+                evicted = self.workers[rec.worker_id].slots.pop(
+                    rec.structure_id, None)
+                if evicted is not None:
+                    self._counters["evictions"] += 1
+                    obs.counter_inc("service.evictions")
+                    log.info("evicted structure %r from worker %d "
+                             "(LRU, over memory budget)",
+                             rec.structure_id, rec.worker_id)
 
     def _resident_bytes(self) -> int:
         return sum(w.resident_bytes_total() for w in self.workers)

@@ -28,6 +28,7 @@ from repro.errors import ProtocolError, ReproError, ServiceError
 from repro.log import get_logger, log_context
 from repro.service import protocol
 from repro.utils.memory import resident_bytes
+from repro.utils.timing import tick
 
 log = get_logger(__name__)
 
@@ -94,10 +95,10 @@ class Worker:
         knowing any op-specific payload."""
         with log_context(worker=self.worker_id,
                          structure=req.get("structure_id")):
-            t0 = time.perf_counter()
+            t0 = tick()
             resp = self._handle(req)
             if isinstance(resp, protocol.Result):
-                resp.merge_timings(seconds=time.perf_counter() - t0)
+                resp.merge_timings(seconds=tick() - t0)
                 if resp.ok and "warm" in resp.value:
                     resp.merge_metrics(warm=bool(resp.value["warm"]))
             return resp
@@ -239,7 +240,9 @@ class Worker:
             if req.get("amplitudes") is not None:
                 amplitudes = np.asarray(req["amplitudes"], dtype=float)
                 if amplitudes.ndim != 1 or len(amplitudes) == 0:
-                    raise ValueError("amplitudes must be a non-empty list")
+                    raise ProtocolError(
+                        "bad sweep parameters: amplitudes must be a "
+                        "non-empty list")
             else:
                 amplitudes = sweep_amplitudes(req.get("amplitude", 0.04),
                                               req.get("npoints", 9))

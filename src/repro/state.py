@@ -40,6 +40,7 @@ replacement) is always detected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -123,15 +124,15 @@ class StructureSnapshot:
     and must reproduce the cold calculator's answers exactly.
     """
 
-    symbols: tuple
+    symbols: tuple[str, ...]
     positions: np.ndarray
     cell: np.ndarray
-    pbc: tuple
+    pbc: tuple[bool, ...]
     velocities: np.ndarray | None = None
     generation: int = field(default=0)
 
     @classmethod
-    def capture(cls, atoms) -> "StructureSnapshot":
+    def capture(cls, atoms: Any) -> "StructureSnapshot":
         """Deep-copy the client-visible state of *atoms*."""
         vel = np.asarray(atoms.velocities, dtype=float)
         return cls(
@@ -142,7 +143,8 @@ class StructureSnapshot:
             velocities=vel.copy() if np.any(vel) else None,
         )
 
-    def update(self, positions=None, cell=None, velocities=None) -> None:
+    def update(self, positions: Any = None, cell: Any = None,
+               velocities: Any = None) -> None:
         """Advance the snapshot after a successful mutating request."""
         if positions is not None:
             self.positions = np.array(positions, dtype=float, copy=True)
@@ -152,7 +154,7 @@ class StructureSnapshot:
             self.velocities = np.array(velocities, dtype=float, copy=True)
         self.generation += 1
 
-    def materialize(self):
+    def materialize(self) -> Any:
         """Rebuild a fresh :class:`~repro.geometry.atoms.Atoms` object."""
         from repro.geometry.atoms import Atoms
         from repro.geometry.cell import Cell
@@ -180,14 +182,14 @@ class CalculatorState:
     mutation of ``atoms`` between calls is detected).
     """
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.reset()
 
     def reset(self) -> None:
         """Forget the snapshot; the next ``observe`` reports a first call."""
         self._positions: np.ndarray | None = None
         self._cell: np.ndarray | None = None
-        self._symbols: tuple | None = None
+        self._symbols: tuple[str, ...] | None = None
         self._params: tuple | None = None
         self._snapshot_id: int = 0
 
@@ -197,32 +199,40 @@ class CalculatorState:
         advances only when an observation detects a change."""
         return self._snapshot_id
 
-    def observe(self, atoms, params: tuple = ()) -> ChangeReport:
+    def observe(self, atoms: Any, params: tuple = ()) -> ChangeReport:
         """Diff *atoms* (+ *params*) against the snapshot, then update it."""
         pos = np.asarray(atoms.positions, dtype=float)
         cell = np.asarray(atoms.cell.matrix, dtype=float)
         symbols = tuple(atoms.symbols)
         params = tuple(params)
 
-        first = self._positions is None
-        natoms_changed = (not first) and len(symbols) != len(self._symbols)
-        species_changed = (not first) and not natoms_changed \
-            and symbols != self._symbols
-        cell_changed = (not first) and not np.array_equal(cell, self._cell)
-        params_changed = (not first) and params != self._params
+        prev_pos = self._positions
+        prev_cell = self._cell
+        prev_symbols = self._symbols
 
         moved: np.ndarray | None = None
         positions_changed = False
         max_disp = 0.0
-        if not (first or natoms_changed or species_changed):
-            delta = pos - self._positions
-            changed_rows = np.any(delta != 0.0, axis=1)
-            positions_changed = bool(changed_rows.any())
-            if positions_changed:
-                max_disp = float(np.sqrt(
-                    np.max(np.einsum("ij,ij->i", delta, delta))))
-            if not cell_changed:
-                moved = changed_rows
+        if prev_pos is None or prev_cell is None or prev_symbols is None:
+            first = True
+            natoms_changed = species_changed = False
+            cell_changed = params_changed = False
+        else:
+            first = False
+            natoms_changed = len(symbols) != len(prev_symbols)
+            species_changed = (not natoms_changed) \
+                and symbols != prev_symbols
+            cell_changed = not np.array_equal(cell, prev_cell)
+            params_changed = params != self._params
+            if not (natoms_changed or species_changed):
+                delta = pos - prev_pos
+                changed_rows = np.any(delta != 0.0, axis=1)
+                positions_changed = bool(changed_rows.any())
+                if positions_changed:
+                    max_disp = float(np.sqrt(
+                        np.max(np.einsum("ij,ij->i", delta, delta))))
+                if not cell_changed:
+                    moved = changed_rows
 
         self._positions = pos.copy()
         self._cell = cell.copy()

@@ -124,6 +124,7 @@ class TBCalculator:
         self._vlist.reset()
         self._cache_key = None
         self._results = {}
+        self._sym_cache = (None, None)
 
     def state_report(self) -> dict:
         """Reuse diagnostics (shared calculator-state protocol)."""

@@ -118,8 +118,8 @@ class TBModel(ABC):
 
     def overlap(self, sym_i: str, sym_j: str, r: np.ndarray
                 ) -> tuple[dict[str, np.ndarray], dict[str, np.ndarray]] | None:
-        """Overlap channels, or ``None`` for orthogonal models."""
-        return None
+        """Overlap channels, or ``None`` (implicit) for orthogonal
+        models — non-orthogonal models override this."""
 
     # -- repulsion -------------------------------------------------------------
     @abstractmethod

@@ -6,7 +6,8 @@ module keeps the formatting consistent and testable.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Sequence
+from collections.abc import Iterable, Sequence
+from typing import Any
 
 
 class Table:

@@ -12,8 +12,34 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from collections.abc import Callable, Iterator
 
 from repro.obs import spans as _spans
+
+
+def tick() -> float:
+    """The one sanctioned duration clock: ``perf_counter`` seconds.
+
+    Every ``dt = tick() - t0`` in the codebase measures on the same
+    monotonic clock the span timeline is built from, so hand-measured
+    durations and span durations agree exactly.  Call sites outside
+    ``repro.obs`` / this module must use this (the clock-discipline
+    lint rule enforces it) rather than ``time.perf_counter()`` —
+    one indirection point keeps the clock swappable and greppable.
+    """
+    return time.perf_counter()
+
+
+def wall_now() -> float:
+    """Span-aligned wall-clock seconds since the epoch.
+
+    Returns the tracer's epoch anchor plus the monotonic delta — the
+    exact timestamp arithmetic :mod:`repro.obs.spans` stamps on spans —
+    instead of a fresh ``time.time()`` read, so wall-clock fields in
+    results and artifacts land on the same timeline as the trace even
+    if NTP steps the system clock mid-run.
+    """
+    return _spans._EPOCH_OFFSET + time.perf_counter()
 
 
 @dataclass
@@ -47,7 +73,7 @@ class Timer:
         self.start()
         return self
 
-    def __exit__(self, *exc) -> None:
+    def __exit__(self, *exc: object) -> None:
         self.stop()
 
     @property
@@ -72,7 +98,7 @@ class PhaseTimer:
     timers: dict[str, Timer] = field(default_factory=dict)
 
     @contextmanager
-    def phase(self, name: str):
+    def phase(self, name: str) -> Iterator[Timer]:
         """Time one phase; doubles as a span adapter.
 
         When tracing is enabled (:mod:`repro.obs`), each phase also opens
@@ -129,7 +155,9 @@ class PhaseTimer:
 
 
 @contextmanager
-def timed(label: str, sink=None):
+def timed(label: str,
+          sink: "Callable[[str, float], None] | None" = None
+          ) -> Iterator[None]:
     """Context manager reporting elapsed seconds for one block.
 
     With *sink* (a ``sink(label, seconds)`` callable) the measurement

@@ -12,8 +12,7 @@ from repro.tb import GSPSilicon, TBCalculator, XuCarbon
 
 def si_cluster(seed=0, n=6):
     """Small random Si cluster with safe separations."""
-    at = random_cluster(n, symbol="Si", min_dist=2.2, seed=seed)
-    return at
+    return random_cluster(n, symbol="Si", min_dist=2.2, seed=seed)
 
 
 @settings(max_examples=12, deadline=None)

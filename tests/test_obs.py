@@ -63,9 +63,8 @@ def test_span_nesting_records_parent_ids(obs_on):
 
 def test_span_exception_marks_error_and_reraises(obs_on):
     tracer, _ = obs_on
-    with pytest.raises(ValueError, match="boom"):
-        with obs.span("failing"):
-            raise ValueError("boom")
+    with pytest.raises(ValueError, match="boom"), obs.span("failing"):
+        raise ValueError("boom")
     # the stack must be clean again — a new span is a root
     with obs.span("after"):
         pass
@@ -266,9 +265,8 @@ def _load_tool(name):
 def test_trace_report_summarizes_trace(tmp_path, obs_on):
     tracer, reg = obs_on
     for _ in range(3):
-        with obs.span("calc.compute"):
-            with obs.span("foe"):
-                pass
+        with obs.span("calc.compute"), obs.span("foe"):
+            pass
     obs.counter_inc("foe.fused", 3)
     obs.counter_inc("foe.cold", 1)
     obs.counter_inc("hamiltonian.pattern_hit", 3)
@@ -310,9 +308,8 @@ def test_check_metrics_gate(tmp_path):
 def test_phase_timer_opens_spans_when_tracing(obs_on):
     tracer, _ = obs_on
     pt = PhaseTimer()
-    with pt.phase("neighbors"):
-        with pt.phase("inner"):
-            pass
+    with pt.phase("neighbors"), pt.phase("inner"):
+        pass
     recs = {r["name"]: r for r in tracer.finished()}
     assert recs["inner"]["parent"] == recs["neighbors"]["id"]
     assert pt.timers["neighbors"].calls == 1  # the timer still accumulates
@@ -327,9 +324,8 @@ def test_phase_timer_no_spans_when_disabled():
 
 
 def test_timed_logs_instead_of_printing(caplog, capsys):
-    with caplog.at_level(logging.INFO, logger="repro"):
-        with timed("block"):
-            pass
+    with caplog.at_level(logging.INFO, logger="repro"), timed("block"):
+        pass
     assert capsys.readouterr().out == ""  # stdout stays clean
     assert "[timed]" in caplog.text and "block" in caplog.text
 

@@ -1,0 +1,618 @@
+"""Tier-1 tests for the reprolint static-analysis suite.
+
+Three layers:
+
+* per-rule fixture triples — a violating module, a clean module, and
+  the violating module with an inline suppression — run against a
+  temporary fixture tree (``RunConfig(root=tmp_path)``), so each rule's
+  detection logic is pinned independently of the live codebase;
+* engine behaviour — suppressions, baseline workflow (including stale
+  entries failing the CLI), output formats, counts artifact;
+* the repository pin — the landed tree must be reprolint-clean, and
+  deliberately re-introducing a canary bug (an un-invalidated cache
+  attribute, an off-catalog metric) must fail the CLI.  This is the
+  test that makes the contracts *enforced*, not aspirational.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.check_ratchet import main as ratchet_main  # noqa: E402
+from tools.reprolint.__main__ import main as reprolint_main  # noqa: E402
+from tools.reprolint.catalog import matches_convention, parse_catalog  # noqa: E402
+from tools.reprolint.engine import (  # noqa: E402
+    RunConfig,
+    counts_snapshot,
+    load_baseline,
+    run_paths,
+    split_baselined,
+    write_baseline,
+)
+from tools.reprolint.rules import all_rules, rule_ids  # noqa: E402
+
+
+def lint_tree(tmp_path: Path, files: dict[str, str],
+              catalog: frozenset[str] | None = None) -> list:
+    """Write *files* under *tmp_path* and run every rule over the tree."""
+    for rel, source in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(source)
+    config = RunConfig(root=tmp_path, catalog_names=catalog)
+    return run_paths([tmp_path / rel.split("/")[0] for rel in files],
+                     config=config)
+
+
+def rules_hit(findings) -> set[str]:
+    return {f.rule for f in findings}
+
+
+# -- rule fixtures: violating / clean / suppressed --------------------------
+
+CACHE_VIOLATION = '''
+class WindowCalculator:
+    def __init__(self):
+        self._window_cache = None
+        self._cached_mu = None
+
+    def compute(self):
+        self._window_cache = object()
+
+    def reset(self):
+        self._cached_mu = None
+'''
+
+CACHE_CLEAN = '''
+class WindowCalculator:
+    def __init__(self):
+        self._window_cache = None
+        self._cached_mu = None
+
+    def reset(self):
+        self._drop_caches()
+
+    def _drop_caches(self):
+        self._window_cache = None
+        self._cached_mu = None
+'''
+
+CACHE_NO_RESET = '''
+class PatternBuilder:
+    def __init__(self):
+        self._pattern_cache = {}
+'''
+
+
+class TestCacheInvalidationRule:
+    def test_uncleared_cache_attr_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/calc.py": CACHE_VIOLATION})
+        assert [f.rule for f in found] == ["cache-invalidation"]
+        assert "_window_cache" in found[0].message
+        assert "_cached_mu" not in found[0].message
+
+    def test_clean_via_helper_call(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/calc.py": CACHE_CLEAN})
+        assert found == []
+
+    def test_missing_reset_method_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/build.py": CACHE_NO_RESET})
+        assert [f.rule for f in found] == ["cache-invalidation"]
+        assert "no reset/invalidate method" in found[0].message
+
+    def test_inline_suppression(self, tmp_path):
+        # findings anchor at the method that first assigns the attribute
+        src = CACHE_VIOLATION.replace(
+            "def __init__(self):",
+            "def __init__(self):  # reprolint: disable=cache-invalidation")
+        assert lint_tree(tmp_path, {"src/calc.py": src}) == []
+
+    def test_outside_src_not_in_scope(self, tmp_path):
+        found = lint_tree(tmp_path, {"benchmarks/calc.py": CACHE_VIOLATION})
+        assert found == []
+
+
+ENVELOPE_VIOLATION = '''
+def handle(req):
+    return {"ok": True, "energy": -4.2}
+'''
+
+ENVELOPE_CLEAN = '''
+from repro.service.protocol import Result
+
+def handle(req):
+    return Result.success({"energy": -4.2})
+
+def counts():
+    # an "ok" *count* is data, not an envelope
+    return {"ok": 3, "failed": 1}
+'''
+
+SCENARIO_DICT_RUN = '''
+class EOSScenario:
+    def run(self, client, structure, params):
+        return {"e0": -4.2}
+'''
+
+
+class TestResultEnvelopeRule:
+    def test_ad_hoc_ok_dict_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/service/ops.py": ENVELOPE_VIOLATION})
+        assert [f.rule for f in found] == ["result-envelope"]
+
+    def test_result_constructor_and_counts_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/service/ops.py": ENVELOPE_CLEAN})
+        assert found == []
+
+    def test_scenario_run_returning_dict_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/scenarios/eos.py": SCENARIO_DICT_RUN})
+        assert [f.rule for f in found] == ["result-envelope"]
+        assert "run() returns a bare dict" in found[0].message
+
+    def test_protocol_module_exempt(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/service/protocol.py": ENVELOPE_VIOLATION})
+        assert found == []
+
+    def test_file_wide_suppression(self, tmp_path):
+        src = "# reprolint: disable-file=result-envelope\n" + ENVELOPE_VIOLATION
+        found = lint_tree(tmp_path, {"src/repro/service/ops.py": src})
+        assert found == []
+
+
+TELEMETRY_FSTRING = '''
+from repro import obs
+
+def record(kind):
+    obs.counter_inc(f"service.{kind}_evals")
+'''
+
+TELEMETRY_OFF_CATALOG = '''
+from repro import obs
+
+def record():
+    obs.counter_inc("service.surprise_total")
+'''
+
+TELEMETRY_BAD_SHAPE = '''
+from repro import obs
+
+def record():
+    obs.counter_inc("NotAValidName")
+'''
+
+TELEMETRY_CLEAN = '''
+from repro import obs
+
+def record(warm):
+    if warm:
+        obs.counter_inc("service.warm_evals")
+    else:
+        obs.counter_inc("service.cold_evals")
+    with obs.span("service.request"):
+        pass
+'''
+
+FIXTURE_CATALOG = frozenset(
+    {"service.warm_evals", "service.cold_evals", "service.request"})
+
+
+class TestTelemetryCatalogRule:
+    def test_fstring_name_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/a.py": TELEMETRY_FSTRING},
+                          catalog=FIXTURE_CATALOG)
+        assert [f.rule for f in found] == ["telemetry-catalog"]
+        assert "dynamic" in found[0].message
+
+    def test_off_catalog_name_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/a.py": TELEMETRY_OFF_CATALOG},
+                          catalog=FIXTURE_CATALOG)
+        assert [f.rule for f in found] == ["telemetry-catalog"]
+        assert "not in the" in found[0].message
+
+    def test_malformed_name_flagged_even_without_catalog(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/a.py": TELEMETRY_BAD_SHAPE},
+                          catalog=frozenset())
+        assert [f.rule for f in found] == ["telemetry-catalog"]
+        assert "convention" in found[0].message
+
+    def test_cataloged_literals_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/a.py": TELEMETRY_CLEAN},
+                          catalog=FIXTURE_CATALOG)
+        assert found == []
+
+    def test_suppressed(self, tmp_path):
+        src = TELEMETRY_FSTRING.replace(
+            'obs.counter_inc(f"service.{kind}_evals")',
+            'obs.counter_inc(f"service.{kind}_evals")'
+            '  # reprolint: disable=telemetry-catalog')
+        found = lint_tree(tmp_path, {"src/repro/a.py": src},
+                          catalog=FIXTURE_CATALOG)
+        assert found == []
+
+    def test_convention(self):
+        assert matches_convention("foe.fused")
+        assert matches_convention("neighbors.rebuild.cell-unmappable")
+        assert not matches_convention("single")
+        assert not matches_convention("Has.Capitals")
+
+    def test_live_catalog_parses_known_names(self):
+        catalog = parse_catalog(REPO_ROOT)
+        assert "foe.fused" in catalog
+        assert "service.warm_evals" in catalog
+        assert "campaign.cell_failures" in catalog
+
+
+IMPORT_TOP_LEVEL = '''
+import ase
+
+def bridge():
+    return ase
+'''
+
+IMPORT_GUARDED = '''
+try:
+    import numba
+except ImportError:
+    numba = None
+
+from typing import TYPE_CHECKING
+if TYPE_CHECKING:
+    import ase
+
+def use():
+    import cupy
+    return cupy
+'''
+
+
+class TestImportGuardRule:
+    def test_top_level_optional_import_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/bridge.py": IMPORT_TOP_LEVEL})
+        assert [f.rule for f in found] == ["import-guard"]
+        assert "ase" in found[0].message
+
+    def test_guarded_forms_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/bridge.py": IMPORT_GUARDED})
+        assert found == []
+
+    def test_suppressed(self, tmp_path):
+        src = IMPORT_TOP_LEVEL.replace(
+            "import ase", "import ase  # reprolint: disable=import-guard")
+        assert lint_tree(tmp_path, {"src/repro/bridge.py": src}) == []
+
+
+BARE_EXCEPT = '''
+def risky():
+    try:
+        return 1
+    except:
+        return None
+'''
+
+BUILTIN_RAISE = '''
+def op(req):
+    raise ValueError("bad request")
+'''
+
+DISCIPLINED = '''
+from repro.errors import ProtocolError
+
+def op(req):
+    try:
+        return req["op"]
+    except KeyError as exc:
+        raise ProtocolError("missing op") from exc
+'''
+
+
+class TestErrorDisciplineRule:
+    def test_bare_except_flagged_anywhere(self, tmp_path):
+        found = lint_tree(tmp_path, {"tools/helper.py": BARE_EXCEPT})
+        assert [f.rule for f in found] == ["error-discipline"]
+
+    def test_builtin_raise_in_service_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/service/ops.py": BUILTIN_RAISE})
+        assert [f.rule for f in found] == ["error-discipline"]
+
+    def test_builtin_raise_outside_service_allowed(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/tb/model.py": BUILTIN_RAISE})
+        assert found == []
+
+    def test_repro_error_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/service/ops.py": DISCIPLINED})
+        assert found == []
+
+    def test_suppressed(self, tmp_path):
+        src = BUILTIN_RAISE.replace(
+            'raise ValueError("bad request")',
+            'raise ValueError("bad request")'
+            '  # reprolint: disable=error-discipline')
+        found = lint_tree(tmp_path, {"src/repro/service/ops.py": src})
+        assert found == []
+
+
+CLOCK_VIOLATION = '''
+import time
+
+def stamp():
+    return time.time(), time.perf_counter()
+'''
+
+CLOCK_CLEAN = '''
+import time
+from repro.utils.timing import tick, wall_now
+
+def stamp():
+    return wall_now(), tick()
+
+def deadline():
+    return time.monotonic() + 5.0
+'''
+
+
+class TestClockDisciplineRule:
+    def test_raw_clocks_flagged(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/md/x.py": CLOCK_VIOLATION})
+        assert rules_hit(found) == {"clock-discipline"}
+        assert len(found) == 2
+
+    def test_from_import_flagged(self, tmp_path):
+        src = "from time import perf_counter\n"
+        found = lint_tree(tmp_path, {"src/repro/md/x.py": src})
+        assert [f.rule for f in found] == ["clock-discipline"]
+
+    def test_sanctioned_clocks_clean(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/repro/md/x.py": CLOCK_CLEAN})
+        assert found == []
+
+    def test_obs_and_timing_exempt(self, tmp_path):
+        found = lint_tree(tmp_path, {
+            "src/repro/obs/spans.py": CLOCK_VIOLATION,
+            "src/repro/utils/timing.py": CLOCK_VIOLATION,
+        })
+        assert found == []
+
+    def test_suppressed(self, tmp_path):
+        src = CLOCK_VIOLATION.replace(
+            "return time.time(), time.perf_counter()",
+            "return time.time(), time.perf_counter()"
+            "  # reprolint: disable=clock-discipline")
+        assert lint_tree(tmp_path, {"src/repro/md/x.py": src}) == []
+
+
+SHARED_STATE_VIOLATION = '''
+PENDING = {}
+RESULTS = []
+'''
+
+SHARED_STATE_LOCKED = '''
+import threading
+
+_LOCK = threading.Lock()
+PENDING = {}
+'''
+
+SHARED_STATE_FROZEN = '''
+from types import MappingProxyType
+
+PRESETS = MappingProxyType({"a": 1})
+NAMES = ("x", "y")
+__all__ = ["PRESETS", "NAMES"]
+'''
+
+
+class TestSharedStateRule:
+    def test_unguarded_containers_flagged(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/service/queue.py": SHARED_STATE_VIOLATION})
+        assert rules_hit(found) == {"shared-state"}
+        assert len(found) == 2
+
+    def test_lock_guarded_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/parallel/queue.py": SHARED_STATE_LOCKED})
+        assert found == []
+
+    def test_frozen_and_dunder_clean(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/service/cfg.py": SHARED_STATE_FROZEN})
+        assert found == []
+
+    def test_outside_concurrent_tiers_allowed(self, tmp_path):
+        found = lint_tree(
+            tmp_path, {"src/repro/tb/tables.py": SHARED_STATE_VIOLATION})
+        assert found == []
+
+    def test_suppressed(self, tmp_path):
+        src = SHARED_STATE_VIOLATION.replace(
+            "PENDING = {}",
+            "PENDING = {}  # reprolint: disable=shared-state").replace(
+            "RESULTS = []",
+            "RESULTS = []  # reprolint: disable=shared-state")
+        found = lint_tree(tmp_path, {"src/repro/service/queue.py": src})
+        assert found == []
+
+
+# -- engine behaviour -------------------------------------------------------
+
+class TestEngine:
+    def test_parse_error_is_a_finding(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/broken.py": "def f(:\n"})
+        assert [f.rule for f in found] == ["parse-error"]
+
+    def test_github_format(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/calc.py": CACHE_VIOLATION})
+        line = found[0].format("github")
+        assert line.startswith("::error file=src/calc.py,line=")
+        assert "title=reprolint(cache-invalidation)" in line
+
+    def test_baseline_roundtrip_and_split(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/calc.py": CACHE_VIOLATION})
+        bl_path = tmp_path / "baseline.json"
+        write_baseline(bl_path, found)
+        entries = json.loads(bl_path.read_text())["entries"]
+        assert len(entries) == 1
+        # load_baseline refuses undocumented reasons only when empty
+        entries[0]["reason"] = "grandfathered for the test"
+        bl_path.write_text(json.dumps({"entries": entries}))
+        baseline = load_baseline(bl_path)
+        new, old = split_baselined(found, baseline)
+        assert new == [] and len(old) == 1
+
+    def test_baseline_requires_reason(self, tmp_path):
+        bl_path = tmp_path / "baseline.json"
+        bl_path.write_text(json.dumps({"entries": [
+            {"rule": "shared-state", "path": "x.py", "message": "m",
+             "reason": ""}]}))
+        with pytest.raises(ValueError, match="reason"):
+            load_baseline(bl_path)
+
+    def test_counts_snapshot_shape(self, tmp_path):
+        found = lint_tree(tmp_path, {"src/calc.py": CACHE_VIOLATION})
+        snap = counts_snapshot(found, [])
+        assert snap["counters"] == {
+            "reprolint.findings.cache-invalidation": 1.0}
+        assert snap["gauges"]["reprolint.findings_total"] == 1.0
+        assert snap["histograms"] == {}
+
+    def test_rule_registry_is_complete(self):
+        ids = rule_ids()
+        assert len(ids) == len(set(ids))
+        assert set(ids) == {
+            "cache-invalidation", "result-envelope", "telemetry-catalog",
+            "import-guard", "error-discipline", "clock-discipline",
+            "shared-state"}
+        for rule in all_rules():
+            assert rule.id and rule.hint and rule.description
+
+
+# -- the CLI and the repository pin -----------------------------------------
+
+def write_fixture(tmp_path: Path, files: dict[str, str]) -> None:
+    for rel, source in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(source)
+
+
+class TestCLI:
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        write_fixture(tmp_path, {"src/calc.py": CACHE_VIOLATION})
+        rc = reprolint_main(["src", "--root", str(tmp_path)])
+        out = capsys.readouterr()
+        assert rc == 1
+        assert "[cache-invalidation]" in out.out
+        assert "fix:" in out.out
+
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        write_fixture(tmp_path, {"src/calc.py": CACHE_CLEAN})
+        rc = reprolint_main(["src", "--root", str(tmp_path)])
+        assert rc == 0
+
+    def test_stale_baseline_entry_fails(self, tmp_path, capsys):
+        write_fixture(tmp_path, {"src/calc.py": CACHE_CLEAN})
+        bl = tmp_path / "baseline.json"
+        bl.write_text(json.dumps({"entries": [
+            {"rule": "cache-invalidation", "path": "src/calc.py",
+             "message": "long gone", "reason": "fixed ages ago"}]}))
+        rc = reprolint_main(
+            ["src", "--root", str(tmp_path), "--baseline", str(bl)])
+        err = capsys.readouterr().err
+        assert rc == 1
+        assert "stale baseline entry" in err
+
+    def test_counts_json_artifact(self, tmp_path, capsys):
+        write_fixture(tmp_path, {"src/calc.py": CACHE_VIOLATION})
+        out_json = tmp_path / "artifacts" / "reprolint.json"
+        reprolint_main(["src", "--root", str(tmp_path),
+                        "--counts-json", str(out_json)])
+        snap = json.loads(out_json.read_text())
+        assert snap["counters"]["reprolint.findings.cache-invalidation"] == 1.0
+
+    def test_missing_path_is_usage_error(self, tmp_path, capsys):
+        rc = reprolint_main(["nonexistent", "--root", str(tmp_path)])
+        assert rc == 2
+
+
+class TestRepositoryPin:
+    """The landed tree is clean, and the canaries prove the teeth."""
+
+    def test_repository_is_reprolint_clean(self, capsys):
+        rc = reprolint_main(["src", "tools", "benchmarks",
+                             "--root", str(REPO_ROOT)])
+        out = capsys.readouterr()
+        assert rc == 0, f"reprolint regressions:\n{out.out}"
+
+    def test_canary_uninvalidated_cache_fails(self, tmp_path, capsys):
+        """Re-introducing the PR-2 bug class must fail the CLI."""
+        write_fixture(tmp_path, {"src/repro/tb/calculator.py": '''
+class TBCalculator:
+    def __init__(self):
+        self._results_cache = None
+        self._pattern_cache = None
+
+    def compute(self, atoms):
+        self._results_cache = {"energy": -4.0}
+        self._pattern_cache = object()
+
+    def invalidate(self):
+        self._results_cache = None
+        # _pattern_cache forgotten: the canary
+'''})
+        rc = reprolint_main(["src", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "_pattern_cache" in out
+
+    def test_canary_off_catalog_metric_fails(self, tmp_path, capsys):
+        write_fixture(tmp_path, {
+            "docs/observability.md":
+                "| `service.warm_evals` | warm evals |\n",
+            "src/repro/service/thing.py": '''
+from repro import obs
+
+def record():
+    obs.counter_inc("service.renamed_evals")
+''',
+        })
+        rc = reprolint_main(["src", "--root", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "service.renamed_evals" in out
+
+    def test_shipped_baseline_is_documented(self):
+        """Every entry in the checked-in baseline has a real reason."""
+        baseline = load_baseline(
+            REPO_ROOT / "tools" / "reprolint" / "baseline.json")
+        for key, entry in baseline.items():
+            assert "TODO" not in entry["reason"], key
+
+
+class TestTypingRatchet:
+    def test_ratchet_config_consistent(self, capsys):
+        assert ratchet_main([]) == 0
+
+    def test_ratchet_manifest_nonempty(self):
+        manifest = (REPO_ROOT / "tools" / "typing_ratchet.txt").read_text()
+        mods = [ln for ln in manifest.splitlines()
+                if ln.strip() and not ln.startswith("#")]
+        assert len(mods) >= 7
+        assert "repro.state" in mods
+        assert "repro.service.protocol" in mods
+
+    def test_py_typed_shipped(self):
+        assert (REPO_ROOT / "src" / "repro" / "py.typed").exists()

@@ -1,0 +1,42 @@
+"""reprolint — AST-based checker for this repo's cross-cutting invariants.
+
+Run it: ``python -m tools.reprolint [paths...]`` (defaults to
+``src tools benchmarks``).  See docs/static-analysis.md for the rule
+catalog, the suppression/baseline workflow and how to add a rule.
+"""
+
+from __future__ import annotations
+
+from tools.reprolint.engine import (
+    PARSE_ERROR_RULE,
+    Finding,
+    ModuleContext,
+    Rule,
+    RunConfig,
+    Suppressions,
+    counts_by_rule,
+    counts_snapshot,
+    load_baseline,
+    run_paths,
+    split_baselined,
+    write_baseline,
+)
+from tools.reprolint.rules import RULE_CLASSES, all_rules, rule_ids
+
+__all__ = [
+    "PARSE_ERROR_RULE",
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "RunConfig",
+    "Suppressions",
+    "RULE_CLASSES",
+    "all_rules",
+    "counts_by_rule",
+    "counts_snapshot",
+    "load_baseline",
+    "rule_ids",
+    "run_paths",
+    "split_baselined",
+    "write_baseline",
+]

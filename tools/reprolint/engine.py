@@ -1,0 +1,272 @@
+"""The reprolint rule engine: findings, suppressions, baseline, runner.
+
+reprolint is a stdlib-``ast`` static checker for this repository's
+*cross-cutting invariants* — contracts that no single runtime test owns
+(the CalculatorState cache-invalidation contract, the one-``Result``
+response envelope, the telemetry name catalog, optional-dependency
+import guards, the error/clock/shared-state disciplines).  Each rule is
+one visitor class in :mod:`tools.reprolint.rules`; this module supplies
+everything around them:
+
+* :class:`Finding` — one violation: rule id, file:line, message, fix
+  hint, rendered as human text or GitHub workflow annotations;
+* inline suppressions — ``# reprolint: disable=<rule>[,<rule>...]`` on
+  the offending line (or ``disable-file=`` anywhere for a whole file),
+  for *documented* false positives only;
+* a checked-in JSON baseline for grandfathered findings (matched by
+  (rule, path, message) — line numbers may drift with unrelated edits);
+* :func:`run_paths` — parse every ``*.py`` under the given paths once,
+  apply every rule, filter suppressions, and return sorted findings.
+
+The engine knows nothing about any specific rule; adding one means
+writing a class with ``id``/``hint``/``check(ctx)`` and registering it
+in ``rules/__init__.py`` (see docs/static-analysis.md).
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from collections.abc import Iterable, Iterator
+from typing import Any
+
+#: repository root (tools/reprolint/engine.py -> tools/reprolint -> tools -> root)
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: pseudo-rule id used when a file cannot be parsed at all
+PARSE_ERROR_RULE = "parse-error"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(disable|disable-file)\s*=\s*([a-z0-9_,\- ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str        # repository-relative, POSIX separators
+    line: int
+    message: str
+    hint: str = ""
+
+    @property
+    def baseline_key(self) -> str:
+        """Line-number-free identity used for baseline matching, so an
+        unrelated edit above a grandfathered finding does not churn the
+        baseline file."""
+        return f"{self.path}::{self.rule}::{self.message}"
+
+    def format(self, fmt: str = "text") -> str:
+        if fmt == "github":
+            # one GitHub Actions workflow annotation per finding
+            msg = self.message + (f" [fix: {self.hint}]" if self.hint else "")
+            return (f"::error file={self.path},line={self.line},"
+                    f"title=reprolint({self.rule})::{msg}")
+        out = f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+        if self.hint:
+            out += f"\n    fix: {self.hint}"
+        return out
+
+
+class Rule:
+    """Base class for one reprolint rule.
+
+    Subclasses set :attr:`id` (kebab-case, the name used by
+    ``# reprolint: disable=<id>`` and the baseline) and :attr:`hint`
+    (the generic fix advice), and implement :meth:`check`, yielding
+    :class:`Finding` objects for one parsed module.
+    """
+
+    id: str = ""
+    hint: str = ""
+    description: str = ""
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError  # pragma: no cover - abstract
+
+    def finding(self, ctx: "ModuleContext", node: ast.AST | int,
+                message: str, hint: str | None = None) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(rule=self.id, path=ctx.rel, line=line,
+                       message=message,
+                       hint=self.hint if hint is None else hint)
+
+
+@dataclass
+class RunConfig:
+    """Per-run knobs the rules may consult.
+
+    ``root`` anchors repository-relative paths (rules scope themselves
+    by path prefix, e.g. ``src/repro/service/``); tests point it at a
+    fixture tree.  ``catalog_names`` overrides the telemetry-name
+    catalog normally parsed from ``docs/observability.md``.
+    """
+
+    root: Path = REPO_ROOT
+    catalog_names: frozenset[str] | None = None
+
+
+@dataclass
+class ModuleContext:
+    """Everything one rule needs to check one parsed module."""
+
+    path: Path
+    rel: str
+    tree: ast.Module
+    source: str
+    lines: list[str]
+    config: RunConfig
+
+    def in_dir(self, *prefixes: str) -> bool:
+        return any(self.rel == p or self.rel.startswith(p.rstrip("/") + "/")
+                   for p in prefixes)
+
+
+@dataclass
+class Suppressions:
+    """Inline suppression directives parsed from one file."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    file_wide: set[str] = field(default_factory=set)
+
+    @classmethod
+    def scan(cls, lines: list[str]) -> "Suppressions":
+        sup = cls()
+        for i, line in enumerate(lines, start=1):
+            m = _SUPPRESS_RE.search(line)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(2).split(",") if r.strip()}
+            if m.group(1) == "disable-file":
+                sup.file_wide |= rules
+            else:
+                sup.by_line.setdefault(i, set()).update(rules)
+        return sup
+
+    def hides(self, finding: Finding) -> bool:
+        if finding.rule in self.file_wide or "all" in self.file_wide:
+            return True
+        at_line = self.by_line.get(finding.line, ())
+        return finding.rule in at_line or "all" in at_line
+
+
+# -- baseline ---------------------------------------------------------------
+
+def load_baseline(path: Path | None) -> dict[str, dict]:
+    """Baseline file → ``{baseline_key: entry}``.  Every entry must
+    carry a non-empty ``reason`` — a grandfathered finding with no
+    documented justification is itself an error."""
+    if path is None or not Path(path).exists():
+        return {}
+    data = json.loads(Path(path).read_text())
+    out: dict[str, dict] = {}
+    for entry in data.get("entries", ()):
+        for key in ("rule", "path", "message", "reason"):
+            if not entry.get(key):
+                raise ValueError(
+                    f"baseline entry {entry!r} is missing {key!r} "
+                    f"(every baselined finding needs a documented reason)")
+        out[f"{entry['path']}::{entry['rule']}::{entry['message']}"] = entry
+    return out
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    entries = [{"rule": f.rule, "path": f.path, "message": f.message,
+                "reason": "TODO: document why this is a false positive"}
+               for f in findings]
+    payload = {"_comment": ("reprolint baseline: grandfathered findings. "
+                            "Only documented false positives belong here; "
+                            "fill in every 'reason'."),
+               "entries": entries}
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+
+
+# -- runner -----------------------------------------------------------------
+
+def iter_py_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            yield from sorted(f for f in p.rglob("*.py")
+                              if "__pycache__" not in f.parts)
+        elif p.suffix == ".py":
+            yield p
+
+
+def check_file(path: Path, rules: Iterable[Rule],
+               config: RunConfig) -> list[Finding]:
+    """All (unsuppressed) findings for one file."""
+    path = Path(path).resolve()
+    try:
+        rel = path.relative_to(Path(config.root).resolve()).as_posix()
+    except ValueError:
+        rel = path.as_posix()
+    source = path.read_text()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [Finding(rule=PARSE_ERROR_RULE, path=rel,
+                        line=exc.lineno or 1,
+                        message=f"file does not parse: {exc.msg}")]
+    ctx = ModuleContext(path=path, rel=rel, tree=tree, source=source,
+                        lines=lines, config=config)
+    sup = Suppressions.scan(lines)
+    found: list[Finding] = []
+    for rule in rules:
+        for f in rule.check(ctx):
+            if not sup.hides(f):
+                found.append(f)
+    return found
+
+
+def run_paths(paths: Iterable[Path | str], rules: Iterable[Rule] | None = None,
+              config: RunConfig | None = None) -> list[Finding]:
+    """Run *rules* over every python file under *paths*, sorted."""
+    from tools.reprolint.rules import all_rules
+
+    config = config or RunConfig()
+    rules = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for f in iter_py_files(paths):
+        findings.extend(check_file(f, rules, config))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+def split_baselined(findings: Iterable[Finding], baseline: dict[str, dict]
+                    ) -> tuple[list[Finding], list[Finding]]:
+    """(new, grandfathered) according to the baseline mapping."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for f in findings:
+        (old if f.baseline_key in baseline else new).append(f)
+    return new, old
+
+
+def counts_by_rule(findings: Iterable[Finding]) -> dict[str, int]:
+    out: dict[str, int] = {}
+    for f in findings:
+        out[f.rule] = out.get(f.rule, 0) + 1
+    return out
+
+
+def counts_snapshot(new: Iterable[Finding], baselined: Iterable[Finding]
+                    ) -> dict[str, Any]:
+    """Per-rule finding counts in the bench-metrics artifact shape
+    (an ``repro.obs`` registry snapshot: counters + gauges), so the
+    finding trajectory is queryable across PRs with the same tooling
+    as the performance artifacts."""
+    new, baselined = list(new), list(baselined)
+    counters = {f"reprolint.findings.{rule}": float(n)
+                for rule, n in sorted(counts_by_rule(new).items())}
+    counters.update({f"reprolint.baselined.{rule}": float(n)
+                     for rule, n in sorted(counts_by_rule(baselined).items())})
+    return {"counters": counters,
+            "gauges": {"reprolint.findings_total": float(len(new)),
+                       "reprolint.baselined_total": float(len(baselined))},
+            "histograms": {}}

@@ -1,0 +1,135 @@
+"""Rule: every cache attribute a calculator/builder assigns must be
+cleared on its reset/invalidate path.
+
+This is the PR-2 stale-state bug class.  The repository's whole fast
+path rests on the :class:`repro.state.CalculatorState` invalidation
+contract: persistent machinery (neighbour lists, sparse patterns,
+localization regions, spectral windows, warm μ, results) lives in
+attributes named ``*_cache`` / ``_cached_*`` / ``_cache_key`` and MUST
+be dropped when the owning object is told to forget everything —
+otherwise an in-place model mutation or a service re-materialization
+silently serves results for a geometry that no longer exists.
+
+The check is purely structural: for every class that looks like a
+calculator or builder (name contains ``Calculator`` / ``Builder``, or
+it defines a reset-family method), every cache-named attribute assigned
+anywhere in the class must also be assigned (cleared) or deleted inside
+at least one reset-family method — ``reset`` / ``invalidate`` /
+``_reset_persistent`` / ``_reset_state`` / ``_full_reset`` / ``clear``
+— either directly or in a ``self.<helper>()`` the reset method calls.
+
+Caches that are *self-validating* (keyed by a geometry fingerprint
+checked on every read) are still required to clear: clearing is always
+correct, costs nothing, and keeps the contract uniform enough to be
+machine-checkable.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from tools.reprolint.engine import Finding, ModuleContext, Rule
+
+#: attribute names treated as step-to-step cache state
+CACHE_ATTR_RE = re.compile(r"(^|_)cached?(_|$)")
+
+#: method names that form the reset/invalidate path of a class
+RESET_METHOD_NAMES = frozenset({
+    "reset", "invalidate", "clear",
+    "_reset", "_reset_persistent", "_reset_state", "_full_reset",
+})
+
+CLASS_NAME_RE = re.compile(r"Calculator|Builder")
+
+
+def _self_attr_targets(node: ast.AST) -> Iterator[str]:
+    """Names X for every ``self.X = ...`` / ``del self.X`` in *node*."""
+    for sub in ast.walk(node):
+        targets: list[ast.expr] = []
+        if isinstance(sub, ast.Assign):
+            targets = list(sub.targets)
+        elif isinstance(sub, (ast.AnnAssign, ast.AugAssign)):
+            targets = [sub.target]
+        elif isinstance(sub, ast.Delete):
+            targets = list(sub.targets)
+        for t in targets:
+            # unpack tuple targets: self.a, self.b = ...
+            elts = t.elts if isinstance(t, (ast.Tuple, ast.List)) else [t]
+            for e in elts:
+                if (isinstance(e, ast.Attribute)
+                        and isinstance(e.value, ast.Name)
+                        and e.value.id == "self"):
+                    yield e.attr
+
+
+def _self_calls(node: ast.AST) -> Iterator[str]:
+    """Names M for every ``self.M(...)`` call in *node*."""
+    for sub in ast.walk(node):
+        if (isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and isinstance(sub.func.value, ast.Name)
+                and sub.func.value.id == "self"):
+            yield sub.func.attr
+
+
+class CacheInvalidationRule(Rule):
+    id = "cache-invalidation"
+    hint = ("clear the attribute in the class's reset/invalidate method "
+            "(assign its empty/None state), or rename it if it is not "
+            "cache state")
+    description = ("cache attributes assigned by calculator/builder "
+                   "classes must be cleared on the reset/invalidate path")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_dir("src"):
+            return
+        for cls in ast.walk(ctx.tree):
+            if isinstance(cls, ast.ClassDef):
+                yield from self._check_class(ctx, cls)
+
+    def _check_class(self, ctx: ModuleContext,
+                     cls: ast.ClassDef) -> Iterator[Finding]:
+        methods = {m.name: m for m in cls.body
+                   if isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))}
+        reset_methods = [m for name, m in methods.items()
+                         if name in RESET_METHOD_NAMES]
+        in_scope = bool(CLASS_NAME_RE.search(cls.name)) or bool(reset_methods)
+        if not in_scope:
+            return
+
+        # cache attrs assigned anywhere in the class, with first location
+        assigned: dict[str, int] = {}
+        for _name, m in methods.items():
+            for attr in _self_attr_targets(m):
+                if CACHE_ATTR_RE.search(attr):
+                    node_line = assigned.get(attr)
+                    if node_line is None or m.name == "__init__":
+                        assigned.setdefault(attr, m.lineno)
+        if not assigned:
+            return
+
+        if not reset_methods:
+            names = ", ".join(sorted(assigned))
+            yield self.finding(
+                ctx, cls,
+                f"class {cls.name} assigns cache attribute(s) {names} but "
+                f"defines no reset/invalidate method")
+            return
+
+        # attrs cleared in a reset method, directly or one self-call deep
+        cleared: set[str] = set()
+        for m in reset_methods:
+            cleared.update(_self_attr_targets(m))
+            for callee in _self_calls(m):
+                helper = methods.get(callee)
+                if helper is not None:
+                    cleared.update(_self_attr_targets(helper))
+
+        for attr in sorted(set(assigned) - cleared):
+            yield self.finding(
+                ctx, assigned[attr],
+                f"cache attribute self.{attr} of {cls.name} is never "
+                f"cleared in its reset path "
+                f"({', '.join(sorted(m.name for m in reset_methods))})")

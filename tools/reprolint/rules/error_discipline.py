@@ -1,0 +1,65 @@
+"""Rule: no bare ``except:``; the service/scenario tiers raise
+``ReproError`` subclasses, not raw builtins.
+
+A bare ``except:`` swallows ``KeyboardInterrupt`` and ``SystemExit`` —
+in a long-running server that turns Ctrl-C into a hung worker.  And the
+transport tier maps exceptions onto the ``Result`` error envelope by
+*type*: a ``ValueError`` raised inside a service op crosses the wire as
+an anonymous internal error with no op context, where a
+:class:`repro.errors.ReproError` subclass carries its code and context
+dict into ``Result.failure``.  Hence, under ``src/repro/service/`` and
+``src/repro/scenarios/``, ``raise <builtin>(...)`` is flagged
+(``NotImplementedError`` excepted — abstract-seam convention).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.engine import Finding, ModuleContext, Rule
+
+RAISE_SCOPES = ("src/repro/service", "src/repro/scenarios")
+
+#: builtins that must not cross the service/scenario seam
+FLAGGED_BUILTINS = frozenset({
+    "Exception", "BaseException", "ValueError", "TypeError", "KeyError",
+    "IndexError", "LookupError", "AttributeError", "RuntimeError",
+    "OSError", "IOError", "FileNotFoundError", "TimeoutError",
+    "ConnectionError", "ArithmeticError", "ZeroDivisionError",
+    "StopIteration", "AssertionError", "NameError", "SystemError",
+})
+
+
+class ErrorDisciplineRule(Rule):
+    id = "error-discipline"
+    hint = ("raise a repro.errors.ReproError subclass carrying op context "
+            "(and catch specific exception types, never bare except)")
+    description = ("no bare except:; service/scenario code raises "
+                   "ReproError subclasses with op context")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_dir("src", "tools", "benchmarks"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' also catches KeyboardInterrupt/"
+                    "SystemExit",
+                    hint="catch Exception (or something narrower)")
+        if ctx.in_dir(*RAISE_SCOPES):
+            for node in ast.walk(ctx.tree):
+                if isinstance(node, ast.Raise):
+                    yield from self._check_raise(ctx, node)
+
+    def _check_raise(self, ctx: ModuleContext,
+                     node: ast.Raise) -> Iterator[Finding]:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name) and exc.id in FLAGGED_BUILTINS:
+            yield self.finding(
+                ctx, node,
+                f"raise {exc.id} in the service/scenario tier — crosses "
+                f"the transport as an anonymous internal error")

@@ -1,0 +1,83 @@
+"""Rule: the service tier speaks exactly one response envelope.
+
+PR 8 consolidated every service op, CLI ``--json`` path and scenario
+outcome onto :class:`repro.service.protocol.Result` — one shape with
+``id``/``ok``/``value``/``error``/``timings``/``metrics``, constructed
+via ``Result.success`` / ``Result.failure`` / ``ok_response`` /
+``error_response``.  A hand-assembled ``{"ok": True, ...}`` dict
+bypasses the envelope's key discipline (and any future field the
+envelope grows), and is exactly the drift this rule exists to stop.
+
+Checks, under ``src/repro/service/``, ``src/repro/scenarios/`` and
+``src/repro/cli.py`` (``protocol.py`` itself is exempt — it *defines*
+the envelope):
+
+* any ``dict`` literal with an ``"ok"`` key → use the ``Result``
+  constructors;
+* a ``run()`` method in ``src/repro/scenarios/`` returning a ``dict``
+  literal → return a typed result object instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.engine import Finding, ModuleContext, Rule
+
+SCOPES = ("src/repro/service", "src/repro/scenarios")
+EXEMPT = ("src/repro/service/protocol.py",)
+
+
+class ResultEnvelopeRule(Rule):
+    id = "result-envelope"
+    hint = ("construct repro.service.protocol.Result (Result.success / "
+            "Result.failure / ok_response / error_response) instead of an "
+            "ad-hoc dict")
+    description = ("service ops, CLI --json paths and scenario run() must "
+                   "speak the Result envelope, not hand-rolled dicts")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_dir(*EXEMPT):
+            return
+        if not (ctx.in_dir(*SCOPES) or ctx.rel == "src/repro/cli.py"):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Dict) and self._has_ok_flag(node):
+                yield self.finding(
+                    ctx, node,
+                    "ad-hoc response dict carrying a boolean 'ok' flag — "
+                    "this is the Result envelope's job")
+        if ctx.in_dir("src/repro/scenarios"):
+            yield from self._check_run_returns(ctx)
+
+    @staticmethod
+    def _has_ok_flag(node: ast.Dict) -> bool:
+        """True for an ``"ok"`` key whose value is a success *flag*
+        (bool constant, comparison, or boolean op) — an ``"ok"`` key
+        holding e.g. a success *count* is not an envelope."""
+        def flag_shaped(v: ast.expr | None) -> bool:
+            if isinstance(v, (ast.Compare, ast.BoolOp, ast.UnaryOp)):
+                return True
+            return isinstance(v, ast.Constant) and isinstance(v.value, bool)
+
+        return any(isinstance(k, ast.Constant) and k.value == "ok"
+                   and flag_shaped(v)
+                   for k, v in zip(node.keys, node.values))
+
+    def _check_run_returns(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for cls in ast.walk(ctx.tree):
+            if not isinstance(cls, ast.ClassDef):
+                continue
+            for m in cls.body:
+                if (isinstance(m, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and m.name == "run"):
+                    for sub in ast.walk(m):
+                        if (isinstance(sub, ast.Return)
+                                and isinstance(sub.value, ast.Dict)):
+                            yield self.finding(
+                                ctx, sub,
+                                f"{cls.name}.run() returns a bare dict "
+                                f"literal — scenarios return typed results",
+                                hint="return a ScenarioResult / Result, "
+                                     "not a dict literal")

@@ -1,0 +1,82 @@
+"""Rule: no unguarded mutable module-level state in the concurrent tiers.
+
+``src/repro/service/`` runs a threaded transport over a worker pool and
+``src/repro/parallel/`` fans work across threads and processes; a
+module-level ``dict``/``list``/``set`` there is shared by every thread
+that imports the module.  ROADMAP items 1 and 5 (multi-worker,
+multi-host service) make this the bug class runtime tests are worst at:
+the race only fires under load.  Flagged: module-level assignment of a
+mutable container literal or constructor, unless the module also
+defines a module-level ``threading.Lock``/``RLock`` (the container is
+then taken to be guarded by it — keep them adjacent) or the value is
+wrapped in ``MappingProxyType``/``frozenset``/``tuple``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from tools.reprolint.engine import Finding, ModuleContext, Rule
+
+SCOPES = ("src/repro/service", "src/repro/parallel")
+
+MUTABLE_CALLS = frozenset({
+    "dict", "list", "set", "defaultdict", "deque", "OrderedDict", "Counter",
+})
+LOCK_CALLS = frozenset({"Lock", "RLock", "Condition", "Semaphore"})
+
+
+def _call_name(node: ast.Call) -> str:
+    f = node.func
+    if isinstance(f, ast.Name):
+        return f.id
+    if isinstance(f, ast.Attribute):
+        return f.attr
+    return ""
+
+
+def _is_mutable_value(value: ast.expr) -> bool:
+    if isinstance(value, (ast.Dict, ast.List, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)):
+        return True
+    return isinstance(value, ast.Call) and _call_name(value) in MUTABLE_CALLS
+
+
+class SharedStateRule(Rule):
+    id = "shared-state"
+    hint = ("guard the container with a module-level threading.Lock, make "
+            "it immutable (tuple/frozenset/MappingProxyType), or move it "
+            "into an instance")
+    description = ("module-level mutable containers in service/ and "
+                   "parallel/ must be lock-guarded or frozen")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_dir(*SCOPES):
+            return
+        has_lock = any(
+            isinstance(stmt, (ast.Assign, ast.AnnAssign))
+            and isinstance(getattr(stmt, "value", None), ast.Call)
+            and _call_name(stmt.value) in LOCK_CALLS
+            for stmt in ctx.tree.body)
+        for stmt in ctx.tree.body:
+            targets: list[ast.expr]
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            else:
+                continue
+            if not _is_mutable_value(value) or has_lock:
+                continue
+            plain = [t.id for t in targets if isinstance(t, ast.Name)]
+            # dunder module metadata (__all__ and friends) is written
+            # once at import time, not shared mutable state
+            if plain and all(n.startswith("__") and n.endswith("__")
+                             for n in plain):
+                continue
+            names = ", ".join(plain)
+            yield self.finding(
+                ctx, stmt,
+                f"module-level mutable container {names or '<target>'} in a "
+                f"concurrent tier with no module-level lock")
