@@ -154,8 +154,8 @@ def strain_tensors(mode: str, amplitudes, axis: int = 2
 
 def strain_sweep(atoms, calc, amplitudes=None, *, mode: str = "volumetric",
                  axis: int = 2, tensors=None, forces: bool = False,
-                 fit: str | None = "birch", energy_ref: float = 0.0
-                 ) -> StrainSweepResult:
+                 fit: str | None = "birch", energy_ref: float = 0.0,
+                 traj_writer=None) -> StrainSweepResult:
     """Evaluate E(ε) along a strain path with one persistent calculator.
 
     Parameters
@@ -193,6 +193,11 @@ def strain_sweep(atoms, calc, amplitudes=None, *, mode: str = "volumetric",
     energy_ref :
         Per-atom reference subtracted from the stored energies (e.g. the
         free-atom reference that turns E into cohesive energy).
+    traj_writer :
+        Optional :class:`~repro.trajio.writer.TrajectoryWriter` (or any
+        object with the same ``write``) receiving each strained geometry
+        as a frame (step = visit index, ``epot`` = the *total* energy of
+        the point).  The caller owns the writer's lifecycle.
 
     Returns
     -------
@@ -261,6 +266,9 @@ def strain_sweep(atoms, calc, amplitudes=None, *, mode: str = "volumetric",
         dt = tick() - t0
         obs.observe("sweep.point_s", dt)
         obs.counter_inc("sweep.points")
+        if traj_writer is not None:
+            traj_writer.write(strained, step=len(points),
+                              epot=float(res["energy"]))
         points.append(StrainPoint(
             amplitude=float(amplitudes[i]),
             strain=tensors[i],

@@ -189,7 +189,9 @@ def cmd_md(args) -> int:
         LangevinDynamics, MDDriver, NoseHoover, NoseHooverChain, ThermoLog,
         VelocityVerlet, maxwell_boltzmann_velocities,
     )
-    from repro.md.observers import ProgressPrinter, XYZWriter
+    from repro.md.observers import (
+        BinaryTrajectoryWriter, ProgressPrinter, XYZWriter,
+    )
 
     atoms = read_xyz(args.structure)
     calc = _make_calculator(args.model, args.kt, args)
@@ -209,10 +211,21 @@ def cmd_md(args) -> int:
 
     log = ThermoLog()
     observers: list = [log, (ProgressPrinter(), max(1, args.steps // 20))]
+    traj_writer = None
     if args.traj:
-        observers.append((XYZWriter(args.traj), args.traj_interval))
-    md = MDDriver(atoms, calc, integ, observers=observers)
-    md.run(args.steps)
+        # .ptrj selects the chunked binary store (constant memory,
+        # O(1) random access); anything else stays extended-XYZ text
+        if str(args.traj).endswith(".ptrj"):
+            traj_writer = BinaryTrajectoryWriter(args.traj)
+            observers.append((traj_writer, args.traj_interval))
+        else:
+            observers.append((XYZWriter(args.traj), args.traj_interval))
+    try:
+        md = MDDriver(atoms, calc, integ, observers=observers)
+        md.run(args.steps)
+    finally:
+        if traj_writer is not None:
+            traj_writer.close()
     print(f"\nconserved-quantity drift: {log.conserved_drift():.3e}")
     if args.traj:
         print(f"trajectory written to {args.traj}")
@@ -229,11 +242,22 @@ def cmd_sweep(args) -> int:
     calc = _make_calculator(args.model, args.kt, args)
     amplitudes = sweep_amplitudes(args.amplitude, args.npoints)
     fit = None if args.fit == "none" else args.fit
+    traj_writer = None
+    if getattr(args, "traj", None):
+        from repro.trajio.writer import TrajectoryWriter
+
+        traj_writer = TrajectoryWriter(args.traj)
     t0 = tick()
-    res = strain_sweep(atoms, calc, amplitudes, mode=args.mode,
-                       axis=args.axis, forces=args.forces, fit=fit,
-                       energy_ref=args.eref)
+    try:
+        res = strain_sweep(atoms, calc, amplitudes, mode=args.mode,
+                           axis=args.axis, forces=args.forces, fit=fit,
+                           energy_ref=args.eref, traj_writer=traj_writer)
+    finally:
+        if traj_writer is not None:
+            traj_writer.close()
     seconds = tick() - t0
+    if traj_writer is not None:
+        print(f"strained geometries written to {args.traj}")
     print(f"{args.mode} strain sweep: {len(res.points)} points, "
           f"{res.natoms} atoms")
     header = f"{'ε':>9} {'V (Å³/at)':>11} {'E (eV/at)':>12}"
@@ -318,11 +342,12 @@ def cmd_campaign(args) -> int:
 
         with SocketClient(args.socket) as client:
             run = scenarios.run_campaign(spec, client=client,
-                                         nworkers=args.nworkers, log=print)
+                                         nworkers=args.nworkers, log=print,
+                                         traj_dir=args.traj_dir)
     else:
         run = scenarios.run_campaign(spec, nworkers=args.nworkers,
                                      service_workers=args.service_workers,
-                                     log=print)
+                                     log=print, traj_dir=args.traj_dir)
     counts = run.counts
     print(f"{counts['ok']}/{counts['total']} cells ok"
           + (f", {counts['failed']} failed" if counts["failed"] else "")
@@ -501,7 +526,10 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["none", "nose-hoover", "nose-hoover-chain",
                              "langevin"])
     pm.add_argument("--seed", type=int, default=42)
-    pm.add_argument("--traj", help="write trajectory XYZ here")
+    pm.add_argument("--traj",
+                    help="write the trajectory here (a .ptrj suffix "
+                         "selects the chunked binary format, anything "
+                         "else extended-XYZ text)")
     pm.add_argument("--traj-interval", type=int, default=10)
 
     pw = sub.add_parser(
@@ -526,6 +554,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="also compute forces and pressure per point")
     pw.add_argument("--json", help="write points + fit as a "
                                    "Result-envelope JSON file")
+    pw.add_argument("--traj", metavar="PATH",
+                    help="record every strained geometry into a binary "
+                         ".ptrj trajectory")
 
     pca = sub.add_parser(
         "campaign",
@@ -549,6 +580,11 @@ def build_parser() -> argparse.ArgumentParser:
     pca.add_argument("--socket", default=None,
                      help="run against a live 'repro.cli serve' server "
                           "instead of a private in-process service")
+    pca.add_argument("--traj-dir", default=None, dest="traj_dir",
+                     metavar="DIR",
+                     help="persist scenario trajectories as .ptrj files "
+                          "here; rows then carry a traj_ref (see "
+                          "repro.scenarios.store.resolve_traj_ref)")
     pca.add_argument("--strict", action="store_true",
                      help="exit 1 if any cell failed (default: failures "
                           "are recorded in the artifact, exit 0)")

@@ -78,6 +78,40 @@ class XYZWriter:
         self._first = False
 
 
+class BinaryTrajectoryWriter:
+    """Streams frames into a chunked binary ``.ptrj`` file.
+
+    The constant-memory replacement for :class:`XYZWriter` on long
+    runs; remember to :meth:`close` (or use as a context manager) so
+    the frame index lands on disk.  Accepts either a path or an
+    already-open :class:`~repro.trajio.writer.TrajectoryWriter` (the
+    service's store hands those out).
+    """
+
+    def __init__(self, path_or_writer, **kwargs):
+        from repro.trajio.writer import TrajectoryWriter
+
+        if isinstance(path_or_writer, TrajectoryWriter):
+            self.writer = path_or_writer
+        else:
+            self.writer = TrajectoryWriter(path_or_writer, **kwargs)
+
+    def __call__(self, step, atoms, data) -> None:
+        self.writer.write(atoms, step=data["step"],
+                          time_fs=data["time_fs"], epot=data["epot"],
+                          ekin=data["ekin"],
+                          temperature=data["temperature"])
+
+    def close(self) -> None:
+        self.writer.close()
+
+    def __enter__(self) -> "BinaryTrajectoryWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
 class ProgressPrinter:
     """Prints a one-line thermo summary (for example scripts)."""
 

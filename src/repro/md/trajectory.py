@@ -1,14 +1,15 @@
-"""In-memory trajectory storage with XYZ round-trip."""
+"""In-memory trajectory storage with XYZ and binary round-trip."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import MDError
 from repro.geometry.atoms import Atoms
-from repro.geometry.xyz import iread_xyz, write_xyz
+from repro.geometry.cell import Cell
+from repro.geometry.xyz import iread_frames, write_xyz
 
 
 @dataclass
@@ -22,13 +23,17 @@ class Frame:
     epot: float
     ekin: float
     temperature: float
+    cell: Cell | None = field(default=None)
 
 
 class Trajectory:
-    """A list of frames sharing one topology (symbols/cell).
+    """A list of frames sharing one topology (symbols).
 
     Provides array views over the stored quantities for analysis code
-    (MSD, VACF need (T, N, 3) position/velocity stacks).
+    (MSD, VACF need (T, N, 3) position/velocity stacks).  Each frame
+    carries its own cell (NPT/barostat runs change it every step);
+    ``self.cell`` keeps the first frame's cell as a convenience for
+    constant-cell analysis.
     """
 
     def __init__(self, symbols=None, cell=None):
@@ -43,9 +48,10 @@ class Trajectory:
                epot: float = 0.0) -> None:
         if self.symbols is None:
             self.symbols = atoms.symbols
-            self.cell = atoms.cell
         elif atoms.symbols != self.symbols:
             raise MDError("trajectory frames must share one composition")
+        if self.cell is None:
+            self.cell = atoms.cell
         self.frames.append(Frame(
             step=step,
             time_fs=time_fs,
@@ -54,6 +60,7 @@ class Trajectory:
             epot=epot,
             ekin=atoms.kinetic_energy(),
             temperature=atoms.temperature(),
+            cell=atoms.cell,
         ))
 
     # -- array views ------------------------------------------------------------
@@ -74,24 +81,76 @@ class Trajectory:
     def potential_energies(self) -> np.ndarray:
         return np.array([f.epot for f in self.frames])
 
+    def cells(self) -> np.ndarray:
+        """(T, 3, 3) stack of per-frame cell matrices."""
+        return np.stack([self._frame_cell(f).matrix for f in self.frames])
+
+    def _frame_cell(self, f: Frame) -> Cell:
+        cell = f.cell if f.cell is not None else self.cell
+        return cell if cell is not None else Cell.nonperiodic()
+
     def atoms_at(self, index: int) -> Atoms:
         """Reconstruct an Atoms object for frame *index*."""
         f = self.frames[index]
-        return Atoms(self.symbols, f.positions.copy(), cell=self.cell,
+        return Atoms(self.symbols, f.positions.copy(),
+                     cell=self._frame_cell(f),
                      velocities=f.velocities.copy())
 
     # -- persistence -------------------------------------------------------------
     def save_xyz(self, path) -> None:
+        """Write extended-XYZ: per-frame cell, velocity columns, and
+        exact (shortest-repr) step/time_fs/epot metadata."""
         with open(path, "w") as fh:
             for f in self.frames:
-                at = Atoms(self.symbols, f.positions, cell=self.cell)
+                at = Atoms(self.symbols, f.positions,
+                           cell=self._frame_cell(f),
+                           velocities=f.velocities)
                 write_xyz(fh, at,
-                          comment=f"step={f.step} time_fs={f.time_fs:.3f} "
-                                  f"epot={f.epot:.8f}")
+                          comment=f"step={f.step} "
+                                  f"time_fs={float(f.time_fs)!r} "
+                                  f"epot={float(f.epot)!r}")
 
     @classmethod
     def load_xyz(cls, path) -> "Trajectory":
         traj = cls()
-        for i, at in enumerate(iread_xyz(path)):
-            traj.append(at, step=i)
+        for i, (at, info) in enumerate(iread_frames(path)):
+            traj.append(at, step=int(info.get("step", i)),
+                        time_fs=float(info.get("time_fs", 0.0)),
+                        epot=float(info.get("epot", 0.0)))
+        return traj
+
+    def save(self, path, **kwargs) -> None:
+        """Write the trajectory as a chunked binary ``.ptrj`` file.
+
+        Keyword arguments pass through to
+        :class:`~repro.trajio.writer.TrajectoryWriter`.
+        """
+        from repro.trajio.writer import TrajectoryWriter
+        with TrajectoryWriter(path, self.symbols, **kwargs) as w:
+            for f in self.frames:
+                cell = self._frame_cell(f)
+                w.write_arrays(self.symbols or [], f.positions,
+                               cell=cell.matrix, pbc=cell.pbc,
+                               velocities=f.velocities, step=f.step,
+                               time_fs=f.time_fs, epot=f.epot,
+                               ekin=f.ekin, temperature=f.temperature)
+
+    @classmethod
+    def load(cls, path) -> "Trajectory":
+        """Read a ``.ptrj`` file back into memory."""
+        from repro.trajio.reader import TrajectoryReader
+        traj = cls()
+        with TrajectoryReader(path) as reader:
+            traj.symbols = reader.symbols
+            for fr in reader:
+                nat = reader.natoms
+                traj.frames.append(Frame(
+                    step=fr.step, time_fs=fr.time_fs,
+                    positions=np.asarray(fr.positions),
+                    velocities=np.zeros((nat, 3)) if fr.velocities is None
+                    else np.asarray(fr.velocities),
+                    epot=fr.epot, ekin=fr.ekin,
+                    temperature=fr.temperature, cell=fr.cell))
+            if traj.frames:
+                traj.cell = traj.frames[0].cell
         return traj

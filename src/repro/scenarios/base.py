@@ -106,12 +106,20 @@ class StructureHandle:
 
 @dataclass
 class ScenarioResult:
-    """What one scenario run hands back to the campaign runner."""
+    """What one scenario run hands back to the campaign runner.
+
+    ``trajectory`` optionally carries a
+    :class:`~repro.md.trajectory.Trajectory` (or any object with its
+    ``save(path)``) of the run; the campaign runner persists it as a
+    ``.ptrj`` artifact and records only a ``traj_ref`` in the row —
+    frame payloads never enter the result tables.
+    """
 
     scenario: str
     value: dict = field(default_factory=dict)
     metrics: dict = field(default_factory=dict)
     timings: dict = field(default_factory=dict)
+    trajectory: Any | None = None
 
 
 class Scenario:

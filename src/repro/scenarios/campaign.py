@@ -246,6 +246,21 @@ def expand_matrix(spec: CampaignSpec) -> list[CampaignCell]:
     return cells
 
 
+def _store_trajectory(traj_dir, cell_id: str, trajectory) -> str:
+    """Persist a scenario trajectory as ``<traj_dir>/<cell>.ptrj``.
+
+    Returns the file name (the row's ``traj_ref``) — resolve it back to
+    a path with :func:`repro.scenarios.store.resolve_traj_ref`.
+    """
+    import os
+    import re
+
+    os.makedirs(traj_dir, exist_ok=True)
+    name = re.sub(r"[^\w.=,-]+", "_", cell_id) + ".ptrj"
+    trajectory.save(os.path.join(traj_dir, name))
+    return name
+
+
 @dataclass
 class CampaignRun:
     """The in-memory outcome of :func:`run_campaign`."""
@@ -269,7 +284,8 @@ class CampaignRun:
 
 
 def run_campaign(spec: CampaignSpec, *, client=None, nworkers: int = 1,
-                 service_workers: int = 2, log=None) -> CampaignRun:
+                 service_workers: int = 2, log=None,
+                 traj_dir=None) -> CampaignRun:
     """Run every cell of *spec*; never aborts on a failing cell.
 
     Parameters
@@ -287,6 +303,12 @@ def run_campaign(spec: CampaignSpec, *, client=None, nworkers: int = 1,
         thread-safe; the resident workers do the heavy lifting).
     log :
         Optional ``callable(str)`` for per-cell progress lines.
+    traj_dir :
+        Directory for trajectory artifacts.  Scenarios that return a
+        :attr:`~repro.scenarios.base.ScenarioResult.trajectory` get it
+        written there as ``<cell>.ptrj`` and the row's value carries
+        the ``traj_ref`` file name (never frame payloads).  ``None``
+        (the default) drops scenario trajectories.
     """
     from repro.service.client import BatchClient, SocketClient
 
@@ -341,6 +363,9 @@ def run_campaign(spec: CampaignSpec, *, client=None, nworkers: int = 1,
             payload = Result.success(result.value).merge_metrics(
                 **result.metrics).merge_timings(
                 **{**result.timings, "seconds": tick() - t_cell})
+            if traj_dir is not None and result.trajectory is not None:
+                payload["traj_ref"] = _store_trajectory(
+                    traj_dir, cell.cell_id, result.trajectory)
         except Exception as exc:        # noqa: BLE001 - recorded, not raised
             obs.counter_inc("campaign.cell_failures")
             status = "failed"

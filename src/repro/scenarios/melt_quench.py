@@ -115,5 +115,12 @@ class MeltQuenchScenario(Scenario):
                  "legs": {"melt": params["melt_steps"],
                           "quench": params["quench_steps"]},
                  **metrics}
+        # hand the sampled frames to the runner as a real trajectory;
+        # steps renumber globally (each MD leg counts from 0 itself)
+        from repro.md.trajectory import Trajectory
+        traj = Trajectory()
+        for i, s in enumerate(samples):
+            traj.append(s["frame"], step=i, time_fs=s["time_fs"],
+                        epot=s["epot"])
         return ScenarioResult(self.name, value=value, metrics=metrics,
-                              timings=timings)
+                              timings=timings, trajectory=traj)

@@ -193,6 +193,29 @@ def read_artifact(path):
         f"or .db)")
 
 
+def resolve_traj_ref(artifact_path, row, traj_dir=None):
+    """Path of the ``.ptrj`` trajectory a cell row references, or None.
+
+    A row's ``value.traj_ref`` is the file name the campaign runner
+    wrote; by convention it lives next to the artifact (or in an
+    explicit *traj_dir*).  Returns the resolved path when the file
+    exists, ``None`` when the row carries no trajectory.
+    """
+    import os
+
+    ref = (row.get("value") or {}).get("traj_ref")
+    if not ref:
+        return None
+    base = os.fspath(traj_dir) if traj_dir is not None \
+        else os.path.dirname(os.path.abspath(os.fspath(artifact_path)))
+    path = os.path.join(base, ref)
+    if not os.path.exists(path):
+        raise CampaignError(
+            f"cell {row.get('cell')!r} references trajectory {ref!r} "
+            f"but {path} does not exist (pass traj_dir=)")
+    return path
+
+
 def query_cells(path, structure: str | None = None,
                 scenario: str | None = None,
                 status: str | None = None) -> list[dict]:

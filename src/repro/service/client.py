@@ -109,20 +109,56 @@ class _ClientBase:
               mode: str = "volumetric", axis: int = 2,
               fit: str | None = "birch", forces: bool = False,
               energy_ref: float = 0.0, amplitude: float = 0.04,
-              npoints: int = 9) -> dict:
+              npoints: int = 9, traj: bool = False) -> dict:
         """Server-side strain-sweep/EOS on a resident structure — one
         request for the whole E(ε) curve, evaluated by the calculator
         that already holds the warm state (see
-        :func:`repro.analysis.strain_sweep.strain_sweep`)."""
+        :func:`repro.analysis.strain_sweep.strain_sweep`).  With
+        ``traj=True`` the strained geometries are recorded server-side
+        and the response carries a ``traj_ref`` handle instead of frame
+        payloads — fetch them lazily with :meth:`frames` /
+        :meth:`iter_frames`."""
         req: dict = {"structure_id": structure_id, "mode": mode,
                      "axis": axis, "fit": fit, "forces": forces,
                      "energy_ref": energy_ref}
+        if traj:
+            req["traj"] = True
         if amplitudes is not None:
             req["amplitudes"] = [float(a) for a in amplitudes]
         else:
             req["amplitude"] = amplitude
             req["npoints"] = npoints
         return self.request("sweep", **req)
+
+    def frames(self, traj_ref: str, start: int = 0,
+               stop: int | None = None, stride: int = 1) -> dict:
+        """Fetch a frame range from a server-side stored trajectory.
+
+        Returns the ``frames`` op payload with ``positions`` / ``cell``
+        / ``velocities`` of each frame normalised to numpy arrays.
+        """
+        req: dict = {"traj_ref": traj_ref, "start": start,
+                     "stride": stride}
+        if stop is not None:
+            req["stop"] = stop
+        res = self.request("frames", **req)
+        for fr in res["frames"]:
+            for key in ("positions", "cell", "velocities"):
+                if key in fr:
+                    fr[key] = np.asarray(fr[key], dtype=float)
+        return res
+
+    def iter_frames(self, traj_ref: str, batch: int = 64, stride: int = 1):
+        """Lazily page through a stored trajectory, *batch* frames per
+        ``frames`` request — the client never holds the full run."""
+        start = 0
+        while True:
+            res = self.frames(traj_ref, start=start,
+                              stop=start + batch * stride, stride=stride)
+            yield from res["frames"]
+            start += batch * stride
+            if start >= int(res["total"]):
+                return
 
     def unload(self, structure_id: str) -> dict:
         return self.request("unload", structure_id=structure_id)

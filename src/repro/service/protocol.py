@@ -53,6 +53,12 @@ Ops
     :meth:`repro.analysis.strain_sweep.StrainSweepResult.as_dict`
     payload.  The resident geometry itself is untouched (every point
     evaluates a strained copy).
+``frames``
+    Stream a frame range from a stored trajectory: ``traj_ref`` (the
+    handle a trajectory-producing op put in its ``value``), optional
+    ``start``/``stop``/``stride``.  Served by the service's
+    :class:`~repro.trajio.store.TrajStore` directly — no worker and no
+    re-materialized run; each frame is one :func:`encode_frame` dict.
 ``unload`` / ``list`` / ``stats``
     Lifecycle and introspection.
 ``metrics``
@@ -77,8 +83,8 @@ from repro.errors import ProtocolError, ReproError
 
 #: every op the service understands; ``shutdown`` is intercepted by the
 #: socket transport, the rest reach :class:`repro.service.service.BatchService`
-OPS = ("ping", "load", "eval", "relax_step", "sweep", "unload", "list",
-       "stats", "metrics", "shutdown", "debug_crash")
+OPS = ("ping", "load", "eval", "relax_step", "sweep", "frames", "unload",
+       "list", "stats", "metrics", "shutdown", "debug_crash")
 
 #: ops that address one structure and therefore route to its sticky worker
 STRUCTURE_OPS = ("load", "eval", "relax_step", "sweep", "unload",
@@ -93,6 +99,29 @@ def encode_atoms(atoms: Any) -> dict:
         "cell": np.asarray(atoms.cell.matrix, dtype=float).tolist(),
         "pbc": [bool(p) for p in atoms.cell.pbc],
     }
+
+
+def encode_frame(frame: Any) -> dict:
+    """Trajectory frame → plain-JSON dict (the ``frames`` op payload).
+
+    *frame* is anything shaped like
+    :class:`~repro.trajio.reader.TrajFrame`: scalar metadata plus
+    positions/cell/pbc and optional velocities.
+    """
+    out = {
+        "step": int(frame.step),
+        "time_fs": float(frame.time_fs),
+        "epot": float(frame.epot),
+        "ekin": float(frame.ekin),
+        "temperature": float(frame.temperature),
+        "positions": np.asarray(frame.positions, dtype=float).tolist(),
+        "cell": np.asarray(frame.cell.matrix, dtype=float).tolist(),
+        "pbc": [bool(p) for p in frame.cell.pbc],
+    }
+    if frame.velocities is not None:
+        out["velocities"] = np.asarray(frame.velocities,
+                                       dtype=float).tolist()
+    return out
 
 
 def decode_atoms(d: dict) -> Any:
@@ -154,6 +183,11 @@ def validate_request(req: Any) -> dict:
         if not isinstance(sid, str) or not sid:
             raise ProtocolError(f"op {op!r} needs a non-empty string "
                                 f"'structure_id'")
+    if op == "frames":
+        ref = req.get("traj_ref")
+        if not isinstance(ref, str) or not ref:
+            raise ProtocolError("op 'frames' needs a non-empty string "
+                                "'traj_ref'")
     return req
 
 

@@ -83,6 +83,10 @@ class BatchService:
         > 1.  Defaults to ``min(nworkers, 4)``; 1 dispatches inline.
     debug_ops :
         Honour the ``debug_crash`` fault-injection op (tests only).
+    traj_dir :
+        Directory for the service's trajectory result store.  ``None``
+        (the default) uses a temporary directory that lives as long as
+        the service — refs then resolve only against this instance.
     """
 
     LATENCY_WINDOW = 4096
@@ -90,13 +94,18 @@ class BatchService:
     def __init__(self, nworkers: int = 1,
                  memory_budget_bytes: int | None = None,
                  pool_threads: int | None = None,
-                 debug_ops: bool = False):
+                 debug_ops: bool = False,
+                 traj_dir: str | None = None):
         if nworkers < 1:
             raise ServiceError("nworkers must be >= 1")
         self.debug_ops = bool(debug_ops)
         self.memory_budget_bytes = memory_budget_bytes
-        self.workers: list[Worker] = [Worker(i, debug_ops=debug_ops)
-                                      for i in range(nworkers)]
+        self._traj_dir = traj_dir
+        self._traj_store = None     # built on first use (most sessions
+        self._traj_store_lock = threading.Lock()   # never produce one)
+        self.workers: list[Worker] = [
+            Worker(i, debug_ops=debug_ops, traj_store=self._get_traj_store)
+            for i in range(nworkers)]
         self._worker_locks = [threading.RLock() for _ in range(nworkers)]
         self._registry_lock = threading.RLock()
         self._records: dict[str, _StructureRecord] = {}
@@ -139,7 +148,8 @@ class BatchService:
             try:
                 req = protocol.validate_request(req)
                 op = req["op"]
-                if op in ("ping", "stats", "metrics", "list", "shutdown"):
+                if op in ("ping", "stats", "metrics", "list", "shutdown",
+                          "frames"):
                     responses[idx] = self._service_op(req)
                     continue
                 if op == "load":
@@ -208,6 +218,19 @@ class BatchService:
         if self._executor is not None:
             self._executor.shutdown()
             self._executor = None
+        with self._traj_store_lock:
+            if self._traj_store is not None:
+                self._traj_store.close()
+                self._traj_store = None
+
+    def _get_traj_store(self):
+        """The service's :class:`~repro.trajio.store.TrajStore`, built on
+        first use (shared by every worker and the ``frames`` op)."""
+        with self._traj_store_lock:
+            if self._traj_store is None:
+                from repro.trajio.store import TrajStore
+                self._traj_store = TrajStore(self._traj_dir)
+            return self._traj_store
 
     def __enter__(self):
         return self
@@ -271,7 +294,45 @@ class BatchService:
             # in-process client treats it as a drain request
             self._draining = True
             return protocol.ok_response(req, draining=True)
+        if op == "frames":
+            return self._frames_op(req)
         raise ServiceError(f"unhandled service op {op!r}")  # pragma: no cover
+
+    def _frames_op(self, req: dict) -> dict:
+        """Serve a frame range straight from the trajectory store.
+
+        No worker is involved and nothing is re-materialized: the
+        chunk index makes each range read O(frames requested), so a
+        client can page through a huge stored run lazily.
+        """
+        from repro.trajio.reader import TrajectoryReader
+
+        store = self._get_traj_store()
+        ref = req["traj_ref"]
+        try:
+            path = store.path(ref)
+        except KeyError:
+            raise ServiceError(f"unknown traj_ref {ref!r}") from None
+        start = int(req.get("start") or 0)
+        stop = req.get("stop")
+        raw_stride = req.get("stride")
+        stride = 1 if raw_stride is None else int(raw_stride)
+        if stride < 1:
+            raise ServiceError(f"stride must be >= 1, got {stride}")
+        with obs.span("service.frames") as sp, \
+                TrajectoryReader(path) as reader:
+            total = len(reader)
+            if start < 0:
+                start += total
+            stop_ = total if stop is None else min(int(stop), total)
+            frames = [protocol.encode_frame(f)
+                      for f in reader.iter_frames(start, stop_, stride)]
+            symbols = reader.symbols
+            sp.set(ref=ref, frames=len(frames))
+        obs.counter_inc("service.frames_served", len(frames))
+        return protocol.ok_response(
+            req, traj_ref=ref, total=total, start=start, stop=stop_,
+            stride=stride, symbols=symbols, frames=frames)
 
     # -- worker batch execution ---------------------------------------------
     def _run_worker_batch(self, batch: tuple[int, list[tuple[int, dict]]]
@@ -378,7 +439,8 @@ class BatchService:
     def _handle_crash(self, wid: int, exc: Exception) -> None:
         """Replace a crashed worker; its structures rebuild lazily."""
         with self._registry_lock:
-            self.workers[wid] = Worker(wid, debug_ops=self.debug_ops)
+            self.workers[wid] = Worker(wid, debug_ops=self.debug_ops,
+                                       traj_store=self._get_traj_store)
             for rec in self._records.values():
                 if rec.worker_id == wid:
                     rec.resident = False

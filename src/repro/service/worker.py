@@ -64,9 +64,13 @@ class StructureSlot:
 class Worker:
     """Handles one batch of requests at a time for its resident structures."""
 
-    def __init__(self, worker_id: int, debug_ops: bool = False):
+    def __init__(self, worker_id: int, debug_ops: bool = False,
+                 traj_store=None):
         self.worker_id = worker_id
         self.debug_ops = bool(debug_ops)
+        # zero-arg callable returning the service's TrajStore (lazy so
+        # services that never record a trajectory never create one)
+        self._traj_store = traj_store
         self.slots: dict[str, StructureSlot] = {}
 
     # -- lifecycle (called by the service, not by clients directly) --------
@@ -250,15 +254,33 @@ class Worker:
             energy_ref = float(req.get("energy_ref", 0.0))
         except (TypeError, ValueError) as exc:
             raise ProtocolError(f"bad sweep parameters: {exc}") from exc
-        result = strain_sweep(slot.atoms, slot.calc, amplitudes, mode=mode,
-                              axis=axis, forces=bool(req.get("forces",
-                                                             False)),
-                              fit=fit, energy_ref=energy_ref)
+        traj_ref = None
+        traj_writer = None
+        if req.get("traj"):
+            # record every strained geometry into the service's result
+            # store; only the small ref rides back in the envelope
+            if self._traj_store is None:
+                raise ServiceError(
+                    "this service has no trajectory store; "
+                    "'traj': true is unavailable")
+            store = self._traj_store()
+            traj_ref = store.create(f"sweep-{slot.structure_id}")
+            traj_writer = store.writer(traj_ref)
+        try:
+            result = strain_sweep(slot.atoms, slot.calc, amplitudes,
+                                  mode=mode, axis=axis,
+                                  forces=bool(req.get("forces", False)),
+                                  fit=fit, energy_ref=energy_ref,
+                                  traj_writer=traj_writer)
+        finally:
+            if traj_writer is not None:
+                traj_writer.close()
         slot.evals += len(result.points)
         slot.refresh_accounting()
+        extra = {"traj_ref": traj_ref} if traj_ref is not None else {}
         return protocol.ok_response(
             req, structure_id=slot.structure_id, worker=self.worker_id,
-            warm=warm, **result.as_dict())
+            warm=warm, **extra, **result.as_dict())
 
     def _op_relax_step(self, req: dict) -> dict:
         from repro.relax.base import energy_and_forces, max_force

@@ -1,0 +1,20 @@
+"""Chunked binary trajectory I/O (the PTRJ format).
+
+Public surface:
+
+- :class:`~repro.trajio.writer.TrajectoryWriter` — streaming writer
+- :class:`~repro.trajio.reader.TrajectoryReader` — O(1) random access
+- :func:`~repro.trajio.analysis.windowed_rdf` /
+  :func:`~repro.trajio.analysis.windowed_msd` — out-of-core analysis
+- :class:`~repro.trajio.store.TrajStore` — ref-addressed result store
+
+Format spec and design rationale: ``docs/trajectories.md``.
+"""
+
+from repro.trajio.analysis import windowed_msd, windowed_rdf
+from repro.trajio.reader import TrajectoryReader, TrajFrame
+from repro.trajio.store import TrajStore
+from repro.trajio.writer import TrajectoryWriter
+
+__all__ = ["TrajectoryReader", "TrajectoryWriter", "TrajFrame",
+           "TrajStore", "windowed_msd", "windowed_rdf"]

@@ -1,0 +1,397 @@
+"""On-disk layout of the PTRJ chunked binary trajectory format.
+
+This module is the *seam*: every byte that reaches or leaves a ``.ptrj``
+file is packed or parsed here, so the writer and reader cannot drift
+apart.  The layout (full spec in ``docs/trajectories.md``)::
+
+    [magic "PTRJ"][version u16][flags u16][header_len u32][header JSON]
+    [chunk 0][chunk 1] ... [chunk K-1]
+    [index: K x (offset u64, first_frame u64, nframes u32)]
+    [footer: index_offset u64, total_frames u64, nchunks u32, "PTRJIDX\\n"]
+
+Each chunk stores a float64 **keyframe** (the positions of its first
+frame) followed by column-major per-frame arrays: step/time/energies/
+temperature and the 3x3 cell as float64, pbc flags as u8, positions as
+float32 **deltas** off the keyframe, and (optionally) velocities at a
+configurable dtype.  A chunk's raw payload may be byte-shuffled (deltas
+only) and zlib-compressed; a CRC32 over the stored bytes detects
+corruption.  The footer index gives O(1) random access: locating frame
+*i* is a binary search over ``first_frame``, and reading it decodes one
+chunk, never the whole file.
+
+Why deltas are safe: a float32 carries a 24-bit mantissa, so the
+rounding error of ``pos - keyframe`` is at most ``|delta| * 2**-24``.
+The writer cuts a new chunk whenever the reconstruction error of a
+frame would exceed ``pos_tol`` (1e-6 Å by default, reached only once
+atoms drift ~16 Å from the keyframe), so the bound holds for *any*
+trajectory, including melts.
+
+Everything raises :class:`~repro.errors.IOFormatError` on malformed
+input — a truncated or corrupt file must never decode to partial
+garbage.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import BinaryIO
+
+import numpy as np
+
+from repro.errors import IOFormatError
+
+#: leading file magic (followed by version/flags/header_len)
+MAGIC: bytes = b"PTRJ"
+#: trailing footer magic — its absence means a truncated file
+END_MAGIC: bytes = b"PTRJIDX\n"
+#: format version written by this library
+VERSION: int = 1
+
+#: header flag bits
+FLAG_ZLIB: int = 1       #: chunk payloads are zlib-compressed
+FLAG_SHUFFLE: int = 2    #: the delta block is byte-plane shuffled
+FLAG_VEL: int = 4        #: per-frame velocities are stored
+
+_PRELUDE = struct.Struct("<4sHHI")       # magic, version, flags, header_len
+_CHUNK_PRELUDE = struct.Struct("<III")   # stored_len, raw_len, crc32
+_INDEX_ENTRY = struct.Struct("<QQI")     # offset, first_frame, nframes
+_FOOTER = struct.Struct("<QQI8s")        # index_offset, total, K, magic
+
+#: velocity dtypes a header may declare (``None`` = not stored)
+VEL_DTYPES: tuple[str, ...] = ("f8", "f4")
+
+
+@dataclass(frozen=True)
+class Header:
+    """Decoded file header: topology plus codec parameters."""
+
+    symbols: tuple[str, ...]
+    flags: int
+    chunk_frames: int
+    vel_dtype: str | None
+    compression: int
+    pos_tol: float
+    version: int = VERSION
+
+    @property
+    def natoms(self) -> int:
+        return len(self.symbols)
+
+    @property
+    def has_velocities(self) -> bool:
+        return bool(self.flags & FLAG_VEL)
+
+    def raw_chunk_size(self, nframes: int) -> int:
+        """Exact byte length of an uncompressed chunk payload."""
+        n = self.natoms
+        size = 24 * n                       # keyframe, f64
+        size += nframes * (5 * 8 + 72 + 3)  # step/time/epot/ekin/T, cell, pbc
+        size += nframes * n * 12            # position deltas, f32
+        if self.has_velocities:
+            itemsize = 8 if self.vel_dtype == "f8" else 4
+            size += nframes * n * 3 * itemsize
+        return size
+
+
+@dataclass
+class ChunkData:
+    """One decoded chunk: column-major per-frame arrays.
+
+    ``positions`` is the reconstructed ``(nframes, natoms, 3)`` float64
+    stack (keyframe + deltas already applied); ``velocities`` is ``None``
+    when the file stores none.
+    """
+
+    keyframe: np.ndarray        # (natoms, 3) f64
+    steps: np.ndarray           # (nframes,) i64
+    times: np.ndarray           # (nframes,) f64
+    epots: np.ndarray           # (nframes,) f64
+    ekins: np.ndarray           # (nframes,) f64
+    temperatures: np.ndarray    # (nframes,) f64
+    cells: np.ndarray           # (nframes, 3, 3) f64
+    pbcs: np.ndarray            # (nframes, 3) bool
+    positions: np.ndarray       # (nframes, natoms, 3) f64
+    velocities: np.ndarray | None   # (nframes, natoms, 3) f64 or None
+
+    @property
+    def nframes(self) -> int:
+        return len(self.steps)
+
+
+def make_header(symbols: list[str] | tuple[str, ...], *,
+                chunk_frames: int, vel_dtype: str | None,
+                compression: int, shuffle: bool,
+                pos_tol: float) -> Header:
+    """Validated :class:`Header` from writer parameters."""
+    if chunk_frames < 1:
+        raise IOFormatError(f"chunk_frames must be >= 1, got {chunk_frames}")
+    if vel_dtype is not None and vel_dtype not in VEL_DTYPES:
+        raise IOFormatError(
+            f"vel_dtype must be one of {VEL_DTYPES} or None, "
+            f"got {vel_dtype!r}")
+    if not 0 <= compression <= 9:
+        raise IOFormatError(
+            f"compression must be a zlib level 0..9, got {compression}")
+    flags = 0
+    if compression:
+        flags |= FLAG_ZLIB
+    if shuffle:
+        flags |= FLAG_SHUFFLE
+    if vel_dtype is not None:
+        flags |= FLAG_VEL
+    return Header(symbols=tuple(str(s) for s in symbols), flags=flags,
+                  chunk_frames=int(chunk_frames), vel_dtype=vel_dtype,
+                  compression=int(compression), pos_tol=float(pos_tol))
+
+
+def pack_header(header: Header) -> bytes:
+    """Header → the leading bytes of a ``.ptrj`` file."""
+    meta = {"symbols": list(header.symbols),
+            "chunk_frames": header.chunk_frames,
+            "vel_dtype": header.vel_dtype,
+            "compression": header.compression,
+            "pos_tol": header.pos_tol}
+    blob = json.dumps(meta, separators=(",", ":")).encode()
+    return _PRELUDE.pack(MAGIC, header.version, header.flags,
+                         len(blob)) + blob
+
+
+def read_header(fh: BinaryIO) -> Header:
+    """Parse the leading header from an open binary stream."""
+    prelude = fh.read(_PRELUDE.size)
+    if len(prelude) < _PRELUDE.size:
+        raise IOFormatError("not a PTRJ trajectory: file too short")
+    magic, version, flags, header_len = _PRELUDE.unpack(prelude)
+    if magic != MAGIC:
+        raise IOFormatError(
+            f"not a PTRJ trajectory: bad magic {magic!r}")
+    if version != VERSION:
+        raise IOFormatError(
+            f"unsupported PTRJ version {version} (supported: {VERSION})")
+    blob = fh.read(header_len)
+    if len(blob) < header_len:
+        raise IOFormatError("truncated PTRJ header")
+    try:
+        meta = json.loads(blob)
+    except ValueError as exc:
+        raise IOFormatError(f"corrupt PTRJ header JSON: {exc}") from exc
+    try:
+        header = Header(symbols=tuple(str(s) for s in meta["symbols"]),
+                        flags=int(flags),
+                        chunk_frames=int(meta["chunk_frames"]),
+                        vel_dtype=meta.get("vel_dtype"),
+                        compression=int(meta.get("compression", 0)),
+                        pos_tol=float(meta.get("pos_tol", 1e-6)),
+                        version=int(version))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise IOFormatError(f"corrupt PTRJ header fields: {exc}") from exc
+    if header.has_velocities and header.vel_dtype not in VEL_DTYPES:
+        raise IOFormatError(
+            f"PTRJ header declares velocities with bad dtype "
+            f"{header.vel_dtype!r}")
+    return header
+
+
+def header_size(header: Header) -> int:
+    """Byte offset of the first chunk (== length of the packed header)."""
+    return len(pack_header(header))
+
+
+# -- byte-plane shuffle ------------------------------------------------------
+def byte_shuffle(data: bytes, itemsize: int) -> bytes:
+    """Group the k-th byte of every item together (Blosc-style shuffle).
+
+    Float32 deltas of thermal motion share sign/exponent bytes across
+    atoms; regrouping them into contiguous planes is what lets zlib
+    actually compress an otherwise noise-dominated block.
+    """
+    if len(data) % itemsize:
+        raise IOFormatError(
+            f"shuffle block length {len(data)} is not a multiple of "
+            f"itemsize {itemsize}")
+    arr = np.frombuffer(data, dtype=np.uint8).reshape(-1, itemsize)
+    return arr.T.tobytes()
+
+
+def byte_unshuffle(data: bytes, itemsize: int) -> bytes:
+    """Inverse of :func:`byte_shuffle`."""
+    if len(data) % itemsize:
+        raise IOFormatError(
+            f"shuffle block length {len(data)} is not a multiple of "
+            f"itemsize {itemsize}")
+    arr = np.frombuffer(data, dtype=np.uint8).reshape(itemsize, -1)
+    return arr.T.tobytes()
+
+
+# -- chunk codec -------------------------------------------------------------
+def encode_chunk(header: Header, keyframe: np.ndarray,
+                 steps: np.ndarray, times: np.ndarray,
+                 epots: np.ndarray, ekins: np.ndarray,
+                 temperatures: np.ndarray, cells: np.ndarray,
+                 pbcs: np.ndarray, deltas: np.ndarray,
+                 velocities: np.ndarray | None) -> bytes:
+    """Column arrays → one on-disk chunk record (prelude + payload).
+
+    *deltas* is the ``(nframes, natoms, 3)`` float32 block of
+    ``positions - keyframe``; the caller (the writer) is responsible for
+    having enforced the ``pos_tol`` reconstruction bound.
+    """
+    parts = [np.ascontiguousarray(keyframe, dtype="<f8").tobytes(),
+             np.ascontiguousarray(steps, dtype="<i8").tobytes(),
+             np.ascontiguousarray(times, dtype="<f8").tobytes(),
+             np.ascontiguousarray(epots, dtype="<f8").tobytes(),
+             np.ascontiguousarray(ekins, dtype="<f8").tobytes(),
+             np.ascontiguousarray(temperatures, dtype="<f8").tobytes(),
+             np.ascontiguousarray(cells, dtype="<f8").tobytes(),
+             np.ascontiguousarray(pbcs, dtype="u1").tobytes()]
+    delta_bytes = np.ascontiguousarray(deltas, dtype="<f4").tobytes()
+    if header.flags & FLAG_SHUFFLE:
+        delta_bytes = byte_shuffle(delta_bytes, 4)
+    parts.append(delta_bytes)
+    if header.has_velocities:
+        if velocities is None:
+            raise IOFormatError(
+                "header declares velocities but the chunk has none")
+        parts.append(np.ascontiguousarray(
+            velocities, dtype="<" + str(header.vel_dtype)).tobytes())
+    raw = b"".join(parts)
+    expected = header.raw_chunk_size(len(steps))
+    if len(raw) != expected:
+        raise IOFormatError(
+            f"internal chunk layout error: {len(raw)} bytes encoded, "
+            f"layout says {expected}")
+    stored = zlib.compress(raw, header.compression) \
+        if header.flags & FLAG_ZLIB else raw
+    crc = zlib.crc32(stored) & 0xFFFFFFFF
+    return _CHUNK_PRELUDE.pack(len(stored), len(raw), crc) + stored
+
+
+def chunk_prelude_size() -> int:
+    """Bytes of the per-chunk ``(stored_len, raw_len, crc)`` prelude."""
+    return _CHUNK_PRELUDE.size
+
+
+def decode_chunk(header: Header, record: bytes, nframes: int) -> ChunkData:
+    """One on-disk chunk record → :class:`ChunkData` (CRC verified)."""
+    if len(record) < _CHUNK_PRELUDE.size:
+        raise IOFormatError("truncated PTRJ chunk: missing prelude")
+    stored_len, raw_len, crc = _CHUNK_PRELUDE.unpack_from(record)
+    stored = record[_CHUNK_PRELUDE.size:_CHUNK_PRELUDE.size + stored_len]
+    if len(stored) < stored_len:
+        raise IOFormatError(
+            f"truncated PTRJ chunk: {len(stored)} of {stored_len} "
+            f"payload bytes present")
+    if zlib.crc32(stored) & 0xFFFFFFFF != crc:
+        raise IOFormatError("corrupt PTRJ chunk: CRC32 mismatch")
+    if header.flags & FLAG_ZLIB:
+        try:
+            raw = zlib.decompress(stored)
+        except zlib.error as exc:
+            raise IOFormatError(
+                f"corrupt PTRJ chunk: zlib decode failed: {exc}") from exc
+    else:
+        raw = stored
+    if len(raw) != raw_len or raw_len != header.raw_chunk_size(nframes):
+        raise IOFormatError(
+            f"corrupt PTRJ chunk: payload is {len(raw)} bytes, header "
+            f"layout expects {header.raw_chunk_size(nframes)}")
+    n = header.natoms
+    off = 0
+
+    def take(count: int, dtype: str) -> np.ndarray:
+        nonlocal off
+        itemsize = np.dtype(dtype).itemsize
+        out = np.frombuffer(raw, dtype=dtype, count=count, offset=off)
+        off += count * itemsize
+        return out
+
+    keyframe = take(3 * n, "<f8").reshape(n, 3)
+    steps = take(nframes, "<i8")
+    times = take(nframes, "<f8")
+    epots = take(nframes, "<f8")
+    ekins = take(nframes, "<f8")
+    temperatures = take(nframes, "<f8")
+    cells = take(9 * nframes, "<f8").reshape(nframes, 3, 3)
+    pbcs = take(3 * nframes, "u1").reshape(nframes, 3).astype(bool)
+    delta_bytes = raw[off:off + 12 * n * nframes]
+    off += 12 * n * nframes
+    if header.flags & FLAG_SHUFFLE:
+        delta_bytes = byte_unshuffle(delta_bytes, 4)
+    deltas = np.frombuffer(delta_bytes, dtype="<f4").reshape(nframes, n, 3)
+    positions = keyframe[None, :, :] + deltas.astype(np.float64)
+    velocities: np.ndarray | None = None
+    if header.has_velocities:
+        vel_dtype = "<" + str(header.vel_dtype)
+        count = 3 * n * nframes
+        velocities = take(count, vel_dtype).reshape(
+            nframes, n, 3).astype(np.float64)
+    return ChunkData(keyframe=keyframe, steps=steps, times=times,
+                     epots=epots, ekins=ekins, temperatures=temperatures,
+                     cells=cells, pbcs=pbcs, positions=positions,
+                     velocities=velocities)
+
+
+# -- index / footer ----------------------------------------------------------
+def pack_index(entries: list[tuple[int, int, int]],
+               total_frames: int) -> bytes:
+    """Chunk table → the trailing index + footer bytes.
+
+    *entries* are ``(file_offset, first_frame, nframes)`` per chunk; the
+    footer records where the index starts so a reader can seek straight
+    to it from the end of the file.
+    """
+    body = b"".join(_INDEX_ENTRY.pack(*e) for e in entries)
+    return body + _FOOTER.pack(0, total_frames, len(entries), END_MAGIC)
+
+
+def read_index(fh: BinaryIO, file_size: int
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+    """Footer + index from an open stream.
+
+    Returns ``(offsets, first_frames, nframes_per_chunk, total_frames)``
+    as arrays sorted in file order.  Raises
+    :class:`~repro.errors.IOFormatError` when the footer is missing or
+    inconsistent — the signature of a truncated write.
+    """
+    if file_size < _FOOTER.size:
+        raise IOFormatError(
+            "truncated PTRJ file: no footer (writer not closed?)")
+    fh.seek(file_size - _FOOTER.size)
+    footer = fh.read(_FOOTER.size)
+    if len(footer) < _FOOTER.size:
+        raise IOFormatError("truncated PTRJ footer")
+    _, total_frames, nchunks, magic = _FOOTER.unpack(footer)
+    if magic != END_MAGIC:
+        raise IOFormatError(
+            "truncated or corrupt PTRJ file: footer magic missing "
+            "(writer not closed, or file cut short)")
+    index_size = nchunks * _INDEX_ENTRY.size
+    index_offset = file_size - _FOOTER.size - index_size
+    if index_offset < 0:
+        raise IOFormatError(
+            f"corrupt PTRJ footer: {nchunks} chunks do not fit the file")
+    fh.seek(index_offset)
+    body = fh.read(index_size)
+    if len(body) < index_size:
+        raise IOFormatError("truncated PTRJ index")
+    offsets = np.empty(nchunks, dtype=np.int64)
+    firsts = np.empty(nchunks, dtype=np.int64)
+    counts = np.empty(nchunks, dtype=np.int64)
+    for k in range(nchunks):
+        off, first, nf = _INDEX_ENTRY.unpack_from(body,
+                                                  k * _INDEX_ENTRY.size)
+        offsets[k], firsts[k], counts[k] = off, first, nf
+    if int(counts.sum()) != total_frames:
+        raise IOFormatError(
+            f"corrupt PTRJ index: chunk frame counts sum to "
+            f"{int(counts.sum())}, footer says {total_frames}")
+    if nchunks and (np.any(np.diff(firsts) <= 0)
+                    or firsts[0] != 0
+                    or np.any(firsts + counts
+                              != np.append(firsts[1:], total_frames))):
+        raise IOFormatError("corrupt PTRJ index: frame ranges not "
+                            "contiguous")
+    return offsets, firsts, counts, int(total_frames)

@@ -1,0 +1,151 @@
+"""Random-access reader for PTRJ binary trajectories.
+
+Opening a file reads only the header and the footer index; fetching
+frame *i* is a binary search over the index plus one chunk decode —
+O(chunk), never O(file).  The last decoded chunk is cached, so
+sequential iteration decodes each chunk exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+import numpy as np
+
+from repro import obs
+from repro.errors import IOFormatError
+from repro.geometry.atoms import Atoms
+from repro.geometry.cell import Cell
+from repro.trajio import format as fmt
+
+
+@dataclass
+class TrajFrame:
+    """One decoded frame, cheap arrays plus scalar metadata."""
+
+    step: int
+    time_fs: float
+    epot: float
+    ekin: float
+    temperature: float
+    positions: np.ndarray            # (natoms, 3) f64
+    cell: Cell
+    velocities: np.ndarray | None    # (natoms, 3) f64 or None
+
+    def to_atoms(self, symbols: list[str]) -> Atoms:
+        return Atoms(symbols, self.positions, cell=self.cell,
+                     velocities=self.velocities)
+
+
+class TrajectoryReader:
+    """Read a ``.ptrj`` file written by :class:`~repro.trajio.writer.TrajectoryWriter`."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        self.path = os.fspath(path)
+        self._fh: Any = open(self.path, "rb")
+        try:
+            self.header = fmt.read_header(self._fh)
+            size = os.fstat(self._fh.fileno()).st_size
+            (self._offsets, self._firsts, self._counts,
+             self._total) = fmt.read_index(self._fh, size)
+        except Exception:
+            self._fh.close()
+            raise
+        self._cached_chunk: int = -1
+        self._cached_data: fmt.ChunkData | None = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def __enter__(self) -> "TrajectoryReader":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- metadata ------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._total
+
+    @property
+    def symbols(self) -> list[str]:
+        return list(self.header.symbols)
+
+    @property
+    def natoms(self) -> int:
+        return self.header.natoms
+
+    @property
+    def has_velocities(self) -> bool:
+        return self.header.has_velocities
+
+    @property
+    def nchunks(self) -> int:
+        return len(self._offsets)
+
+    # -- access --------------------------------------------------------------
+    def _chunk_of(self, frame: int) -> int:
+        return int(np.searchsorted(self._firsts, frame, side="right")) - 1
+
+    def _load_chunk(self, k: int) -> fmt.ChunkData:
+        if k == self._cached_chunk and self._cached_data is not None:
+            return self._cached_data
+        if self._fh is None:
+            raise IOFormatError(f"trajectory reader {self.path} is closed")
+        with obs.span("trajio.read_chunk") as sp:
+            nf = int(self._counts[k])
+            self._fh.seek(int(self._offsets[k]))
+            prelude = self._fh.read(fmt.chunk_prelude_size())
+            if len(prelude) < fmt.chunk_prelude_size():
+                raise IOFormatError("truncated PTRJ chunk: missing prelude")
+            stored_len = int(np.frombuffer(prelude[:4], dtype="<u4")[0])
+            record = prelude + self._fh.read(stored_len)
+            data = fmt.decode_chunk(self.header, record, nf)
+            sp.set(chunk=k, frames=nf)
+        obs.counter_inc("trajio.chunk_reads")
+        self._cached_chunk, self._cached_data = k, data
+        return data
+
+    def read(self, i: int) -> TrajFrame:
+        """Frame *i* (supports negative indices)."""
+        if i < 0:
+            i += self._total
+        if not 0 <= i < self._total:
+            raise IndexError(
+                f"frame {i} out of range for trajectory of {self._total}")
+        k = self._chunk_of(i)
+        data = self._load_chunk(k)
+        j = i - int(self._firsts[k])
+        obs.counter_inc("trajio.frames_read")
+        return TrajFrame(
+            step=int(data.steps[j]), time_fs=float(data.times[j]),
+            epot=float(data.epots[j]), ekin=float(data.ekins[j]),
+            temperature=float(data.temperatures[j]),
+            positions=data.positions[j],
+            cell=Cell(data.cells[j], pbc=data.pbcs[j]),
+            velocities=None if data.velocities is None
+            else data.velocities[j])
+
+    def __getitem__(self, i: int) -> TrajFrame:
+        return self.read(i)
+
+    def atoms_at(self, i: int) -> Atoms:
+        return self.read(i).to_atoms(self.symbols)
+
+    def iter_frames(self, start: int = 0, stop: int | None = None,
+                    stride: int = 1) -> Iterator[TrajFrame]:
+        """Stream frames ``start:stop:stride`` (chunk cache makes this
+        a single decode per chunk)."""
+        if stride < 1:
+            raise ValueError(f"stride must be >= 1, got {stride}")
+        stop_ = self._total if stop is None else min(int(stop), self._total)
+        for i in range(int(start), stop_, int(stride)):
+            yield self.read(i)
+
+    def __iter__(self) -> Iterator[TrajFrame]:
+        return self.iter_frames()

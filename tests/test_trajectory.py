@@ -62,3 +62,50 @@ def test_save_load_xyz_roundtrip(tmp_path):
     back = Trajectory.load_xyz(p)
     assert len(back) == 3
     np.testing.assert_allclose(back.positions(), traj.positions(), atol=1e-8)
+
+
+# -- regression: per-frame cells and lossless XYZ persistence ----------------
+def _npt_traj(nframes=3):
+    from repro.geometry import Cell
+
+    traj = Trajectory()
+    a = bulk_silicon()
+    m0 = a.cell.matrix.copy()
+    for k in range(nframes):
+        a.positions += 0.1
+        a.velocities[:] = 0.001 * (k + 1)
+        a.cell = Cell(m0 * (1.0 + 0.02 * k))
+        traj.append(a, step=10 * k, time_fs=0.5 * k, epot=-34.0 - k)
+    return traj, m0
+
+
+def test_append_stores_per_frame_cell():
+    # regression: every frame used to alias the first frame's cell
+    traj, m0 = _npt_traj()
+    cells = traj.cells()
+    assert cells.shape == (3, 3, 3)
+    np.testing.assert_allclose(cells[2], m0 * 1.04)
+    assert not np.allclose(cells[0], cells[2])
+    np.testing.assert_allclose(traj.atoms_at(2).cell.matrix, m0 * 1.04)
+
+
+def test_save_xyz_preserves_cell_velocities_metadata(tmp_path):
+    # regression: save_xyz wrote one cell for all frames and dropped
+    # velocities, step, time_fs and epot entirely
+    traj, m0 = _npt_traj()
+    p = tmp_path / "npt.xyz"
+    traj.save_xyz(p)
+    back = Trajectory.load_xyz(p)
+    for k in range(3):
+        f = back.frames[k]
+        np.testing.assert_array_equal(f.cell.matrix, m0 * (1.0 + 0.02 * k))
+        np.testing.assert_array_equal(f.velocities,
+                                      traj.frames[k].velocities)
+        assert f.step == 10 * k
+        assert f.time_fs == 0.5 * k
+        assert f.epot == -34.0 - k
+
+
+def test_atoms_at_uses_frame_velocities():
+    traj, _ = _npt_traj()
+    np.testing.assert_allclose(traj.atoms_at(1).velocities, 0.002)

@@ -1,0 +1,591 @@
+"""PTRJ binary trajectory store: format, writer/reader, analysis, service.
+
+Round-trip exactness is the contract under test: float64 metadata
+(cells, velocities, step/time/energies) must come back bit-exact, and
+delta-encoded positions within the writer's ``pos_tol``.  Corruption
+must surface as :class:`IOFormatError`, never partial garbage.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError, IOFormatError, ServiceError
+from repro.geometry import bulk_silicon, rattle
+from repro.geometry.atoms import Atoms
+from repro.geometry.cell import Cell
+from repro.md import Trajectory
+from repro.md.observers import BinaryTrajectoryWriter
+from repro.obs import metrics as metrics_mod
+from repro.trajio import (
+    TrajectoryReader, TrajectoryWriter, TrajStore, windowed_msd,
+    windowed_rdf,
+)
+from repro.trajio import format as fmt
+
+
+# -- helpers ----------------------------------------------------------------
+def npt_trajectory(nframes=10, natoms=8, seed=0):
+    """Synthetic NPT-style run: drifting positions AND per-frame cells."""
+    rng = np.random.default_rng(seed)
+    base = bulk_silicon()
+    frames = []
+    pos = base.positions.copy()
+    a0 = base.cell.matrix.copy()
+    for k in range(nframes):
+        pos = pos + rng.normal(scale=0.05, size=pos.shape)
+        cell = Cell(a0 * (1.0 + 0.01 * k + rng.normal(scale=1e-3)))
+        vel = rng.normal(scale=0.01, size=pos.shape)
+        at = Atoms(base.symbols, pos, cell=cell, velocities=vel)
+        meta = {"step": 10 * k, "time_fs": 0.5 * k + 0.1,
+                "epot": -34.0 - 0.01 * k, "ekin": 0.3 + 0.001 * k,
+                "temperature": 300.0 + k}
+        frames.append((at, meta))
+    return frames
+
+
+def write_frames(path, frames, **kw):
+    with TrajectoryWriter(path, **kw) as w:
+        for at, meta in frames:
+            w.write(at, **meta)
+    return path
+
+
+# -- round trip -------------------------------------------------------------
+def test_round_trip_exact(tmp_path):
+    frames = npt_trajectory(nframes=11)
+    p = write_frames(tmp_path / "t.ptrj", frames, chunk_frames=4)
+    with TrajectoryReader(p) as r:
+        assert len(r) == 11
+        assert r.natoms == 8
+        assert r.has_velocities
+        assert r.nchunks == 3
+        for i, (at, meta) in enumerate(frames):
+            fr = r.read(i)
+            # float64 side bands are bit-exact
+            assert fr.step == meta["step"]
+            assert fr.time_fs == meta["time_fs"]
+            assert fr.epot == meta["epot"]
+            assert fr.ekin == meta["ekin"]
+            assert fr.temperature == meta["temperature"]
+            assert np.array_equal(fr.cell.matrix, at.cell.matrix)
+            assert tuple(fr.cell.pbc) == tuple(at.cell.pbc)
+            assert np.array_equal(fr.velocities, at.velocities)
+            # delta-encoded positions are tolerance-bound, not exact
+            err = np.abs(fr.positions - at.positions).max()
+            assert err <= 1e-6
+
+
+def test_keyframes_are_exact(tmp_path):
+    frames = npt_trajectory(nframes=9)
+    p = write_frames(tmp_path / "t.ptrj", frames, chunk_frames=4)
+    with TrajectoryReader(p) as r:
+        for i in (0, 4, 8):       # first frame of each chunk == keyframe
+            np.testing.assert_array_equal(r.read(i).positions,
+                                          frames[i][0].positions)
+
+
+def test_negative_index_getitem_and_iteration(tmp_path):
+    frames = npt_trajectory(nframes=7)
+    p = write_frames(tmp_path / "t.ptrj", frames, chunk_frames=3)
+    with TrajectoryReader(p) as r:
+        assert r.read(-1).step == frames[-1][1]["step"]
+        assert r[-7].step == frames[0][1]["step"]
+        with pytest.raises(IndexError):
+            r.read(7)
+        with pytest.raises(IndexError):
+            r.read(-8)
+        steps = [fr.step for fr in r]
+        assert steps == [m["step"] for _, m in frames]
+        sub = [fr.step for fr in r.iter_frames(1, 6, 2)]
+        assert sub == [frames[i][1]["step"] for i in (1, 3, 5)]
+        with pytest.raises(ValueError):
+            list(r.iter_frames(stride=0))
+
+
+def test_to_atoms_and_atoms_at(tmp_path):
+    frames = npt_trajectory(nframes=3)
+    p = write_frames(tmp_path / "t.ptrj", frames)
+    with TrajectoryReader(p) as r:
+        at = r.atoms_at(1)
+        src = frames[1][0]
+        assert at.symbols == src.symbols
+        assert np.array_equal(at.cell.matrix, src.cell.matrix)
+        assert np.array_equal(at.velocities, src.velocities)
+
+
+def test_nonperiodic_frames_round_trip(tmp_path):
+    rng = np.random.default_rng(3)
+    at = Atoms(["Si"] * 4, rng.normal(scale=2.0, size=(4, 3)))
+    assert not any(at.cell.pbc)
+    p = tmp_path / "c.ptrj"
+    with TrajectoryWriter(p) as w:
+        w.write(at, step=1)
+    with TrajectoryReader(p) as r:
+        fr = r.read(0)
+        assert tuple(fr.cell.pbc) == (False, False, False)
+
+
+def test_no_velocities_mode(tmp_path):
+    frames = npt_trajectory(nframes=4)
+    p = write_frames(tmp_path / "t.ptrj", frames, vel_dtype=None)
+    with TrajectoryReader(p) as r:
+        assert not r.has_velocities
+        assert r.read(2).velocities is None
+    # velocity-less file is strictly smaller
+    p2 = write_frames(tmp_path / "v.ptrj", frames)
+    assert os.path.getsize(p) < os.path.getsize(p2)
+
+
+def test_symbol_mismatch_rejected(tmp_path):
+    with TrajectoryWriter(tmp_path / "t.ptrj") as w:
+        w.write(bulk_silicon())
+        with pytest.raises(IOFormatError, match="symbols"):
+            w.write(Atoms(["C"] * 8, bulk_silicon().positions,
+                          cell=bulk_silicon().cell))
+
+
+def test_empty_writer_with_symbols_gives_valid_empty_file(tmp_path):
+    p = tmp_path / "e.ptrj"
+    with TrajectoryWriter(p, symbols=["Si"] * 8):
+        pass
+    with TrajectoryReader(p) as r:
+        assert len(r) == 0 and r.natoms == 8
+
+
+def test_empty_writer_without_symbols_writes_nothing(tmp_path):
+    p = tmp_path / "e.ptrj"
+    with TrajectoryWriter(p):
+        pass
+    assert not p.exists()
+
+
+def test_write_after_close_rejected(tmp_path):
+    w = TrajectoryWriter(tmp_path / "t.ptrj")
+    w.write(bulk_silicon())
+    w.close()
+    with pytest.raises(IOFormatError, match="closed"):
+        w.write(bulk_silicon())
+
+
+def test_pos_tol_forces_rekey_under_drift(tmp_path):
+    # positions drift far from the chunk keyframe: float32 deltas lose
+    # absolute precision, so a tight pos_tol must cut extra keyframes
+    rng = np.random.default_rng(7)
+    at = bulk_silicon()
+    p = tmp_path / "drift.ptrj"
+    wanted = []
+    with TrajectoryWriter(p, chunk_frames=64, pos_tol=1e-9) as w:
+        for k in range(12):
+            moved = at.copy()
+            moved.positions = at.positions + rng.normal(
+                scale=500.0 * (k + 1), size=at.positions.shape)
+            wanted.append(moved.positions.copy())
+            w.write(moved, step=k)
+    with TrajectoryReader(p) as r:
+        assert r.nchunks > 1   # 64-frame chunks would fit in one otherwise
+        for k in range(12):
+            err = np.abs(r.read(k).positions - wanted[k]).max()
+            assert err <= 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(1, 20), st.integers(1, 8), st.integers(0, 9),
+       st.booleans(), st.integers(0, 2**31))
+def test_round_trip_property(nframes, chunk_frames, level, shuffle, seed):
+    import tempfile
+
+    rng = np.random.default_rng(seed)
+    n = 5
+    symbols = ["Si"] * n
+    with tempfile.TemporaryDirectory() as d:
+        p = os.path.join(d, "t.ptrj")
+        metas = []
+        with TrajectoryWriter(p, symbols, chunk_frames=chunk_frames,
+                              compression=level, shuffle=shuffle) as w:
+            for k in range(nframes):
+                pos = rng.normal(scale=3.0, size=(n, 3))
+                cell = np.eye(3) * (8.0 + rng.random())
+                vel = rng.normal(size=(n, 3))
+                meta = dict(step=int(rng.integers(0, 10**6)),
+                            time_fs=float(rng.normal()),
+                            epot=float(rng.normal()),
+                            ekin=float(abs(rng.normal())),
+                            temperature=float(abs(rng.normal())))
+                w.write_arrays(symbols, pos, cell=cell,
+                               pbc=np.array([True] * 3),
+                               velocities=vel, **meta)
+                metas.append((pos, cell, vel, meta))
+        with TrajectoryReader(p) as r:
+            assert len(r) == nframes
+            for k, (pos, cell, vel, meta) in enumerate(metas):
+                fr = r.read(k)
+                assert fr.step == meta["step"]
+                assert fr.time_fs == meta["time_fs"]
+                assert fr.epot == meta["epot"]
+                assert np.array_equal(fr.cell.matrix, cell)
+                assert np.array_equal(fr.velocities, vel)
+                assert np.abs(fr.positions - pos).max() <= 1e-6
+
+
+# -- corruption & truncation -----------------------------------------------
+def corruptible(tmp_path):
+    p = write_frames(tmp_path / "t.ptrj", npt_trajectory(nframes=6),
+                     chunk_frames=3)
+    return p, p.read_bytes()
+
+
+def test_truncated_footer_rejected(tmp_path):
+    p, raw = corruptible(tmp_path)
+    p.write_bytes(raw[:-10])
+    with pytest.raises(IOFormatError):
+        TrajectoryReader(p)
+
+
+def test_bad_magic_rejected(tmp_path):
+    p, raw = corruptible(tmp_path)
+    p.write_bytes(b"XXXX" + raw[4:])
+    with pytest.raises(IOFormatError, match="magic"):
+        TrajectoryReader(p)
+
+
+def test_unknown_version_rejected(tmp_path):
+    p, raw = corruptible(tmp_path)
+    p.write_bytes(raw[:4] + struct.pack("<H", 99) + raw[6:])
+    with pytest.raises(IOFormatError, match="version"):
+        TrajectoryReader(p)
+
+
+def header_end(raw):
+    import io
+
+    fh = io.BytesIO(raw)
+    fmt.read_header(fh)
+    return fh.tell()
+
+
+def test_flipped_payload_byte_fails_crc(tmp_path):
+    p, raw = corruptible(tmp_path)
+    # flip one byte inside the first chunk's compressed payload
+    off = header_end(raw) + fmt.chunk_prelude_size() + 4
+    corrupted = bytearray(raw)
+    corrupted[off] ^= 0xFF
+    p.write_bytes(bytes(corrupted))
+    with TrajectoryReader(p) as r:
+        with pytest.raises(IOFormatError, match="CRC|crc"):
+            r.read(0)
+        # other chunks stay readable — corruption is contained
+        assert r.read(5).step == 50
+
+
+def test_oversized_stored_len_rejected(tmp_path):
+    # a chunk prelude claiming more payload bytes than the file holds
+    # must read as "truncated", never as silently-short arrays
+    p, raw = corruptible(tmp_path)
+    corrupted = bytearray(raw)
+    corrupted[header_end(raw):header_end(raw) + 4] = struct.pack(
+        "<I", len(raw))
+    p.write_bytes(bytes(corrupted))
+    with TrajectoryReader(p) as r:
+        with pytest.raises(IOFormatError, match="truncated|corrupt"):
+            r.read(0)
+
+
+def test_truncated_chunk_rejected(tmp_path):
+    # crash mid-write: header + part of a chunk, no index/footer
+    p, raw = corruptible(tmp_path)
+    p.write_bytes(raw[:header_end(raw) + 40])
+    with pytest.raises(IOFormatError, match="footer"):
+        TrajectoryReader(p)
+
+
+def test_garbage_file_rejected(tmp_path):
+    p = tmp_path / "g.ptrj"
+    p.write_bytes(b"\x00" * 64)
+    with pytest.raises(IOFormatError):
+        TrajectoryReader(p)
+
+
+# -- O(chunk) random access -------------------------------------------------
+@pytest.fixture()
+def metrics_on():
+    old_registry = metrics_mod._swap_registry(metrics_mod.MetricsRegistry())
+    old_enabled = metrics_mod._ENABLED
+    metrics_mod._ENABLED = True
+    try:
+        yield metrics_mod._REGISTRY
+    finally:
+        metrics_mod._swap_registry(old_registry)
+        metrics_mod._ENABLED = old_enabled
+
+
+def counter_value(registry, name):
+    return registry.snapshot()["counters"].get(name, 0.0)
+
+
+def test_random_access_reads_one_chunk(tmp_path, metrics_on):
+    frames = npt_trajectory(nframes=20)
+    p = write_frames(tmp_path / "t.ptrj", frames, chunk_frames=4)
+    with TrajectoryReader(p) as r:
+        assert r.nchunks == 5
+        before = counter_value(metrics_on, "trajio.chunk_reads")
+        r.read(13)               # middle of chunk 3
+        after = counter_value(metrics_on, "trajio.chunk_reads")
+        assert after - before == 1
+        # same chunk again: served from cache, zero extra reads
+        r.read(12)
+        assert counter_value(metrics_on, "trajio.chunk_reads") == after
+        # sequential full iteration decodes each chunk exactly once
+        list(r.iter_frames())
+        assert (counter_value(metrics_on, "trajio.chunk_reads")
+                - after) <= r.nchunks
+
+
+# -- out-of-core analysis ---------------------------------------------------
+def liquidish(tmp_path, nframes=8):
+    rng = np.random.default_rng(11)
+    at = rattle(bulk_silicon(), 0.05, seed=2)
+    stack, times = [], []
+    p = tmp_path / "liq.ptrj"
+    with TrajectoryWriter(p, chunk_frames=3) as w:
+        pos = at.positions.copy()
+        for k in range(nframes):
+            pos = pos + rng.normal(scale=0.02, size=pos.shape)
+            fr = at.copy()
+            fr.positions = pos
+            w.write(fr, step=k, time_fs=2.0 * k)
+            stack.append(fr)
+            times.append(2.0 * k)
+    return p, stack, np.array(times)
+
+
+def test_windowed_rdf_matches_in_memory(tmp_path):
+    from repro.analysis.rdf import radial_distribution
+
+    p, stack, _ = liquidish(tmp_path)
+    r_ref, g_ref = radial_distribution(stack, 4.5, nbins=40)
+    r, g = windowed_rdf(p, 4.5, nbins=40)
+    np.testing.assert_array_equal(r, r_ref)
+    np.testing.assert_allclose(g, g_ref, atol=1e-8)
+
+
+def test_windowed_rdf_window_selection(tmp_path):
+    from repro.analysis.rdf import radial_distribution
+
+    p, stack, _ = liquidish(tmp_path)
+    _, g_ref = radial_distribution(stack[2:6], 4.5, nbins=40)
+    _, g = windowed_rdf(p, 4.5, nbins=40, start=2, stop=6)
+    np.testing.assert_allclose(g, g_ref, atol=1e-8)
+
+
+def test_windowed_msd_matches_in_memory(tmp_path):
+    from repro.analysis.msd import mean_squared_displacement
+
+    p, stack, times = liquidish(tmp_path)
+    ref = mean_squared_displacement(
+        np.stack([f.positions for f in stack]), origins=3)
+    t, msd = windowed_msd(p, origins=3)
+    np.testing.assert_allclose(t, times - times[0])
+    np.testing.assert_allclose(msd, ref, atol=1e-5)
+
+
+def test_windowed_analysis_bad_args(tmp_path):
+    p, _, _ = liquidish(tmp_path)
+    with pytest.raises(GeometryError):
+        windowed_rdf(p, -1.0)
+    with pytest.raises(GeometryError):
+        windowed_rdf(p, 4.5, start=7, stop=7)
+    with pytest.raises(GeometryError):
+        windowed_msd(p, origins=0)
+
+
+def test_windowed_accepts_open_reader(tmp_path):
+    p, _, _ = liquidish(tmp_path)
+    with TrajectoryReader(p) as r:
+        windowed_rdf(r, 4.5, nbins=20)
+        assert r._fh is not None    # caller-owned reader stays open
+
+
+# -- store ------------------------------------------------------------------
+def test_store_create_write_open_refs(tmp_path):
+    store = TrajStore(tmp_path / "runs")
+    ref = store.create("sweep si/8")
+    assert "/" not in ref and " " not in ref
+    with store.writer(ref) as w:
+        w.write(bulk_silicon(), step=3)
+    with store.open(ref) as r:
+        assert len(r) == 1 and r.read(0).step == 3
+    assert store.refs() == [ref]
+    with pytest.raises(KeyError):
+        store.path("nope")
+    store.close()
+
+
+def test_store_tempdir_cleanup_and_adopt(tmp_path):
+    store = TrajStore()
+    root = store.root
+    ref = store.create("t")
+    with store.writer(ref) as w:
+        w.write(bulk_silicon())
+    assert os.path.exists(store.path(ref))
+    ext = write_frames(tmp_path / "ext.ptrj", npt_trajectory(nframes=2))
+    store.adopt("external", ext)
+    assert store.path("external") == str(ext)
+    store.close()
+    assert not os.path.exists(root)
+
+
+# -- MD / Trajectory bridges ------------------------------------------------
+def test_binary_observer_and_trajectory_bridge(tmp_path):
+    p = tmp_path / "md.ptrj"
+    at = rattle(bulk_silicon(), 0.02, seed=5)
+    with BinaryTrajectoryWriter(p) as obs_w:
+        for k in range(3):
+            at.positions += 0.01
+            obs_w(k, at, {"step": k, "time_fs": 0.5 * k, "epot": -1.0 - k,
+                          "ekin": 0.2, "temperature": 310.0})
+    traj = Trajectory.load(p)
+    assert len(traj) == 3
+    assert traj.frames[2].step == 2
+    assert traj.frames[2].epot == -3.0
+    np.testing.assert_array_equal(traj.frames[1].cell.matrix, at.cell.matrix)
+
+    p2 = tmp_path / "back.ptrj"
+    traj.save(p2)
+    with TrajectoryReader(p2) as r:
+        assert len(r) == 3
+        assert r.read(1).time_fs == 0.5
+
+
+def test_trajectory_save_load_per_frame_cell(tmp_path):
+    frames = npt_trajectory(nframes=4)
+    traj = Trajectory()
+    for at, meta in frames:
+        traj.append(at, step=meta["step"], time_fs=meta["time_fs"],
+                    epot=meta["epot"])
+    p = tmp_path / "npt.ptrj"
+    traj.save(p)
+    back = Trajectory.load(p)
+    for i, (at, meta) in enumerate(frames):
+        f = back.frames[i]
+        assert f.step == meta["step"] and f.time_fs == meta["time_fs"]
+        np.testing.assert_array_equal(f.cell.matrix, at.cell.matrix)
+        np.testing.assert_array_equal(f.velocities, at.velocities)
+
+
+# -- service integration ----------------------------------------------------
+@pytest.fixture()
+def service():
+    from repro.service import BatchService
+
+    svc = BatchService(nworkers=1)
+    yield svc
+    svc.close()
+
+
+@pytest.fixture()
+def client(service):
+    from repro.service import BatchClient
+
+    return BatchClient(service)
+
+
+def test_sweep_traj_ref_and_frames_op(client):
+    si = rattle(bulk_silicon(), 0.02, seed=1)
+    client.load("si", si, calc={"model": "sw-si"})
+    res = client.sweep("si", npoints=5, amplitude=0.02, traj=True)
+    ref = res["traj_ref"]
+    assert isinstance(ref, str) and ref
+    out = client.frames(ref)
+    assert out["total"] == 5
+    assert len(out["frames"]) == 5
+    f0 = out["frames"][0]
+    assert f0["positions"].shape == (len(si), 3)
+    assert f0["cell"].shape == (3, 3)
+    # strained geometries: every frame's cell differs
+    cells = [f["cell"] for f in out["frames"]]
+    assert not np.array_equal(cells[0], cells[-1])
+    # subrange + stride
+    sub = client.frames(ref, start=1, stop=4, stride=2)
+    np.testing.assert_array_equal(sub["frames"][0]["cell"], cells[1])
+    assert len(sub["frames"]) == 2
+    # paged iteration covers all frames in order
+    it = list(client.iter_frames(ref, batch=3))
+    assert len(it) == 5
+    np.testing.assert_array_equal(it[2]["positions"],
+                                  out["frames"][2]["positions"])
+
+
+def test_frames_op_errors(client):
+    with pytest.raises(ServiceError, match="unknown traj_ref"):
+        client.frames("no-such-ref")
+    si = bulk_silicon()
+    client.load("si", si, calc={"model": "sw-si"})
+    res = client.sweep("si", npoints=5, amplitude=0.02, traj=True)
+    with pytest.raises(ServiceError):
+        client.frames(res["traj_ref"], stride=0)
+
+
+def test_sweep_without_traj_has_no_ref(client):
+    client.load("si", bulk_silicon(), calc={"model": "sw-si"})
+    res = client.sweep("si", npoints=5, amplitude=0.02)
+    assert "traj_ref" not in res
+
+
+def test_strain_sweep_writes_frames(tmp_path):
+    from repro.analysis.strain_sweep import strain_sweep
+    from repro.calculators import make_calculator
+
+    p = tmp_path / "sweep.ptrj"
+    w = TrajectoryWriter(p)
+    try:
+        strain_sweep(bulk_silicon(), make_calculator({"model": "sw-si"}),
+                     amplitudes=np.linspace(-0.02, 0.02, 5), traj_writer=w)
+    finally:
+        w.close()
+    with TrajectoryReader(p) as r:
+        assert len(r) == 5
+        assert r.read(0).epot != 0.0
+
+
+# -- campaign persistence ---------------------------------------------------
+def test_campaign_traj_dir_and_resolve(tmp_path):
+    from repro.scenarios import store as sstore
+    from repro.scenarios.campaign import CampaignSpec, run_campaign
+    from repro.scenarios.store import write_jsonl
+
+    matrix = {
+        "name": "traj-smoke",
+        "calc": {"model": "sw-si"},
+        "structures": {"si": {"kind": "diamond", "element": "Si"}},
+        "scenarios": [{"name": "melt-quench",
+                       "params": {"melt_steps": 4, "quench_steps": 4,
+                                  "sample_interval": 2}}],
+    }
+    traj_dir = tmp_path / "trajs"
+    run = run_campaign(CampaignSpec.from_dict(matrix), traj_dir=traj_dir)
+    assert run.counts["failed"] == 0
+    row = run.cells[0]
+    ref = row["value"]["traj_ref"]
+    assert ref.endswith(".ptrj")
+    with TrajectoryReader(traj_dir / ref) as r:
+        assert len(r) >= 2
+
+    artifact = write_jsonl(tmp_path / "run.jsonl", run)
+    _, cells = sstore.read_artifact(artifact)
+    path = sstore.resolve_traj_ref(artifact, cells[0], traj_dir=traj_dir)
+    assert path is not None and os.path.exists(path)
+    # row without a trajectory resolves to None
+    assert sstore.resolve_traj_ref(artifact, {"value": {}}) is None
+    # dangling ref is an error, not a silent None
+    os.remove(path)
+    from repro.errors import CampaignError
+
+    with pytest.raises(CampaignError, match="does not exist"):
+        sstore.resolve_traj_ref(artifact, cells[0], traj_dir=traj_dir)

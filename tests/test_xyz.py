@@ -98,3 +98,83 @@ def test_comment_preserved_fields(tmp_path):
     write_xyz(p, bulk_silicon(), comment="step=5 time_fs=5.0")
     text = p.read_text()
     assert "step=5" in text and "Lattice=" in text
+
+
+# -- regression: velocities, metadata and pbc round trips --------------------
+def test_velocities_round_trip_exact():
+    at = bulk_silicon()
+    rng = np.random.default_rng(4)
+    at.velocities[:] = rng.normal(scale=0.037, size=at.velocities.shape)
+    back = roundtrip(at)
+    # repr-exact velocity columns: bit-exact, not just approximate
+    np.testing.assert_array_equal(back.velocities, at.velocities)
+    assert "Properties=species:S:1:pos:R:3:vel:R:3" in _dump(at)
+
+
+def test_zero_velocities_omit_columns():
+    at = bulk_silicon()
+    assert not np.any(at.velocities)
+    assert ":vel:" not in _dump(at)
+    np.testing.assert_array_equal(roundtrip(at).velocities, 0.0)
+
+
+def _dump(atoms, **kw):
+    buf = io.StringIO()
+    write_xyz(buf, atoms, **kw)
+    return buf.getvalue()
+
+
+def test_lattice_round_trip_exact():
+    # repr-formatted lattice: NPT cells with non-round entries survive
+    m = np.array([[5.4310000000000001, 0.0, 1e-13],
+                  [0.1234567891234567, 5.43, 0.0],
+                  [0.0, 0.0, 5.4300000000000104]])
+    at = Atoms(["C"], [[0.1, 0.2, 0.3]], cell=Cell(m))
+    np.testing.assert_array_equal(roundtrip(at).cell.matrix, m)
+
+
+def test_metadata_keys_round_trip(tmp_path):
+    from repro.geometry.xyz import iread_frames
+
+    p = tmp_path / "m.xyz"
+    write_xyz(p, bulk_silicon(),
+              comment="step=12 time_fs=0.30000000000000004 epot=-34.625")
+    ((at, info),) = list(iread_frames(str(p)))
+    assert info["step"] == 12
+    assert info["time_fs"] == 0.30000000000000004
+    assert info["epot"] == -34.625
+
+
+def test_pbc_flag_without_lattice_round_trips_nonperiodic():
+    # regression: an explicit pbc="F F F" cluster frame used to be
+    # silently treated the same as no flag at all
+    at = read_xyz(io.StringIO('1\npbc="F F F"\nC 1.0 2.0 3.0\n'))
+    assert not at.cell.periodic
+    assert tuple(at.cell.pbc) == (False, False, False)
+
+
+def test_periodic_pbc_without_lattice_rejected():
+    with pytest.raises(IOFormatError, match="[Ll]attice"):
+        read_xyz(io.StringIO('1\npbc="T T T"\nC 1.0 2.0 3.0\n'))
+
+
+def test_nonperiodic_atoms_written_with_pbc_flag():
+    at = Atoms(["C"], [[1.0, 2.0, 3.0]])
+    text = _dump(at)
+    assert 'pbc="F F F"' in text
+    back = roundtrip(at)
+    assert not back.cell.periodic
+
+
+def test_ase_readable_extended_xyz(tmp_path):
+    ase = pytest.importorskip("ase.io")
+    at = bulk_silicon()
+    at.velocities[:] = 0.01
+    p = tmp_path / "ase.xyz"
+    write_xyz(p, at)
+    ase_at = ase.read(str(p))
+    np.testing.assert_allclose(ase_at.positions, at.positions, atol=1e-9)
+    np.testing.assert_allclose(ase_at.cell[:], at.cell.matrix, atol=1e-12)
+    vel = ase_at.arrays.get("vel")
+    assert vel is not None
+    np.testing.assert_array_equal(vel, at.velocities)

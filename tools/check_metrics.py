@@ -63,6 +63,9 @@ def main(argv=None) -> int:
     ap.add_argument("--min-backend-speedup", type=float, default=0.0,
                     help="floor on the foe.backend_speedup gauge (batched "
                          "vs loop MD-step ratio from the A8 benchmark)")
+    ap.add_argument("--min-traj-size-ratio", type=float, default=0.0,
+                    help="floor on the trajio.xyz_size_ratio gauge (XYZ "
+                         "vs PTRJ file size from the A12 benchmark)")
     args = ap.parse_args(argv)
     with open(args.snapshot, encoding="utf-8") as fh:
         snap = json.load(fh)
@@ -80,16 +83,22 @@ def main(argv=None) -> int:
             status = "ok"
         shown = "   --" if value is None else f"{value:5.1%}"
         print(f"{name:<16} {shown}  (floor {floor:.1%}, n={n})  {status}")
-    speedup = gauges.get("foe.backend_speedup")
-    if speedup is None:
-        status = "no data"
-    elif speedup + 1e-12 < args.min_backend_speedup:
-        status, failed = "FAIL", True
-    else:
-        status = "ok"
-    shown = "   --" if speedup is None else f"{speedup:4.2f}x"
-    print(f"{'backend-speedup':<16} {shown}  "
-          f"(floor {args.min_backend_speedup:.2f}x)  {status}")
+    gauge_gates = [
+        ("backend-speedup", "foe.backend_speedup",
+         args.min_backend_speedup),
+        ("traj-size-ratio", "trajio.xyz_size_ratio",
+         args.min_traj_size_ratio),
+    ]
+    for label, gauge_name, floor in gauge_gates:
+        value = gauges.get(gauge_name)
+        if value is None:
+            status = "no data"
+        elif value + 1e-12 < floor:
+            status, failed = "FAIL", True
+        else:
+            status = "ok"
+        shown = "   --" if value is None else f"{value:4.2f}x"
+        print(f"{label:<16} {shown}  (floor {floor:.2f}x)  {status}")
     if failed:
         print("\nmetrics gate FAILED: a cache-efficiency rate regressed "
               "below its floor", file=sys.stderr)
